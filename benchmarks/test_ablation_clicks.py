@@ -1,0 +1,78 @@
+"""Ablation: click-placement models vs the scatter detector (Fig. 2's
+argument, quantified).
+
+Centre clicks are level-1 prey; uniform randomisation "improves over
+Selenium's default behaviour" but is level-2 prey (corner mass); the
+truncated Gaussian passes.  An over-tight Gaussian (sigma too small)
+fails again -- the parameters matter, not just the distribution family.
+"""
+
+import numpy as np
+from conftest import print_table
+
+from repro.detection.artificial import PerfectCenterClickDetector
+from repro.detection.deviation import ClickScatterDetector
+from repro.events.recorder import EventRecorder
+from repro.events.taxonomy import ALL_INTERACTION_EVENTS
+from repro.geometry import Box
+from repro.models.clicks import ClickParams, hlisa_click_point, uniform_click_point
+from repro.webdriver.driver import make_browser_driver
+
+VARIANTS = ["center", "uniform", "gaussian", "tight-gaussian"]
+
+
+def click_point_for(variant, box, rng):
+    if variant == "center":
+        return box.center
+    if variant == "uniform":
+        return uniform_click_point(box, rng)
+    if variant == "gaussian":
+        return hlisa_click_point(box, rng)
+    return hlisa_click_point(box, rng, ClickParams(sigma_frac=0.015))
+
+
+def record_variant(variant, clicks=60):
+    driver = make_browser_driver()
+    recorder = EventRecorder(ALL_INTERACTION_EVENTS).attach(driver.window)
+    rng = np.random.default_rng(29)
+    element = driver.window.document.create_element(
+        "button", Box(500, 300, 90, 90), id="t"
+    )
+    for _ in range(clicks):
+        point = click_point_for(variant, element.box, rng)
+        client = driver.window.page_to_client(point)
+        driver.pipeline.move_mouse_to(client.x, client.y, force_event=True)
+        driver.pipeline.mouse_down()
+        driver.window.clock.advance(85.0)
+        driver.pipeline.mouse_up()
+        driver.window.clock.advance(400.0)
+        size = 90.0
+        element.box = Box(
+            float(rng.uniform(10, 1200)), float(rng.uniform(10, 650)), size, size
+        )
+    return recorder
+
+
+def run_ablation():
+    outcome = {}
+    for variant in VARIANTS:
+        recorder = record_variant(variant)
+        flagged = []
+        for detector in (PerfectCenterClickDetector(), ClickScatterDetector()):
+            if detector.observe(recorder).is_bot:
+                flagged.append(detector.name)
+        outcome[variant] = flagged
+    return outcome
+
+
+def test_ablation_clicks(benchmark):
+    outcome = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    lines = [f"{'variant':16s} flagged by"]
+    for variant in VARIANTS:
+        lines.append(f"{variant:16s} {', '.join(outcome[variant]) or '(nothing)'}")
+    print_table("Ablation: click-placement models", lines)
+
+    assert "perfect-center-clicks" in outcome["center"]
+    assert "click-scatter" in outcome["uniform"]
+    assert outcome["gaussian"] == []
+    assert "click-scatter" in outcome["tight-gaussian"]

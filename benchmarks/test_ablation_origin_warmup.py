@@ -1,0 +1,48 @@
+"""Ablation: the (0,0) origin tell and the Appendix F warm-up.
+
+"Mouse movement starting at (0,0), which can be solved by moving the
+mouse prior to loading a page" -- an experiment-level fix the paper
+deliberately keeps *out* of HLISA.  The ablation shows both halves: the
+tell exists, and the one-line warm-up removes it without touching the
+interaction API.
+"""
+
+import numpy as np
+from conftest import print_table
+
+from repro.behaviors import OriginStartDetector, warm_up_cursor
+from repro.core.hlisa_action_chains import HLISA_ActionChains
+from repro.events.recorder import EventRecorder
+from repro.events.taxonomy import ALL_INTERACTION_EVENTS
+from repro.webdriver.driver import make_browser_driver
+
+
+def run_variant(warm_up: bool):
+    driver = make_browser_driver()
+    if warm_up:
+        # Before the page is (conceptually) loaded -- and thus before its
+        # scripts can record anything.
+        warm_up_cursor(driver, np.random.default_rng(5))
+    recorder = EventRecorder(ALL_INTERACTION_EVENTS).attach(driver.window)
+    chain = HLISA_ActionChains(driver, seed=11)
+    chain.click(driver.find_element_by_id("submit"))
+    chain.perform()
+    return OriginStartDetector().observe(recorder)
+
+
+def test_ablation_origin_warmup(benchmark):
+    verdicts = benchmark(
+        lambda: {
+            "no warm-up": run_variant(False),
+            "with warm-up": run_variant(True),
+        }
+    )
+    lines = [
+        f"{'variant':14s} verdict",
+        f"{'no warm-up':14s} "
+        + ("BOT: " + verdicts["no warm-up"].reasons[0] if verdicts["no warm-up"].is_bot else "pass"),
+        f"{'with warm-up':14s} " + ("BOT" if verdicts["with warm-up"].is_bot else "pass"),
+    ]
+    print_table("Ablation: (0,0) origin tell vs experiment-level warm-up", lines)
+    assert verdicts["no warm-up"].is_bot
+    assert not verdicts["with warm-up"].is_bot

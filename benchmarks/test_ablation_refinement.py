@@ -1,0 +1,72 @@
+"""Ablation: one full refinement turn of the arms race.
+
+Section 4.2: within a rung, "either side can refine their techniques --
+in this case, the models on which detection/simulation is based."
+Appendix F names the opening: HLISA's normal distributions vs real
+right-skewed timing.  The cycle, executed:
+
+1. status quo: stock HLISA passes the standard level-2 battery;
+2. detector refines: a skew-aware test catches stock HLISA (symmetric
+   dwell distribution) while sparing the human;
+3. simulator refines: lognormal HLISA restores the skew and passes --
+   without regressing against the standard battery.
+"""
+
+from conftest import print_table
+
+from repro.detection import DetectorBattery, DetectionLevel
+from repro.experiment import HLISAAgent, HumanAgent, TypingTask
+from repro.models.refinements import LognormalTypingRhythm, SkewAwareTypingDetector
+
+LONG_TEXT = (
+    "The quick brown fox jumps over the lazy dog, twice. "
+    "Pack my box with five dozen liquor jugs. Forever and ever."
+)
+
+
+def refined_hlisa():
+    agent = HLISAAgent(seed=3)
+    original = agent._chain_for
+
+    def patched(session):
+        chain = original(session)
+        chain._typing = LognormalTypingRhythm(chain._rng, chain._typing.params)
+        return chain
+
+    agent._chain_for = patched
+    return agent
+
+
+def run_cycle():
+    detector = SkewAwareTypingDetector()
+    battery = DetectorBattery(DetectionLevel.DEVIATION)
+    outcome = {}
+    for label, agent in (
+        ("human", HumanAgent()),
+        ("stock-hlisa", HLISAAgent(seed=3)),
+        ("refined-hlisa", refined_hlisa()),
+    ):
+        recorder = TypingTask(LONG_TEXT).run(agent).recorder
+        outcome[label] = {
+            "standard-L2": battery.evaluate(recorder).is_bot,
+            "skew-refined": detector.observe(recorder).is_bot,
+        }
+    return outcome
+
+
+def test_ablation_refinement_cycle(benchmark):
+    outcome = benchmark.pedantic(run_cycle, rounds=1, iterations=1)
+    lines = [f"{'agent':15s} {'standard L2':>12s} {'refined (skew)':>15s}"]
+    for label, row in outcome.items():
+        lines.append(
+            f"{label:15s} {'BOT' if row['standard-L2'] else 'pass':>12s} "
+            f"{'BOT' if row['skew-refined'] else 'pass':>15s}"
+        )
+    print_table("Ablation: the intra-level refinement cycle", lines)
+
+    assert not outcome["human"]["standard-L2"]
+    assert not outcome["human"]["skew-refined"]
+    assert not outcome["stock-hlisa"]["standard-L2"]  # status quo
+    assert outcome["stock-hlisa"]["skew-refined"]  # detector refines
+    assert not outcome["refined-hlisa"]["skew-refined"]  # simulator answers
+    assert not outcome["refined-hlisa"]["standard-L2"]  # without regressing

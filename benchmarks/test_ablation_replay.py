@@ -1,0 +1,87 @@
+"""Ablation: the replay attack vs per-session and cross-session defence.
+
+Section 4.2's escalation in one table: a bot replaying recorded human
+interaction (the statistical attack of the paper's related work) passes
+every within-session battery -- its data *is* human.  Its "perfect
+replayability" is the remaining tell, visible only to a detector with
+memory across visits.
+"""
+
+from conftest import print_table
+
+from repro.detection import DetectorBattery, DetectionLevel
+from repro.detection.replay import CrossSessionReplayDetector
+from repro.experiment import HumanAgent, Session
+from repro.experiment.replay import ReplayAgent
+from repro.geometry import Box
+from repro.humans.profile import HumanProfile
+
+
+def build_page(session):
+    document = session.document
+    return [
+        document.create_element("a", Box(90, 60, 160, 26), id="nav"),
+        document.create_element("button", Box(1050, 120, 140, 44), id="search"),
+        document.create_element("button", Box(540, 620, 160, 48), id="submit"),
+        document.create_element("input", Box(420, 300, 420, 36), id="email"),
+    ]
+
+
+def record_human(seed):
+    session = Session(automated=False, page_height=4000)
+    elements = build_page(session)
+    agent = HumanAgent(HumanProfile(seed=seed))
+    for _ in range(5):
+        for element in elements[:3]:
+            agent.click_element(session, element)
+            session.clock.advance(350.0)
+    agent.type_text(session, elements[3], "visitor@example.org")
+    return session.recorder
+
+
+def run_study():
+    source = record_human(seed=77)
+    battery = DetectorBattery(DetectionLevel.CONSISTENCY)
+    replay_detector = CrossSessionReplayDetector()
+
+    outcomes = {}
+    # Three consecutive replayed "visits" of the same recording.
+    for visit in range(1, 4):
+        session = Session(automated=True, page_height=4000)
+        build_page(session)
+        ReplayAgent(source).run(session)
+        outcomes[f"replay visit {visit}"] = (
+            battery.evaluate(session.recorder).is_bot,
+            replay_detector.observe(session.recorder).is_bot,
+        )
+    # Control: three *fresh* human visits through the same detectors.
+    fresh_detector = CrossSessionReplayDetector()
+    for visit, seed in enumerate((401, 402, 403), start=1):
+        recorder = record_human(seed)
+        outcomes[f"human visit {visit}"] = (
+            battery.evaluate(recorder).is_bot,
+            fresh_detector.observe(recorder).is_bot,
+        )
+    return outcomes
+
+
+def test_ablation_replay_attack(benchmark):
+    outcomes = benchmark.pedantic(run_study, rounds=1, iterations=1)
+    lines = [f"{'visit':16s} {'within-session (L1-L3)':>23s} {'cross-session':>14s}"]
+    for label, (within, cross) in outcomes.items():
+        lines.append(
+            f"{label:16s} {'BOT' if within else 'pass':>23s} "
+            f"{'BOT' if cross else 'pass':>14s}"
+        )
+    print_table("Ablation: the replay attack", lines)
+
+    # Replays always pass within-session batteries...
+    for visit in range(1, 4):
+        assert not outcomes[f"replay visit {visit}"][0]
+    # ...the first replay is unknown, repeats are caught.
+    assert not outcomes["replay visit 1"][1]
+    assert outcomes["replay visit 2"][1]
+    assert outcomes["replay visit 3"][1]
+    # Humans pass both, always.
+    for visit in range(1, 4):
+        assert outcomes[f"human visit {visit}"] == (False, False)

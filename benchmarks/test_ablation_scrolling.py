@@ -1,0 +1,67 @@
+"""Ablation: scroll-cadence ingredients (Section 4.1, "Scrolling").
+
+One programmatic jump is level-1 prey (teleport).  Fixed-interval 57 px
+ticks fix the distance signature but keep a metronome cadence (level 2).
+Noisy inter-tick pauses *without* the longer finger-repositioning break
+still lack sweep structure.  The full HLISA cadence passes.
+"""
+
+import numpy as np
+from conftest import print_table
+
+from repro.detection.artificial import TeleportScrollDetector
+from repro.detection.deviation import MetronomeScrollDetector
+from repro.events.recorder import EventRecorder
+from repro.events.taxonomy import ALL_INTERACTION_EVENTS
+from repro.models.scroll_cadence import ScrollCadence, ScrollParams
+from repro.webdriver.driver import make_browser_driver
+
+VARIANTS = ["one-jump", "fixed-interval", "no-finger-pause", "full"]
+DISTANCE = 57.0 * 45
+
+
+def run_variant(variant):
+    driver = make_browser_driver(page_height=6000)
+    recorder = EventRecorder(ALL_INTERACTION_EVENTS).attach(driver.window)
+    clock = driver.window.clock
+    rng = np.random.default_rng(37)
+    if variant == "one-jump":
+        driver.pipeline.scroll_programmatic(0, DISTANCE)
+    elif variant == "fixed-interval":
+        for _ in range(int(DISTANCE / 57)):
+            driver.window.scroll_by(0, 57.0)
+            clock.advance(100.0)
+    else:
+        if variant == "no-finger-pause":
+            params = ScrollParams(
+                finger_pause_mean_ms=ScrollParams().tick_pause_mean_ms,
+                finger_pause_sd_ms=ScrollParams().tick_pause_sd_ms,
+            )
+        else:
+            params = ScrollParams()
+        for pause, delta in ScrollCadence(rng, params).plan(DISTANCE):
+            clock.advance(max(pause, 0.0))
+            driver.window.scroll_by(0, delta)
+    return recorder
+
+
+def run_ablation():
+    detectors = [TeleportScrollDetector(), MetronomeScrollDetector()]
+    outcome = {}
+    for variant in VARIANTS:
+        recorder = run_variant(variant)
+        outcome[variant] = [d.name for d in detectors if d.observe(recorder).is_bot]
+    return outcome
+
+
+def test_ablation_scrolling(benchmark):
+    outcome = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    lines = [f"{'variant':17s} flagged by"]
+    for variant in VARIANTS:
+        lines.append(f"{variant:17s} {', '.join(outcome[variant]) or '(nothing)'}")
+    print_table("Ablation: scroll-cadence ingredients", lines)
+
+    assert "teleport-scroll" in outcome["one-jump"]
+    assert "metronome-scroll" in outcome["fixed-interval"]
+    assert "metronome-scroll" in outcome["no-finger-pause"]
+    assert outcome["full"] == []

@@ -1,0 +1,88 @@
+"""Ablation: which ingredients of HLISA's trajectory model matter?
+
+HLISA's curve = Bézier + minimum-jerk easing + tremor.  Removing each
+ingredient reveals which detector catches the result:
+
+- remove everything       -> straight uniform line   -> level-1 prey;
+- keep curve only         -> the naive solution      -> level-2 (shape);
+- curve + easing, no jitter -> still level-2 (tremor-free);
+- full model              -> evades level 2.
+"""
+
+import numpy as np
+from conftest import print_table
+
+from repro.analysis.trajectory import trajectory_metrics
+from repro.detection.artificial import StraightLineDetector, SuperhumanSpeedDetector
+from repro.detection.deviation import TrajectoryShapeDetector, UniformSpeedDetector
+from repro.events.recorder import EventRecorder
+from repro.events.taxonomy import ALL_INTERACTION_EVENTS
+from repro.geometry import Point
+from repro.models.bezier import (
+    TrajectoryParams,
+    hlisa_path,
+    naive_bezier_path,
+    straight_line_path,
+)
+from repro.webdriver.driver import make_browser_driver
+
+VARIANTS = ["straight", "bezier-only", "bezier+easing", "full-hlisa"]
+
+
+def generate_variant(variant: str, rng: np.random.Generator):
+    """One movement recording per variant (same endpoints)."""
+    start, end = Point(80, 650), Point(1150, 180)
+    if variant == "straight":
+        return straight_line_path(start, end, duration_ms=250.0)
+    if variant == "bezier-only":
+        return naive_bezier_path(start, end, rng)
+    if variant == "bezier+easing":
+        params = TrajectoryParams(jitter_px=0.0)
+        return hlisa_path(start, end, rng, params=params)
+    return hlisa_path(start, end, rng)
+
+
+def record_variant(variant: str, movements: int = 6):
+    driver = make_browser_driver()
+    recorder = EventRecorder(ALL_INTERACTION_EVENTS).attach(driver.window)
+    rng = np.random.default_rng(13)
+    for i in range(movements):
+        path = generate_variant(variant, rng)
+        clock = driver.window.clock
+        previous = 0.0
+        # Alternate directions so each segment is a fresh movement.
+        points = path if i % 2 == 0 else [(t, Point(1230 - p.x, 830 - p.y)) for t, p in path]
+        for t, p in points:
+            clock.advance(max(t - previous, 0.0))
+            driver.pipeline.move_mouse_to(p.x, p.y)
+            previous = t
+        clock.advance(400.0)
+    return recorder
+
+
+def run_ablation():
+    detectors = [
+        SuperhumanSpeedDetector(),
+        StraightLineDetector(),
+        UniformSpeedDetector(),
+        TrajectoryShapeDetector(),
+    ]
+    outcome = {}
+    for variant in VARIANTS:
+        recorder = record_variant(variant)
+        outcome[variant] = [d.name for d in detectors if d.observe(recorder).is_bot]
+    return outcome
+
+
+def test_ablation_trajectory(benchmark):
+    outcome = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    lines = [f"{'variant':16s} flagged by"]
+    for variant in VARIANTS:
+        flagged = ", ".join(outcome[variant]) or "(nothing)"
+        lines.append(f"{variant:16s} {flagged}")
+    print_table("Ablation: trajectory-model ingredients", lines)
+
+    assert "straight-line" in outcome["straight"] or "superhuman-speed" in outcome["straight"]
+    assert "trajectory-shape" in outcome["bezier-only"] or "uniform-speed" in outcome["bezier-only"]
+    assert "trajectory-shape" in outcome["bezier+easing"]  # tremor missing
+    assert outcome["full-hlisa"] == []

@@ -1,0 +1,101 @@
+"""Ablation: typing-model ingredients (dwell noise, Alves pauses, Shift).
+
+Selenium's typing fails at level 1 (speed, dwell, modifiers).  Fixing the
+pace but keeping constant timings fails at level 2 (rhythmless); adding
+dwell/flight noise but no contextual pauses fails the pause detector on
+long texts; dropping Shift synthesis keeps failing level 1.  Only the
+full model passes.
+"""
+
+import numpy as np
+from conftest import print_table
+
+from repro.detection.artificial import (
+    InhumanTypingSpeedDetector,
+    MissingModifierDetector,
+    ZeroKeyDwellDetector,
+)
+from repro.detection.deviation import PauselessTypingDetector, RhythmlessTypingDetector
+from repro.events.recorder import EventRecorder
+from repro.events.taxonomy import ALL_INTERACTION_EVENTS
+from repro.geometry import Box
+from repro.models.typing_rhythm import TypingParams, TypingRhythm
+from repro.webdriver.driver import make_browser_driver
+
+TEXT = (
+    "Measurements must not alter the measured. Web bots, however, leave "
+    "traces. Careful models, like this one, remove them."
+)
+
+VARIANTS = ["selenium", "fixed-delay", "no-pauses", "no-shift", "full"]
+
+
+def plan_for(variant, rng):
+    if variant == "full":
+        return TypingRhythm(rng).plan(TEXT)
+    if variant == "no-pauses":
+        params = TypingParams(
+            pause_new_word_ms=0.0,
+            pause_comma_ms=0.0,
+            pause_sentence_ms=0.0,
+            pause_open_sentence_ms=0.0,
+        )
+        return TypingRhythm(rng, params).plan(TEXT)
+    if variant == "no-shift":
+        plan = TypingRhythm(rng).plan(TEXT)
+        return [(dt, kind, key) for dt, kind, key in plan if key != "Shift"]
+    plan = []
+    for char in TEXT:
+        if variant == "selenium":
+            plan.append((4.5, "down", char))
+            plan.append((0.0, "up", char))
+        else:  # fixed-delay: humanly possible pace, constant rhythm
+            plan.append((60.0, "down", char))
+            plan.append((40.0, "up", char))
+    return plan
+
+
+def record_variant(variant):
+    driver = make_browser_driver()
+    recorder = EventRecorder(ALL_INTERACTION_EVENTS).attach(driver.window)
+    area = driver.window.document.create_element("textarea", Box(10, 10, 400, 100))
+    driver.window.document.set_focus(area)
+    rng = np.random.default_rng(31)
+    for dt, kind, key in plan_for(variant, rng):
+        driver.window.clock.advance(max(dt, 0.0))
+        if kind == "down":
+            driver.pipeline.key_down(key)
+        else:
+            driver.pipeline.key_up(key)
+    return recorder
+
+
+def run_ablation():
+    detectors = [
+        InhumanTypingSpeedDetector(),
+        ZeroKeyDwellDetector(),
+        MissingModifierDetector(),
+        RhythmlessTypingDetector(),
+        PauselessTypingDetector(),
+    ]
+    outcome = {}
+    for variant in VARIANTS:
+        recorder = record_variant(variant)
+        outcome[variant] = [d.name for d in detectors if d.observe(recorder).is_bot]
+    return outcome
+
+
+def test_ablation_typing(benchmark):
+    outcome = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    lines = [f"{'variant':14s} flagged by"]
+    for variant in VARIANTS:
+        lines.append(f"{variant:14s} {', '.join(outcome[variant]) or '(nothing)'}")
+    print_table("Ablation: typing-model ingredients", lines)
+
+    assert "inhuman-typing-speed" in outcome["selenium"]
+    assert "zero-key-dwell" in outcome["selenium"]
+    assert "missing-modifiers" in outcome["selenium"]
+    assert "rhythmless-typing" in outcome["fixed-delay"]
+    assert "pauseless-typing" in outcome["no-pauses"]
+    assert "missing-modifiers" in outcome["no-shift"]
+    assert outcome["full"] == []

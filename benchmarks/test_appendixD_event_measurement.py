@@ -1,0 +1,97 @@
+"""Appendix D: measuring Selenium's interaction through the event API.
+
+Reproduced findings:
+
+- the taxonomy and its covering set (Appendix C/D);
+- keyboard event granularity of 1 ms;
+- the double-click interval: 500 ms default environment, 600 ms under
+  Selenium;
+- programmatic scrolling lacks wheel events and covers arbitrary
+  distances, while wheel scrolling moves a fixed 57 px per tick;
+- minimising fires visibilitychange after which interaction should stop.
+"""
+
+from conftest import print_table
+
+from repro.browser.input_pipeline import (
+    DEFAULT_DOUBLE_CLICK_INTERVAL_MS,
+    SELENIUM_DOUBLE_CLICK_INTERVAL_MS,
+    WHEEL_TICK_PX,
+)
+from repro.clock import VirtualClock
+from repro.events.taxonomy import (
+    ALL_INTERACTION_EVENTS,
+    COVERING_SET,
+    COVERING_SET_EVENTS,
+    DOCUMENT_EVENTS,
+    ELEMENT_EVENTS,
+    WINDOW_EVENTS,
+)
+from repro.experiment import ScrollTask, SeleniumAgent, HumanAgent
+from repro.analysis import scroll_metrics
+
+
+def measure_environment():
+    selenium_scroll = ScrollTask(page_height=5000).run(SeleniumAgent())
+    human_scroll = ScrollTask(page_height=5000).run(HumanAgent())
+    return (
+        scroll_metrics(
+            selenium_scroll.recorder.scroll_events(),
+            selenium_scroll.recorder.wheel_ticks(),
+        ),
+        scroll_metrics(
+            human_scroll.recorder.scroll_events(),
+            human_scroll.recorder.wheel_ticks(),
+        ),
+    )
+
+
+def test_appendixD_event_measurement(benchmark):
+    selenium_sm, human_sm = benchmark.pedantic(
+        measure_environment, rounds=1, iterations=1
+    )
+    lines = [
+        f"taxonomy: {len(DOCUMENT_EVENTS)} document + {len(ELEMENT_EVENTS)} element "
+        f"+ {len(WINDOW_EVENTS)} window events "
+        f"({len(ALL_INTERACTION_EVENTS)} distinct; paper prose says 57)",
+        f"covering set: {len(COVERING_SET_EVENTS)} events over "
+        f"{len(COVERING_SET)} interaction categories",
+        f"keyboard timestamp granularity: {VirtualClock.EVENT_GRANULARITY_MS} ms",
+        f"double-click interval: default {DEFAULT_DOUBLE_CLICK_INTERVAL_MS:.0f} ms, "
+        f"Selenium {SELENIUM_DOUBLE_CLICK_INTERVAL_MS:.0f} ms",
+        f"wheel tick: {WHEEL_TICK_PX:.0f} px",
+        f"Selenium scrolling: wheel events = {selenium_sm.n_wheel_events}, "
+        f"largest single scroll = {selenium_sm.max_single_scroll_px:.0f} px",
+        f"Human scrolling:    wheel events = {human_sm.n_wheel_events}, "
+        f"median step = {human_sm.median_scroll_step_px:.0f} px",
+    ]
+    print_table("Appendix D: event-API measurements", lines)
+
+    assert len(COVERING_SET) == 6
+    assert VirtualClock.EVENT_GRANULARITY_MS == 1.0
+    assert DEFAULT_DOUBLE_CLICK_INTERVAL_MS == 500.0
+    assert SELENIUM_DOUBLE_CLICK_INTERVAL_MS == 600.0
+    assert WHEEL_TICK_PX == 57.0
+    # Selenium: no wheel events, arbitrary distance in one scroll event.
+    assert selenium_sm.wheelless
+    assert selenium_sm.max_single_scroll_px > 1000
+    # Human: wheel ticks of 57 px.
+    assert human_sm.n_wheel_events > 10
+    assert human_sm.median_scroll_step_px == 57.0
+
+
+def test_visibilitychange_trap(benchmark):
+    """Minimising fires visibilitychange; further interaction is a tell."""
+    from repro.browser.window import Window
+    from repro.events.recorder import EventRecorder
+
+    def scenario():
+        window = Window()
+        recorder = EventRecorder(("visibilitychange", "blur", "focus")).attach(window)
+        window.set_visibility("hidden")
+        return recorder
+
+    recorder = benchmark(scenario)
+    types = [e.type for e in recorder.events]
+    assert "visibilitychange" in types
+    assert "blur" in types

@@ -1,0 +1,91 @@
+"""Appendix E: measuring human interaction with the recording website.
+
+Runs the paper's four recording tasks against the human subject and
+derives the quantities the paper extracted: cursor kinematics, click
+dwell and placement, scroll tick distances/pauses, and typing dwell and
+flight times -- then re-fits HLISA's model parameters from the data
+(the calibration loop the paper describes).
+"""
+
+import numpy as np
+from conftest import print_table
+
+from repro.analysis import click_metrics, scroll_metrics, typing_metrics
+from repro.analysis.trajectory import per_movement_metrics
+from repro.experiment import (
+    HumanAgent,
+    MovingClickTask,
+    PointingTask,
+    ScrollTask,
+    TypingTask,
+)
+from repro.events.recorder import flight_times
+from repro.humans.profile import HumanProfile
+from repro.models.calibration import (
+    calibrate_scroll_params,
+    calibrate_typing_params,
+)
+
+
+def run_human_measurement():
+    subject = HumanProfile(seed=2021)
+    pointing = PointingTask(repetitions=3).run(HumanAgent(subject))
+    clicking = MovingClickTask(clicks=100).run(HumanAgent(subject))
+    scrolling = ScrollTask(page_height=30000).run(HumanAgent(subject))
+    typing = TypingTask().run(HumanAgent(subject))
+    return pointing, clicking, scrolling, typing
+
+
+def test_appendixE_human_measurement(benchmark):
+    pointing, clicking, scrolling, typing = benchmark.pedantic(
+        run_human_measurement, rounds=1, iterations=1
+    )
+
+    movements = [
+        m
+        for m in per_movement_metrics(pointing.recorder.mouse_path())
+        if m.chord_length > 300
+    ]
+    clicks = clicking.recorder.clicks()
+    cm = click_metrics([c.position for c in clicks], [c.target_box for c in clicks])
+    sm = scroll_metrics(
+        scrolling.recorder.scroll_events(), scrolling.recorder.wheel_ticks()
+    )
+    strokes = typing.recorder.key_strokes()
+    tm = typing_metrics(strokes)
+    typing_params = calibrate_typing_params(strokes)
+    scroll_params = calibrate_scroll_params(scrolling.recorder)
+
+    lines = [
+        f"mouse: {len(movements)} long movements, mean speed "
+        f"{np.mean([m.mean_speed_px_s for m in movements]):.0f} px/s, "
+        f"straightness {np.mean([m.straightness for m in movements]):.3f}",
+        f"clicks (n=100): mean offset {cm.mean_radial_offset:.2f} of half-extent, "
+        f"exact-centre {cm.exact_center_rate:.1%}, dwell "
+        f"{np.mean([c.dwell_ms for c in clicks]):.0f} ms",
+        f"scroll (30k px): {sm.n_wheel_events} wheel ticks of "
+        f"{sm.median_scroll_step_px:.0f} px, median gap {sm.median_tick_gap_ms:.0f} ms, "
+        f"long-gap fraction {sm.long_gap_fraction:.2f}",
+        f"typing (100 chars): {tm.chars_per_minute:.0f} cpm, dwell "
+        f"{tm.dwell_mean_ms:.0f}±{tm.dwell_std_ms:.0f} ms, flight "
+        f"{tm.flight_mean_ms:.0f}±{tm.flight_std_ms:.0f} ms, rollover x{tm.rollover_count}",
+        "",
+        f"re-fitted HLISA params: key dwell {typing_params.dwell_mean_ms:.0f} ms, "
+        f"flight {typing_params.flight_mean_ms:.0f} ms, wheel tick "
+        f"{scroll_params.wheel_tick_px:.0f} px",
+    ]
+    print_table("Appendix E: human interaction measurements", lines)
+
+    # The paper's qualitative claims about the human data.
+    assert all(not m.is_straight or m.chord_length < 400 for m in movements)
+    assert cm.exact_center_rate < 0.05  # "hardly ever in the centre"
+    assert sm.median_scroll_step_px == 57.0  # fixed wheel tick
+    assert sm.has_sweep_structure
+    assert 100 < tm.chars_per_minute < 900
+    assert tm.shifted_without_modifier == 0
+    # The 30K px page was fully traversed via the wheel (scrollable
+    # range = page height minus the viewport).
+    assert sm.n_wheel_events >= (30000 - 768) / 57 - 2
+    # Calibration recovered the generator's magnitudes.
+    assert 60 <= typing_params.dwell_mean_ms <= 140
+    assert scroll_params.wheel_tick_px == 57.0

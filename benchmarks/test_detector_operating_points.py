@@ -1,0 +1,38 @@
+"""Detector operating points: who catches whom, at what rate.
+
+The quantitative backbone behind Fig. 3's qualitative ladder: every
+detector's per-agent detection rate over repeated seeded sessions, with
+the human false-positive rate as the hard constraint (Section 4.2:
+"detectors must not be too strict or risk barring human visitors
+entry").
+"""
+
+from conftest import print_table
+
+from repro.analysis.detector_eval import evaluate_operating_points
+from repro.detection.base import DetectionLevel
+
+
+def test_detector_operating_points(benchmark):
+    points = benchmark.pedantic(
+        lambda: evaluate_operating_points(
+            DetectionLevel.CONSISTENCY, runs_per_agent=5
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    lines = points.format_table().splitlines()
+    lines.append("")
+    lines.append(
+        f"human false-positive rate over {points.runs_per_agent} sessions: "
+        f"{points.false_positive_rate():.0%}"
+    )
+    print_table("Detector operating points (5 sessions per agent)", lines)
+
+    assert points.false_positive_rate() == 0.0
+    assert points.detection_rate("selenium") == 1.0
+    assert points.detection_rate("naive") == 1.0
+    assert points.detection_rate("hlisa") == 1.0  # by the consistency pair
+    # HLISA's detection rests *solely* on consistency tracking.
+    hlisa_hitters = {n for n, r in points.rates["hlisa"].items() if r > 0}
+    assert hlisa_hitters <= {"distance-speed-coupling", "speed-accuracy-coupling"}

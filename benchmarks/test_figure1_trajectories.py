@@ -1,0 +1,77 @@
+"""Fig. 1: cursor trajectories of (A) Selenium, (B) human, (C) the naive
+Bézier, (D) HLISA.
+
+The paper shows the four paths visually; we quantify the qualitative
+contrasts that make the figure legible:
+
+- A is perfectly straight and uniform-speed;
+- C is curved but smooth (no tremor) and uniform-speed;
+- B and D are curved, carry tremor, and accelerate/decelerate.
+"""
+
+import numpy as np
+from conftest import print_table
+
+from repro.analysis.trajectory import per_movement_metrics
+from repro.experiment import PointingTask, STANDARD_AGENTS
+
+ORDER = [("selenium", "A"), ("human", "B"), ("naive", "C"), ("hlisa", "D")]
+
+
+def run_pointing_experiment():
+    summary = {}
+    for name, factory in STANDARD_AGENTS.items():
+        result = PointingTask(repetitions=3).run(factory())
+        movements = [
+            m
+            for m in per_movement_metrics(result.recorder.mouse_path())
+            if m.chord_length > 300
+        ]
+        summary[name] = {
+            "straightness": float(np.mean([m.straightness for m in movements])),
+            "speed_cv": float(np.mean([m.speed_cv for m in movements])),
+            "edge_mid": float(
+                np.mean([m.edge_to_middle_speed_ratio for m in movements])
+            ),
+            "jitter": float(np.mean([m.jitter_rms_px for m in movements])),
+            "speed": float(np.mean([m.mean_speed_px_s for m in movements])),
+        }
+    return summary
+
+
+def test_figure1_trajectories(benchmark):
+    summary = benchmark.pedantic(run_pointing_experiment, rounds=1, iterations=1)
+    lines = [
+        f"{'panel':5s} {'agent':10s} {'straight':>9s} {'speedCV':>8s} "
+        f"{'edge/mid':>9s} {'jitter':>7s} {'px/s':>6s}"
+    ]
+    for name, panel in ORDER:
+        s = summary[name]
+        lines.append(
+            f"{panel:5s} {name:10s} {s['straightness']:9.4f} {s['speed_cv']:8.2f} "
+            f"{s['edge_mid']:9.2f} {s['jitter']:7.2f} {s['speed']:6.0f}"
+        )
+    print_table("Figure 1: trajectory signatures", lines)
+
+    sel, hum, nai, hli = (summary[n] for n in ("selenium", "human", "naive", "hlisa"))
+    # (A) Selenium: straight line at uniform speed, superhuman pace.
+    assert sel["straightness"] > 0.999
+    assert sel["speed_cv"] < 0.1
+    assert sel["speed"] > 3000
+    # (C) naive: curved but "still very artificial" -- smooth & uniform.
+    assert nai["straightness"] < 0.999
+    assert nai["jitter"] < 0.55
+    assert nai["edge_mid"] > 0.85
+    # (B)/(D): curved, jittery, accelerating/decelerating.
+    for s in (hum, hli):
+        assert s["straightness"] < 0.999
+        assert s["jitter"] > 0.55
+        assert s["edge_mid"] < 0.6
+        assert s["speed_cv"] > 0.3
+        assert s["speed"] < 3000
+    # HLISA resembles the human far more than Selenium does.
+    def distance(a, b):
+        keys = ("straightness", "speed_cv", "edge_mid")
+        return sum(abs(a[k] - b[k]) for k in keys)
+
+    assert distance(hli, hum) < distance(sel, hum) / 3

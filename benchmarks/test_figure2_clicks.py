@@ -1,0 +1,57 @@
+"""Fig. 2: click distributions of Selenium, human, naive, HLISA.
+
+The paper plots 100 clicks on a relocating element.  Quantified contrasts:
+
+- Selenium: 100 % exactly on the centre;
+- naive uniform: spread over the whole element including the corners
+  ("places humans never reach");
+- human & HLISA: Gaussian cloud around (but hardly ever exactly at) the
+  centre, empty corners.
+"""
+
+from conftest import print_table
+
+from repro.analysis import click_metrics
+from repro.experiment import MovingClickTask, STANDARD_AGENTS
+
+
+def run_click_experiment(clicks=100):
+    summary = {}
+    for name, factory in STANDARD_AGENTS.items():
+        result = MovingClickTask(clicks=clicks).run(factory())
+        records = result.recorder.clicks()
+        summary[name] = click_metrics(
+            [c.position for c in records], [c.target_box for c in records]
+        )
+    return summary
+
+
+def test_figure2_click_distributions(benchmark):
+    summary = benchmark.pedantic(run_click_experiment, rounds=1, iterations=1)
+    lines = [
+        f"{'agent':10s} {'n':>4s} {'exact-centre':>13s} {'mean offset':>12s} "
+        f"{'corner rate':>12s} {'outside':>8s}"
+    ]
+    for name in ("selenium", "human", "naive", "hlisa"):
+        m = summary[name]
+        lines.append(
+            f"{name:10s} {m.n:4d} {m.exact_center_rate:13.2%} "
+            f"{m.mean_radial_offset:12.3f} {m.corner_rate:12.2%} "
+            f"{m.outside_rate:8.2%}"
+        )
+    print_table("Figure 2: click distributions", lines)
+
+    # Top-left panel: Selenium clicks perfectly in the centre.
+    assert summary["selenium"].exact_center_rate > 0.95
+    # Bottom-left: uniform randomisation reaches the corners.
+    assert summary["naive"].corner_rate > 0.02
+    # Top-right / bottom-right: distributed but hardly ever the centre,
+    # and never in the far corners.
+    for name in ("human", "hlisa"):
+        m = summary[name]
+        assert m.exact_center_rate < 0.1
+        assert m.corner_rate == 0.0
+        assert 0.1 < m.mean_radial_offset < 0.9
+    # Nobody clicks outside the element.
+    for name, m in summary.items():
+        assert m.outside_rate == 0.0, name

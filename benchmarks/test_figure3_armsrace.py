@@ -1,0 +1,33 @@
+"""Fig. 3: the arms-race model, validated as a detection matrix.
+
+The paper's conceptual ladder predicts a lower-triangular matrix:
+detector level d catches exactly the simulator levels below d, the
+genuine human is never flagged, and HLISA (simulator level 2) falls to
+consistency tracking -- "consistently defeating HLISA requires tracking
+consistency of behaviour".
+"""
+
+from conftest import print_table
+
+from repro.armsrace import Tournament
+from repro.armsrace.levels import SimulatorLevel
+from repro.detection.base import DetectionLevel
+
+
+def test_figure3_arms_race_matrix(benchmark):
+    result = benchmark.pedantic(lambda: Tournament().run(), rounds=1, iterations=1)
+    lines = result.format_matrix().splitlines()
+    lines.append("")
+    lines.append("model prediction: strict lower triangle; human row empty")
+    hlisa_evidence = result.evidence[
+        (SimulatorLevel.HUMAN_DISTRIBUTION, DetectionLevel.CONSISTENCY)
+    ]
+    lines.append(f"what catches HLISA at level 3: {', '.join(hlisa_evidence)}")
+    print_table("Figure 3: arms-race detection matrix", lines)
+
+    assert result.matches_model(), result.mismatches()
+    # The specific sentence of the paper, as data:
+    hlisa_row = result.matrix[SimulatorLevel.HUMAN_DISTRIBUTION]
+    assert not hlisa_row[DetectionLevel.ARTIFICIAL]
+    assert not hlisa_row[DetectionLevel.DEVIATION]
+    assert hlisa_row[DetectionLevel.CONSISTENCY]

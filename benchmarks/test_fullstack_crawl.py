@@ -1,0 +1,89 @@
+"""The full stack: fingerprint spoofing x interaction humanisation.
+
+The paper's two contributions address two different detection layers; a
+measurement study needs both.  This bench crawls a mixed population --
+sites checking fingerprints, sites watching interaction, sites doing
+both -- with the four crawler configurations, and reports the fraction
+of sites that serve the crawler differently than they would a human.
+"""
+
+import numpy as np
+from conftest import print_table
+
+from repro.browser.navigator import NavigatorProfile
+from repro.browser.window import Window
+from repro.crawl.behavioral import BehavioralSite
+from repro.detection.base import DetectionLevel
+from repro.detection.fingerprint import probe_webdriver_flag, run_all_probes
+from repro.experiment import BrowsingScenario, HLISAAgent, SeleniumAgent
+from repro.spoofing import SpoofingExtension
+
+N_FINGERPRINT_SITES = 6
+N_BEHAVIORAL_SITES = 6
+N_BOTH_SITES = 4
+
+
+def build_population():
+    population = []
+    for i in range(N_FINGERPRINT_SITES):
+        population.append(("fingerprint", None))
+    levels = [DetectionLevel.ARTIFICIAL, DetectionLevel.DEVIATION]
+    for i in range(N_BEHAVIORAL_SITES):
+        population.append(
+            ("behavioral", BehavioralSite(f"b{i}.example", levels[i % 2]))
+        )
+    for i in range(N_BOTH_SITES):
+        population.append(("both", BehavioralSite(f"x{i}.example", levels[i % 2])))
+    return population
+
+
+def crawl(population, spoofed: bool, humanised: bool):
+    """Visit every site once; return the fraction that detected the bot."""
+    # One interaction recording per configuration (the crawler interacts
+    # the same way everywhere); fingerprints are probed per "visit".
+    agent = HLISAAgent(seed=11) if humanised else SeleniumAgent()
+    recorder = BrowsingScenario(clicks=30).run(agent).recorder
+
+    detected = 0
+    for kind, behavioral in population:
+        window = Window(profile=NavigatorProfile(webdriver=True))
+        if spoofed:
+            SpoofingExtension().inject(window)
+        fingerprint_hit = probe_webdriver_flag(window) is True
+        behavioral_hit = behavioral.judges(recorder) if behavioral else False
+        if kind == "fingerprint":
+            detected += fingerprint_hit
+        elif kind == "behavioral":
+            detected += behavioral_hit
+        else:  # both: either check suffices
+            detected += fingerprint_hit or behavioral_hit
+    return detected / len(population)
+
+
+def test_fullstack_crawl(benchmark):
+    def run_matrix():
+        population = build_population()
+        return {
+            "bare Selenium": crawl(population, False, False),
+            "+ spoofing": crawl(population, True, False),
+            "+ HLISA": crawl(population, False, True),
+            "+ both": crawl(population, True, True),
+        }
+
+    rates = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+    lines = [f"{'crawler configuration':22s} {'sites detecting it':>19s}"]
+    for config, rate in rates.items():
+        lines.append(f"{config:22s} {rate:>18.0%}")
+    lines.append("")
+    lines.append(
+        f"population: {N_FINGERPRINT_SITES} fingerprint-checking, "
+        f"{N_BEHAVIORAL_SITES} interaction-watching, {N_BOTH_SITES} both"
+    )
+    print_table("Full-stack crawl: both defences are needed", lines)
+
+    assert rates["bare Selenium"] == 1.0
+    # Each single fix only clears its own layer.
+    assert 0.0 < rates["+ spoofing"] < rates["bare Selenium"]
+    assert 0.0 < rates["+ HLISA"] < rates["bare Selenium"]
+    # Both together clear everything.
+    assert rates["+ both"] == 0.0

@@ -1,0 +1,54 @@
+"""Future work made concrete: a crawl against behavioural detectors.
+
+Section 5: "A practical evaluation would be desirable, but such
+necessitates detectors."  With the arms-race batteries as the missing
+detectors, the blocked-visit rate per interaction style quantifies the
+paper's claim that "HLISA significantly raises the bar": Selenium is
+blocked everywhere, the naive improvements fall at level-2 sites, HLISA
+only at level-3 (consistency-tracking) sites.
+"""
+
+from conftest import print_table
+
+from repro.crawl.behavioral import make_behavioral_population, run_behavioral_crawl
+from repro.detection.base import DetectionLevel
+from repro.experiment.agents import HLISAAgent, NaiveAgent, SeleniumAgent
+from repro.armsrace.simulators import ConsistentSimulatorAgent
+
+
+def run_study():
+    agents = {
+        "selenium": SeleniumAgent(),
+        "naive": NaiveAgent(),
+        "hlisa": HLISAAgent(),
+        "consistent-sim": ConsistentSimulatorAgent(),
+    }
+    population = make_behavioral_population(sites_per_level=2)
+    return run_behavioral_crawl(agents, population, visits_per_site=2)
+
+
+def test_futurework_behavioral_crawl(benchmark):
+    result = benchmark.pedantic(run_study, rounds=1, iterations=1)
+    lines = result.format_table().splitlines()
+    lines.append("")
+    lines.append("cells = fraction of visits blocked by sites at that level")
+    print_table("Future work: crawl vs behavioural detectors", lines)
+
+    L1, L2, L3 = (
+        DetectionLevel.ARTIFICIAL,
+        DetectionLevel.DEVIATION,
+        DetectionLevel.CONSISTENCY,
+    )
+    # Selenium: blocked everywhere.
+    assert result.blocked_rate("selenium", L1) == 1.0
+    assert result.blocked_rate("selenium", L3) == 1.0
+    # Naive: survives level-1 sites, falls at level 2.
+    assert result.blocked_rate("naive", L1) == 0.0
+    assert result.blocked_rate("naive", L2) == 1.0
+    # HLISA: survives levels 1-2, falls only to consistency tracking.
+    assert result.blocked_rate("hlisa", L1) == 0.0
+    assert result.blocked_rate("hlisa", L2) == 0.0
+    assert result.blocked_rate("hlisa", L3) == 1.0
+    # The consistency-complete simulator survives everything fielded.
+    for level in (L1, L2, L3):
+        assert result.blocked_rate("consistent-sim", level) == 0.0

@@ -1,0 +1,112 @@
+"""Performance: what does humanisation cost?
+
+HLISA trades speed for stealth -- the paper's implicit bargain.  These
+benchmarks measure both sides on the same operation:
+
+- wall-clock *planning* overhead (real CPU time to compute humanised
+  trajectories, typing plans, scroll cadences) -- HLISA's true runtime
+  cost, since simulated-world delays are free;
+- simulated *interaction time* (how much longer a human-like session
+  takes in browser time) -- the crawl-throughput cost a measurement
+  study pays.
+"""
+
+import numpy as np
+from conftest import print_table
+
+from repro.core.hlisa_action_chains import HLISA_ActionChains
+from repro.geometry import Point
+from repro.models.bezier import hlisa_path
+from repro.models.scroll_cadence import ScrollCadence
+from repro.models.typing_rhythm import TypingRhythm
+from repro.webdriver.action_chains import ActionChains
+from repro.webdriver.driver import make_browser_driver
+
+
+def test_perf_trajectory_planning(benchmark):
+    rng = np.random.default_rng(1)
+    result = benchmark(
+        lambda: hlisa_path(Point(10, 10), Point(1200, 650), rng)
+    )
+    assert len(result) > 5
+
+
+def test_perf_typing_plan(benchmark):
+    rng = np.random.default_rng(2)
+    rhythm = TypingRhythm(rng)
+    text = "The quick brown fox jumps over the lazy dog." * 2
+    plan = benchmark(lambda: rhythm.plan(text))
+    assert len(plan) >= 2 * len(text)
+
+
+def test_perf_scroll_plan(benchmark):
+    rng = np.random.default_rng(3)
+    cadence = ScrollCadence(rng)
+    plan = benchmark(lambda: cadence.plan(5000.0))
+    assert len(plan) > 50
+
+
+def test_perf_full_click_selenium(benchmark):
+    def selenium_click():
+        driver = make_browser_driver()
+        ActionChains(driver).click(driver.find_element_by_id("submit")).perform()
+        return driver
+
+    driver = benchmark(selenium_click)
+    assert driver.window.clock.now() > 0
+
+
+def test_perf_full_click_hlisa(benchmark):
+    def hlisa_click():
+        driver = make_browser_driver()
+        chain = HLISA_ActionChains(driver, seed=1)
+        chain.click(driver.find_element_by_id("submit"))
+        chain.perform()
+        return driver
+
+    driver = benchmark(hlisa_click)
+    assert driver.window.clock.now() > 0
+
+
+def test_simulated_time_cost(benchmark):
+    """Browser-time cost of humanisation (the crawl-throughput price)."""
+
+    def measure():
+        costs = {}
+        driver = make_browser_driver()
+        start = driver.window.clock.now()
+        ActionChains(driver).click(driver.find_element_by_id("submit")).perform()
+        costs["selenium_click_ms"] = driver.window.clock.now() - start
+
+        driver = make_browser_driver()
+        chain = HLISA_ActionChains(driver, seed=1)
+        start = driver.window.clock.now()
+        chain.click(driver.find_element_by_id("submit"))
+        chain.perform()
+        costs["hlisa_click_ms"] = driver.window.clock.now() - start
+
+        driver = make_browser_driver()
+        area = driver.find_element_by_id("text_area")
+        start = driver.window.clock.now()
+        area.send_keys("measurement text, one line.")
+        costs["selenium_typing_ms"] = driver.window.clock.now() - start
+
+        driver = make_browser_driver()
+        area = driver.find_element_by_id("text_area")
+        chain = HLISA_ActionChains(driver, seed=1)
+        start = driver.window.clock.now()
+        chain.send_keys_to_element(area, "measurement text, one line.")
+        chain.perform()
+        costs["hlisa_typing_ms"] = driver.window.clock.now() - start
+        return costs
+
+    costs = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = [f"{name:22s} {value:9.0f} ms (simulated)" for name, value in costs.items()]
+    lines.append("")
+    lines.append(
+        f"humanisation slows a click ~{costs['hlisa_click_ms'] / max(costs['selenium_click_ms'], 1):.0f}x "
+        f"and typing ~{costs['hlisa_typing_ms'] / max(costs['selenium_typing_ms'], 1):.0f}x in browser time"
+    )
+    print_table("Simulated-time cost of human-likeness", lines)
+    assert costs["hlisa_click_ms"] > costs["selenium_click_ms"]
+    assert costs["hlisa_typing_ms"] > 10 * costs["selenium_typing_ms"]

@@ -1,0 +1,34 @@
+"""Robustness: the Fig. 3 matrix holds for every simulated subject.
+
+The paper's Appendix F cautions that its human data came from a few
+similar subjects.  Here the whole arms-race tournament re-runs with each
+subject of the pool (different Fitts slopes, tremor, click scatter,
+typing rhythm) -- the matrix must stay the model's lower triangle and no
+subject may ever be flagged.
+"""
+
+from conftest import print_table
+
+from repro.armsrace import Tournament
+from repro.humans.profile import SUBJECT_POOL
+
+
+def run_all_subjects():
+    outcomes = {}
+    for name, profile in SUBJECT_POOL.items():
+        result = Tournament(subject=profile).run()
+        outcomes[name] = result
+    return outcomes
+
+
+def test_tournament_robust_across_subjects(benchmark):
+    outcomes = benchmark.pedantic(run_all_subjects, rounds=1, iterations=1)
+    lines = []
+    for name, result in outcomes.items():
+        status = "matches model" if result.matches_model() else "DEVIATES"
+        lines.append(f"{name:12s} {status}")
+        for mismatch in result.mismatches():
+            lines.append(f"             ! {mismatch}")
+    print_table("Arms-race matrix across the subject pool", lines)
+    for name, result in outcomes.items():
+        assert result.matches_model(), (name, result.mismatches())

@@ -1,0 +1,67 @@
+"""Table 1: detectable side effects by spoofing method.
+
+Paper's table (x = side effect present):
+
+    Side effect                              1  2  3  4
+    Incorrect order of navigator properties  x  x  .  .
+    Modified navigator._length               x  x  .  .
+    New Object.keys(navigator)               x  x  .  .
+    Defined navigator.__proto__.webdriver    .  .  x  .
+    Unnamed window.navigator functions       .  .  .  x
+"""
+
+from conftest import print_table
+
+from repro.browser.navigator import NavigatorProfile
+from repro.browser.window import Window
+from repro.detection.fingerprint import SideEffect, run_all_probes
+from repro.spoofing import SpoofingMethod, apply_spoofing
+
+ROWS = [
+    ("Incorrect order of navigator properties", SideEffect.INCORRECT_PROPERTY_ORDER),
+    ("Modified navigator._length", SideEffect.MODIFIED_LENGTH),
+    ("New Object.keys(navigator)", SideEffect.NEW_OBJECT_KEYS),
+    ("Defined navigator.__proto__.webdriver", SideEffect.PROTO_WEBDRIVER_DEFINED),
+    ("Unnamed window.navigator functions", SideEffect.UNNAMED_FUNCTIONS),
+]
+
+PAPER = {
+    SideEffect.INCORRECT_PROPERTY_ORDER: (1, 2),
+    SideEffect.MODIFIED_LENGTH: (1, 2),
+    SideEffect.NEW_OBJECT_KEYS: (1, 2),
+    SideEffect.PROTO_WEBDRIVER_DEFINED: (3,),
+    SideEffect.UNNAMED_FUNCTIONS: (4,),
+}
+
+
+def run_table1():
+    """Apply each method to a fresh automated browser; probe side
+    effects."""
+    observed = {}
+    for method in SpoofingMethod:
+        window = Window(profile=NavigatorProfile(webdriver=True))
+        apply_spoofing(window, method)
+        result = run_all_probes(window)
+        assert result.webdriver_value is False  # spoof effective
+        observed[method.value] = result.side_effects
+    return observed
+
+
+def test_table1_side_effects(benchmark):
+    observed = benchmark(run_table1)
+    lines = [f"{'Side effect':42s}  1  2  3  4   (paper)"]
+    matches_paper = True
+    for label, effect in ROWS:
+        cells = "  ".join(
+            "x" if effect in observed[m] else "." for m in (1, 2, 3, 4)
+        )
+        paper_cells = "  ".join(
+            "x" if m in PAPER[effect] else "." for m in (1, 2, 3, 4)
+        )
+        if cells != paper_cells:
+            matches_paper = False
+        lines.append(f"{label:42s}  {cells}   ({paper_cells})")
+    print_table("Table 1: spoofing side effects (measured vs paper)", lines)
+    assert matches_paper, "side-effect matrix deviates from Table 1"
+    # Section 3.1's summary claims:
+    assert all(observed[m] for m in (1, 2, 3, 4)), "no method is side-effect free"

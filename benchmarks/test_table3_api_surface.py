@@ -1,0 +1,94 @@
+"""Table 3: the HLISA API surface.
+
+The table enumerates every call HLISA offers.  The benchmark constructs a
+chain, verifies each function exists with the documented arguments, and
+executes the full API end-to-end against a live page.
+"""
+
+import inspect
+
+from conftest import print_table
+
+from repro.core.hlisa_action_chains import HLISA_ActionChains
+from repro.webdriver.driver import make_browser_driver
+
+#: (function, required argument names, description) -- Table 3 verbatim.
+TABLE3 = [
+    ("perform", [], "Executes actions in a chain"),
+    ("reset_actions", [], "Removes all actions from the current chain"),
+    ("pause", ["duration"], "Pauses the execution of the action chain (in sec)"),
+    ("move_to", ["x", "y"], "Moves the cursor from the current position to a given position"),
+    ("move_by_offset", ["x", "y"], "Moves the cursor relative to the current position"),
+    ("move_to_element", ["element"], "Moves the cursor to a position within an element's boundaries"),
+    ("move_to_element_with_offset", ["element", "x", "y"], "Moves the cursor relative to an element's top-left corner"),
+    ("move_to_element_outside_viewport", ["element"], "Scrolls element into the viewport before using move_to_element"),
+    ("click", ["element"], "Clicks. If element is provided, first performs move_to_element"),
+    ("click_and_hold", ["element"], "Same as click without release action"),
+    ("release", ["element"], "Same as click without press action"),
+    ("double_click", ["element"], "Same as click with an additional click shortly after the first"),
+    ("send_keys", ["keys"], "Executes a human typing rhythm for the given keys"),
+    ("send_keys_to_element", ["element", "keys"], "Selects the element, then executes the send_keys function"),
+    ("scroll_by", ["x", "y"], "Scrolls the viewport till a distance is taken"),
+    ("scroll_to", ["x", "y"], "Scrolls until the specified position is in the top left corner"),
+    ("context_click", ["element"], "Same as click using a right mouse button"),
+    ("drag_and_drop", ["element1", "element2"], "Press left button over element1, move to element2, release"),
+    ("drag_and_drop_by_offset", ["element", "x", "y"], "Press on element, move to target offset, release"),
+]
+
+
+def check_api_surface():
+    driver = make_browser_driver(page_height=4000)
+    chain = HLISA_ActionChains(driver, seed=1)
+    results = []
+    for name, args, _ in TABLE3:
+        method = getattr(chain, name, None)
+        present = method is not None
+        signature_ok = present and all(
+            arg in inspect.signature(method).parameters for arg in args
+        )
+        results.append((name, present, signature_ok))
+    return results
+
+
+def exercise_full_api():
+    """Run (nearly) every Table 3 call against a live page."""
+    driver = make_browser_driver(page_height=4000)
+    element = driver.find_element_by_id("submit")
+    other = driver.find_element_by_id("cancel")
+    area = driver.find_element_by_id("text_area")
+    chain = HLISA_ActionChains(driver, seed=7)
+    chain.move_to(300, 300)
+    chain.move_by_offset(40, 10)
+    chain.move_to_element(element)
+    chain.move_to_element_with_offset(element, 12, 8)
+    chain.pause(0.05)
+    chain.click(element)
+    chain.double_click(element)
+    chain.context_click(element)
+    chain.click_and_hold(element)
+    chain.release()
+    chain.drag_and_drop(element, other)
+    chain.drag_and_drop_by_offset(element, 25, 5)
+    chain.send_keys_to_element(area, "All of Table 3.")
+    chain.scroll_by(0, 800)
+    chain.scroll_to(0, 100)
+    chain.perform()
+    return driver
+
+
+def test_table3_api_surface(benchmark):
+    results = benchmark(check_api_surface)
+    lines = [f"{'API function':36s} present  signature"]
+    for name, present, signature_ok in results:
+        lines.append(
+            f"{name:36s} {'yes' if present else 'NO':>7s}  "
+            f"{'ok' if signature_ok else 'BAD':>9s}"
+        )
+    print_table("Table 3: HLISA API surface", lines)
+    assert all(present and sig for _, present, sig in results)
+
+
+def test_table3_full_api_executes(benchmark):
+    driver = benchmark.pedantic(exercise_full_api, rounds=1, iterations=1)
+    area = driver.find_element_by_id("text_area")
+    assert area.get_attribute("value") == "All of Table 3."

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""The Appendix E workflow: record a human, fit HLISA's parameters.
+
+The paper parametrises HLISA's models "with values found in our
+experiment".  This script runs the recording website's tasks against a
+human subject, fits the click/typing/scroll model parameters from the
+recordings, and verifies that HLISA driven by the fitted parameters
+reproduces the subject's observable rhythm.
+"""
+
+from repro.analysis import typing_metrics
+from repro.experiment import (
+    HLISAAgent,
+    HumanAgent,
+    MovingClickTask,
+    ScrollTask,
+    TypingTask,
+)
+from repro.humans.profile import SUBJECT_POOL
+from repro.models.calibration import (
+    calibrate_click_params,
+    calibrate_scroll_params,
+    calibrate_typing_params,
+)
+from repro.models.typing_rhythm import TypingRhythm
+
+
+def main() -> None:
+    subject = SUBJECT_POOL["subject-b"]
+    print(f"recording subject: {subject.name}")
+
+    clicking = MovingClickTask(clicks=100).run(HumanAgent(subject))
+    typing = TypingTask().run(HumanAgent(subject))
+    scrolling = ScrollTask(page_height=30000).run(HumanAgent(subject))
+
+    click_params = calibrate_click_params(clicking.recorder.clicks())
+    typing_params = calibrate_typing_params(typing.recorder.key_strokes())
+    scroll_params = calibrate_scroll_params(scrolling.recorder)
+
+    print("\nfitted HLISA parameters:")
+    print(
+        f"  clicks: sigma {click_params.sigma_frac:.2f} of half-extent, "
+        f"dwell {click_params.dwell_mean_ms:.0f}±{click_params.dwell_sd_ms:.0f} ms"
+    )
+    print(
+        f"  typing: dwell {typing_params.dwell_mean_ms:.0f}±"
+        f"{typing_params.dwell_sd_ms:.0f} ms, flight "
+        f"{typing_params.flight_mean_ms:.0f}±{typing_params.flight_sd_ms:.0f} ms"
+    )
+    print(
+        f"  scroll: tick {scroll_params.wheel_tick_px:.0f} px, pause "
+        f"{scroll_params.tick_pause_mean_ms:.0f} ms, finger break "
+        f"{scroll_params.finger_pause_mean_ms:.0f} ms every "
+        f"~{scroll_params.ticks_per_sweep_mean:.0f} ticks"
+    )
+
+    # Drive HLISA with the fitted typing parameters and compare.
+    agent = HLISAAgent(seed=17)
+    original_factory = agent._chain_for
+
+    def chain_with_fitted_params(session):
+        chain = original_factory(session)
+        chain._typing = TypingRhythm(chain._rng, typing_params)
+        return chain
+
+    agent._chain_for = chain_with_fitted_params
+    replay = TypingTask().run(agent)
+
+    human_m = typing_metrics(typing.recorder.key_strokes())
+    hlisa_m = typing_metrics(replay.recorder.key_strokes())
+    print("\nsubject vs calibrated HLISA (typing):")
+    print(f"  {'':14s} {'human':>9s} {'HLISA':>9s}")
+    print(f"  {'cpm':14s} {human_m.chars_per_minute:9.0f} {hlisa_m.chars_per_minute:9.0f}")
+    print(f"  {'dwell (ms)':14s} {human_m.dwell_mean_ms:9.0f} {hlisa_m.dwell_mean_ms:9.0f}")
+    print(f"  {'flight (ms)':14s} {human_m.flight_mean_ms:9.0f} {hlisa_m.flight_mean_ms:9.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Appendix F in practice: experiment-level humanisation.
+
+The paper deliberately keeps some behaviours *out* of HLISA because they
+could interfere with a study's purpose: warming the cursor off (0,0),
+spontaneous movements, misclicks, typing errors.  This script shows a
+study that layers them on top of HLISA -- and what each one changes in
+the recorded interaction.
+"""
+
+import numpy as np
+
+from repro.behaviors import (
+    OriginStartDetector,
+    SpontaneousMovements,
+    TypoGenerator,
+    misclick_then_correct,
+    warm_up_cursor,
+)
+from repro.core.hlisa_action_chains import HLISA_ActionChains
+from repro.events.recorder import EventRecorder
+from repro.events.taxonomy import ALL_INTERACTION_EVENTS
+from repro.webdriver.driver import make_browser_driver
+
+
+def main() -> None:
+    rng = np.random.default_rng(2021)
+    driver = make_browser_driver()
+
+    # 1. Warm-up BEFORE the page can observe anything (Appendix F).
+    target = warm_up_cursor(driver, rng)
+    print(f"warm-up moved the cursor to ({target.x:.0f}, {target.y:.0f})")
+
+    recorder = EventRecorder(ALL_INTERACTION_EVENTS).attach(driver.window)
+    chain = HLISA_ActionChains(driver, seed=7)
+
+    # 2. Ordinary HLISA interaction, interleaved with idle wandering.
+    wander = SpontaneousMovements(driver, probability=1.0, seed=3)
+    chain.click(driver.find_element_by_id("home_link"))
+    chain.perform()
+    wander.maybe_wander()
+
+    # 3. A misclick next to the button, then the real click.
+    misclick_then_correct(driver, driver.find_element_by_id("submit"), rng)
+    print(f"clicks so far (incl. one miss): {len(recorder.clicks())}")
+
+    # 4. Typing with errors and corrections.
+    typos = TypoGenerator(error_rate=0.08, seed=5)
+    text = "please remember to correct the typos in this sentence"
+    sequence = typos.keystrokes(text)
+    corrections = typos.error_count(sequence)
+    area = driver.find_element_by_id("text_area")
+    chain.click(area)
+    from repro.webdriver.keys import Keys
+
+    wire = "".join(Keys.BACKSPACE if t == "Backspace" else t for t in sequence)
+    chain.send_keys(wire)
+    chain.perform()
+    print(f"typed with {corrections} correction(s); final value matches:",
+          area.get_attribute("value") == text)
+
+    # 5. The origin detector would have caught a session without warm-up.
+    verdict = OriginStartDetector().observe(recorder)
+    print("origin-start detector verdict:", "BOT" if verdict.is_bot else "pass")
+
+
+if __name__ == "__main__":
+    main()

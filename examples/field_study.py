@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Reproduce the Section 3.2 field study: Table 2 and Fig. 4.
+
+Crawls the synthetic 1,000-site population twice -- stock OpenWPM and
+OpenWPM with the webdriver-spoofing extension -- then prints the
+screenshot evaluation, the breakage report, and the HTTP status-code
+comparison with the Wilcoxon significance test.
+
+Usage: python examples/field_study.py [n_sites]
+"""
+
+import sys
+
+from repro.crawl import (
+    OpenWPMCrawler,
+    PopulationConfig,
+    evaluate_breakage,
+    evaluate_http_errors,
+    evaluate_screenshots,
+    generate_population,
+)
+from repro.spoofing import SpoofingExtension
+
+
+def main(n_sites: int = 1000) -> None:
+    if n_sites == 1000:
+        population = generate_population()
+    else:
+        scale = n_sites / 1000.0
+        population = generate_population(
+            PopulationConfig(
+                n_sites=n_sites,
+                n_no_ads_detectors=max(1, round(4 * scale)),
+                n_less_ads_detectors=max(1, round(2 * scale)),
+                n_block_detectors=max(1, round(5 * scale)),
+                n_captcha_detectors=max(1, round(3 * scale)),
+                n_freeze_video_detectors=1,
+                n_other_signal_ad_detectors=1,
+                n_side_effect_blockers=1,
+                n_http_only_detectors=max(2, round(25 * scale)),
+            )
+        )
+    print(f"crawling {len(population)} sites x 8 instances, twice ...")
+    baseline = OpenWPMCrawler("OpenWPM", extension=None, instances=8, seed=11).crawl(
+        population
+    )
+    extended = OpenWPMCrawler(
+        "OpenWPM+extension", extension=SpoofingExtension(), instances=8, seed=22
+    ).crawl(population)
+
+    base_eval = evaluate_screenshots(baseline)
+    ext_eval = evaluate_screenshots(extended)
+    print("\nTable 2: results from the screenshot evaluation")
+    print(f"{'Response':26s} {'(1)sites':>9s} {'(2)sites':>9s} {'(1)visits':>10s} {'(2)visits':>10s}")
+    for (label, s1, v1), (_, s2, v2) in zip(base_eval.rows(), ext_eval.rows()):
+        print(f"{label:26s} {s1:9d} {s2:9d} {v1:10d} {v2:10d}")
+
+    breakage = evaluate_breakage(baseline, extended)
+    print(
+        f"\nwebsite breakage under the extension: "
+        f"{len(breakage.deformed_layout_sites)} deformed layout, "
+        f"{len(breakage.frozen_video_sites)} ever-loading video"
+    )
+
+    http = evaluate_http_errors(baseline, extended)
+    print("\nFigure 4: HTTP responses by status code (>100 occurrences)")
+    print(f"{'status':>7s} {'OpenWPM':>9s} {'+ext':>9s}")
+    for status, base, ext in http.rows(min_occurrences=100):
+        print(f"{status:7d} {base:9d} {ext:9d}")
+    fp = http.first_party_wilcoxon
+    print(
+        f"\nfirst-party errors {http.baseline_first_party_errors} -> "
+        f"{http.extended_first_party_errors}; Wilcoxon matched-pairs "
+        f"signed-rank p = {fp.p_value:.4f} "
+        f"({'significant' if fp.significant() else 'not significant'} at 95%)"
+    )
+    tp = http.third_party_wilcoxon
+    print(
+        f"third-party errors: Wilcoxon p = {tp.p_value:.3f} "
+        f"({'significant' if tp.significant() else 'not significant'})"
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 1000)

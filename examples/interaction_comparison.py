@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Reproduce Figs. 1 and 2: Selenium vs human vs naive vs HLISA.
+
+Runs the paper's pointing and clicking experiments (Appendix E) with all
+four subjects and prints the trajectory and click-distribution
+signatures, plus ASCII renderings of one trajectory and the click cloud
+per agent.
+"""
+
+import numpy as np
+
+from repro.analysis import click_metrics
+from repro.analysis.trajectory import per_movement_metrics, split_movements
+from repro.experiment import MovingClickTask, PointingTask, STANDARD_AGENTS
+
+PANELS = [("selenium", "A"), ("human", "B"), ("naive", "C"), ("hlisa", "D")]
+
+
+def ascii_trajectory(path, width=68, height=12) -> str:
+    """Render a cursor path as ASCII art."""
+    xs = [x for _, x, y in path]
+    ys = [y for _, x, y in path]
+    min_x, max_x = min(xs), max(xs)
+    min_y, max_y = min(ys), max(ys)
+    span_x = max(max_x - min_x, 1e-9)
+    span_y = max(max_y - min_y, 1e-9)
+    grid = [[" "] * width for _ in range(height)]
+    for _, x, y in path:
+        col = int((x - min_x) / span_x * (width - 1))
+        row = int((y - min_y) / span_y * (height - 1))
+        grid[row][col] = "*"
+    return "\n".join("".join(row) for row in grid)
+
+
+def ascii_clicks(offsets, size=17) -> str:
+    """Render normalised click offsets over the element as ASCII art."""
+    grid = [["."] * size for _ in range(size)]
+    center = size // 2
+    grid[center][center] = "+"
+    for nx, ny in offsets:
+        col = int(round((nx + 1) / 2 * (size - 1)))
+        row = int(round((ny + 1) / 2 * (size - 1)))
+        if 0 <= row < size and 0 <= col < size:
+            grid[row][col] = "o"
+    return "\n".join(" ".join(row) for row in grid)
+
+
+def main() -> None:
+    print("=" * 72)
+    print("Figure 1: cursor trajectories")
+    print("=" * 72)
+    for name, panel in PANELS:
+        result = PointingTask(repetitions=2).run(STANDARD_AGENTS[name]())
+        path = result.recorder.mouse_path()
+        movements = [
+            m for m in per_movement_metrics(path) if m.chord_length > 300
+        ]
+        stats = (
+            f"straightness {np.mean([m.straightness for m in movements]):.3f}  "
+            f"speed CV {np.mean([m.speed_cv for m in movements]):.2f}  "
+            f"jitter {np.mean([m.jitter_rms_px for m in movements]):.2f} px  "
+            f"mean speed {np.mean([m.mean_speed_px_s for m in movements]):.0f} px/s"
+        )
+        print(f"\n({panel}) {name}: {stats}")
+        longest = max(split_movements(path), key=len)
+        print(ascii_trajectory(longest))
+
+    print()
+    print("=" * 72)
+    print("Figure 2: click distributions (100 clicks on a moving element)")
+    print("=" * 72)
+    for name, panel in PANELS:
+        result = MovingClickTask(clicks=100).run(STANDARD_AGENTS[name]())
+        clicks = result.recorder.clicks()
+        metrics = click_metrics(
+            [c.position for c in clicks], [c.target_box for c in clicks]
+        )
+        print(
+            f"\n({panel}) {name}: exact-centre {metrics.exact_center_rate:.0%}, "
+            f"mean offset {metrics.mean_radial_offset:.2f}, "
+            f"corner rate {metrics.corner_rate:.1%}"
+        )
+        from repro.analysis.clicks import normalised_offsets
+
+        offsets = normalised_offsets(
+            [c.position for c in clicks], [c.target_box for c in clicks]
+        )
+        print(ascii_clicks(offsets))
+
+
+if __name__ == "__main__":
+    main()

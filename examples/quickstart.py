@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's Listing 2, line for line.
+
+HLISA is a drop-in replacement for Selenium's ActionChains: integrating
+it into an existing Selenium project means changing two lines (the import
+and the constructor).  This script runs the exact flow of Listing 2
+against the simulated browser and shows what a page observing the
+interaction would see.
+"""
+
+from repro import HLISA_ActionChains, make_browser_driver
+from repro.analysis import typing_metrics
+from repro.analysis.trajectory import trajectory_metrics
+from repro.events.recorder import EventRecorder
+from repro.events.taxonomy import ALL_INTERACTION_EVENTS
+
+
+def main() -> None:
+    driver = make_browser_driver()
+    # The "website" records every interaction event, as in Appendix E.
+    recorder = EventRecorder(ALL_INTERACTION_EVENTS).attach(driver.window)
+
+    # --- Listing 2 -------------------------------------------------------
+    # Importing the HLISA library                      (see imports above)
+    # Creating an ActionChain with HLISA
+    ac = HLISA_ActionChains(driver, seed=2021)
+    # Selecting an element
+    element = driver.find_element_by_id("text_area")
+    # Adding mouse movement and typing with HLISA
+    ac.move_to_element(element)
+    ac.send_keys_to_element(element, "Text..")
+    # Executing a chain
+    ac.perform()
+    # ----------------------------------------------------------------------
+
+    print("typed value:", element.get_attribute("value"))
+    print(f"events observed by the page: {len(recorder.events)}")
+
+    movement = trajectory_metrics(recorder.mouse_path())
+    print(
+        f"cursor path: {movement.n_samples} samples, "
+        f"straightness {movement.straightness:.3f}, "
+        f"speed CV {movement.speed_cv:.2f} "
+        f"(a straight uniform Selenium line would be 1.000 / ~0.05)"
+    )
+    typing = typing_metrics(recorder.key_strokes())
+    print(
+        f"typing: {typing.chars_per_minute:.0f} cpm, key dwell "
+        f"{typing.dwell_mean_ms:.0f}±{typing.dwell_std_ms:.0f} ms "
+        f"(Selenium: 13,333 cpm at 0 ms dwell)"
+    )
+
+
+if __name__ == "__main__":
+    main()

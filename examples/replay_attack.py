@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""The replay attack, and why "perfect replayability" loses (Section 4.2).
+
+Records one genuine human visit to a form page, replays it three times
+as a bot, and shows both sides of the escalation: within-session
+detectors (levels 1-3) pass every replay -- the data is human -- while a
+detector with cross-visit memory flags every repeat.
+"""
+
+from repro.detection import (
+    CrossSessionReplayDetector,
+    DetectorBattery,
+    DetectionLevel,
+)
+from repro.detection.replay import signature_similarity, timing_signature
+from repro.experiment import HumanAgent, Session
+from repro.experiment.replay import ReplayAgent, serialize_recording
+from repro.geometry import Box
+from repro.humans.profile import HumanProfile
+
+
+def build_page(session: Session):
+    document = session.document
+    return [
+        document.create_element("a", Box(90, 60, 160, 26), id="nav"),
+        document.create_element("button", Box(1050, 120, 140, 44), id="search"),
+        document.create_element("button", Box(540, 620, 160, 48), id="submit"),
+        document.create_element("input", Box(420, 300, 420, 36), id="email"),
+    ]
+
+
+def main() -> None:
+    # 1. A genuine human fills the form; the session is recorded.
+    session = Session(automated=False, page_height=4000)
+    elements = build_page(session)
+    human = HumanAgent(HumanProfile(seed=77))
+    for _ in range(5):
+        for element in elements[:3]:
+            human.click_element(session, element)
+            session.clock.advance(350.0)
+    human.type_text(session, elements[3], "visitor@example.org")
+    source = session.recorder
+    dataset = serialize_recording(source)
+    print(f"recorded a human visit: {len(source.events)} events, "
+          f"{len(dataset) // 1024} KiB serialised")
+
+    # 2. A bot replays the recording, three visits in a row.
+    battery = DetectorBattery(DetectionLevel.CONSISTENCY)
+    memory = CrossSessionReplayDetector()
+    print(f"\n{'visit':10s} {'within-session':>15s} {'cross-session':>14s} {'similarity':>11s}")
+    for visit in range(1, 4):
+        replay_session = Session(automated=True, page_height=4000)
+        build_page(replay_session)
+        ReplayAgent(source).run(replay_session)
+        recorder = replay_session.recorder
+        similarity = signature_similarity(
+            timing_signature(source), timing_signature(recorder)
+        )
+        within = battery.evaluate(recorder).is_bot
+        cross = memory.observe(recorder).is_bot
+        print(
+            f"replay #{visit:2d} {'BOT' if within else 'pass':>15s} "
+            f"{'BOT' if cross else 'pass':>14s} {similarity:>10.0%}"
+        )
+
+    print(
+        "\nthe paper's Section 4.2, in data: simulators that replay must "
+        "add 'noise instead of perfect replayability' -- or a detector "
+        "with memory wins."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Reproduce Table 1: the side effects of the four spoofing methods.
+
+Each method hides ``navigator.webdriver`` from a page script; the five
+probes of Table 1 (plus a full template attack) then hunt for the
+residue.  Also demonstrates Listing 1's ``toString`` probe verbatim.
+"""
+
+from repro.browser.navigator import NavigatorProfile
+from repro.browser.window import Window
+from repro.detection.fingerprint import (
+    SideEffect,
+    TemplateAttack,
+    run_all_probes,
+)
+from repro.spoofing import SpoofingMethod, apply_spoofing
+
+ROWS = [
+    ("Incorrect order of navigator properties", SideEffect.INCORRECT_PROPERTY_ORDER),
+    ("Modified navigator._length", SideEffect.MODIFIED_LENGTH),
+    ("New Object.keys(navigator)", SideEffect.NEW_OBJECT_KEYS),
+    ("Defined navigator.__proto__.webdriver", SideEffect.PROTO_WEBDRIVER_DEFINED),
+    ("Unnamed window.navigator functions", SideEffect.UNNAMED_FUNCTIONS),
+]
+
+
+def main() -> None:
+    observed = {}
+    for method in SpoofingMethod:
+        window = Window(profile=NavigatorProfile(webdriver=True))
+        before = window.navigator.get("webdriver")
+        apply_spoofing(window, method)
+        result = run_all_probes(window)
+        observed[method.value] = result.side_effects
+        print(
+            f"method {method.value} ({method.name.lower()}): webdriver "
+            f"{before} -> {result.webdriver_value}; "
+            f"{len(result.side_effects)} side effect(s)"
+        )
+
+    print("\nTable 1: detectable side effects by spoofing method")
+    print(f"{'Side effect':44s} 1  2  3  4")
+    for label, effect in ROWS:
+        cells = "  ".join("x" if effect in observed[m] else "." for m in (1, 2, 3, 4))
+        print(f"{label:44s} {cells}")
+
+    # Listing 1: the toString probe against the proxy method.
+    window = Window(profile=NavigatorProfile(webdriver=True))
+    print("\nListing 1 -- window.navigator.toString.toString():")
+    print("regular browser:")
+    print("  " + window.navigator.get("toString").to_string().replace("\n", "\n  "))
+    apply_spoofing(window, SpoofingMethod.PROXY)
+    print("after shadowing via proxy objects:")
+    print("  " + window.navigator.get("toString").to_string().replace("\n", "\n  "))
+
+    # A JavaScript-template-attack (Schwarz et al.) finds the structural
+    # spoofs automatically.
+    print("\ntemplate attack on method 1 (defineProperty):")
+    window = Window(profile=NavigatorProfile(webdriver=True))
+    apply_spoofing(window, SpoofingMethod.DEFINE_PROPERTY)
+    for difference in TemplateAttack().diff(window.navigator):
+        print("  -", difference)
+
+
+if __name__ == "__main__":
+    main()

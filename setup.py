@@ -1,0 +1,8 @@
+"""Setup shim: lets ``pip install -e .`` work without the ``wheel``
+package (this offline environment lacks it), via the legacy
+``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

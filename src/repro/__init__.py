@@ -1,0 +1,56 @@
+"""Reproduction of "HLISA: towards a more reliable measurement tool" (IMC 2021).
+
+The package is organised in layers, bottom-up:
+
+- :mod:`repro.jsobject` -- a JavaScript-like object model (prototype chains,
+  property descriptors, proxies) that the fingerprint-spoofing study runs on.
+- :mod:`repro.dom`, :mod:`repro.events`, :mod:`repro.browser` -- a simulated
+  browser: element tree with layout, the interaction-event taxonomy of the
+  paper's Appendix C, and an input pipeline that converts OS-level input into
+  DOM events with Firefox's quirks.
+- :mod:`repro.webdriver` -- a Selenium-like automation layer, exhibiting the
+  interaction artefacts the paper measures (straight uniform-speed pointer
+  moves, exact-centre clicks, zero dwell times, inhuman typing speed).
+- :mod:`repro.humans` -- a generative model of human interaction used as the
+  "human subject" in all experiments.
+- :mod:`repro.models` + :mod:`repro.core` -- HLISA itself: humanised
+  trajectories, click scatter, typing rhythm and scroll cadence behind a
+  drop-in ``HLISA_ActionChains`` replacement (the paper's Table 3 API).
+- :mod:`repro.detection`, :mod:`repro.armsrace` -- bot detectors at each
+  level of the paper's arms-race model (Fig. 3) plus fingerprint probes.
+- :mod:`repro.spoofing`, :mod:`repro.crawl` -- the four property-spoofing
+  methods (Table 1) and the simulated 1,000-site field study (Table 2,
+  Fig. 4).
+- :mod:`repro.experiment`, :mod:`repro.analysis`, :mod:`repro.stats`,
+  :mod:`repro.tools` -- the measurement harness of Appendices D/E, metric
+  extraction, statistics, and the Appendix G tool-comparison backends.
+
+Quickstart (mirrors the paper's Listing 2)::
+
+    from repro import HLISA_ActionChains, make_browser_driver
+
+    driver = make_browser_driver()
+    ac = HLISA_ActionChains(driver)
+    element = driver.find_element_by_id("text_area")
+    ac.move_to_element(element)
+    ac.send_keys_to_element(element, "Text..")
+    ac.perform()
+"""
+
+from repro.core.hlisa_action_chains import HLISA_ActionChains
+from repro.webdriver.driver import WebDriver, make_browser_driver
+from repro.webdriver.action_chains import ActionChains
+from repro.webdriver.action_builder import ActionBuilder
+from repro.webdriver.keys import Keys
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HLISA_ActionChains",
+    "ActionChains",
+    "ActionBuilder",
+    "Keys",
+    "WebDriver",
+    "make_browser_driver",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""Metric extraction from recorded interaction.
+
+These are the measurements behind the paper's Figs. 1-2 and the detector
+features: trajectory shape (straightness, speed profile, jitter), click
+scatter (centre hits, corner coverage, distribution shape), typing rhythm
+(dwell/flight, rollover, modifier consistency) and scroll cadence (tick
+distances, pause structure).
+"""
+
+from repro.analysis.trajectory import TrajectoryMetrics, trajectory_metrics
+from repro.analysis.clicks import ClickMetrics, click_metrics
+from repro.analysis.typing_metrics import TypingMetrics, typing_metrics
+from repro.analysis.scroll_metrics import ScrollMetrics, scroll_metrics
+
+
+def __getattr__(name):
+    # Lazy export: detector_eval pulls in the detection package, which in
+    # turn uses the metric modules here -- resolving it at first use
+    # keeps the import graph acyclic (PEP 562).
+    if name in ("OperatingPoints", "evaluate_operating_points"):
+        from repro.analysis import detector_eval
+
+        return getattr(detector_eval, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "TrajectoryMetrics",
+    "trajectory_metrics",
+    "ClickMetrics",
+    "click_metrics",
+    "TypingMetrics",
+    "typing_metrics",
+    "ScrollMetrics",
+    "scroll_metrics",
+    "OperatingPoints",
+    "evaluate_operating_points",
+]

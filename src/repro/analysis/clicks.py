@@ -1,0 +1,95 @@
+"""Click-distribution metrics (Fig. 2's contrasts, made quantitative).
+
+Click positions are normalised to the target element: an offset of
+``(0, 0)`` is the exact centre, ``(+/-1, +/-1)`` the corners.  The four
+agents separate cleanly in this space:
+
+- Selenium: every click at exactly (0, 0);
+- naive uniform: offsets uniform over the square, including corners;
+- human / HLISA: Gaussian cloud around -- but almost never exactly at --
+  the centre, with negligible corner mass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry import Box
+from repro.stats.distributions import chi_square_uniform, ks_test_normal
+
+NormalisedOffset = Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class ClickMetrics:
+    """Summary of a set of clicks on known targets."""
+
+    n: int
+    #: Fraction of clicks within 1% of the exact centre.
+    exact_center_rate: float
+    #: Mean radial offset (normalised units; centre = 0, corner ~ 1.41).
+    mean_radial_offset: float
+    std_radial_offset: float
+    #: Fraction of clicks in the outer corners (|nx| and |ny| > 0.8).
+    corner_rate: float
+    #: Fraction of clicks outside the element entirely.
+    outside_rate: float
+    #: KS statistic of x-offsets against their own normal fit.
+    normal_ks_x: float
+    #: Chi-square uniformity p-value of x-offsets over [-1, 1].
+    uniform_p_x: float
+
+
+def normalised_offsets(
+    positions: Sequence[Tuple[float, float]],
+    boxes: Sequence[Box],
+) -> List[NormalisedOffset]:
+    """Offsets from each target's centre in half-extent units."""
+    if len(positions) != len(boxes):
+        raise ValueError("positions and boxes must pair up")
+    offsets: List[NormalisedOffset] = []
+    for (x, y), box in zip(positions, boxes):
+        center = box.center
+        half_w = max(box.width / 2.0, 1e-9)
+        half_h = max(box.height / 2.0, 1e-9)
+        offsets.append(((x - center.x) / half_w, (y - center.y) / half_h))
+    return offsets
+
+
+def click_metrics(
+    positions: Sequence[Tuple[float, float]],
+    boxes: Sequence[Box],
+) -> ClickMetrics:
+    """Compute :class:`ClickMetrics` for clicks on known target boxes."""
+    offsets = normalised_offsets(positions, boxes)
+    if not offsets:
+        raise ValueError("no clicks to analyse")
+    nx = np.array([o[0] for o in offsets])
+    ny = np.array([o[1] for o in offsets])
+    radial = np.hypot(nx, ny)
+    # "Exact centre" allows for the 0.5 px rounding browsers apply to
+    # event coordinates (0.025 of a half extent is ~1 px on a 90 px box).
+    exact_center = float(np.mean(radial < 0.025))
+    corner = float(np.mean((np.abs(nx) > 0.8) & (np.abs(ny) > 0.8)))
+    outside = float(np.mean((np.abs(nx) > 1.0) | (np.abs(ny) > 1.0)))
+
+    if np.std(nx) > 1e-9 and len(offsets) >= 5:
+        ks_x, _ = ks_test_normal(nx.tolist())
+        _, uniform_p = chi_square_uniform(nx.tolist(), -1.0, 1.0, bins=8)
+    else:
+        # Degenerate scatter (e.g. Selenium: all offsets identical).
+        ks_x = 1.0
+        uniform_p = 0.0
+    return ClickMetrics(
+        n=len(offsets),
+        exact_center_rate=exact_center,
+        mean_radial_offset=float(radial.mean()),
+        std_radial_offset=float(radial.std()),
+        corner_rate=corner,
+        outside_rate=outside,
+        normal_ks_x=float(ks_x),
+        uniform_p_x=float(uniform_p),
+    )

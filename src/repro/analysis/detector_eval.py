@@ -1,0 +1,99 @@
+"""Detector operating points: detection rates across agent populations.
+
+A detector is only useful if it catches bots *and* never bars humans
+("detectors must not be too strict or risk barring human visitors
+entry", Section 4.2).  This harness runs many seeded sessions per agent
+kind through a battery and reports per-detector detection rates -- the
+operating point each check sits at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.detection.base import DetectionLevel
+from repro.detection.battery import DetectorBattery
+from repro.experiment.agents import HLISAAgent, HumanAgent, NaiveAgent, SeleniumAgent
+from repro.experiment.tasks import BrowsingScenario
+from repro.humans.profile import HumanProfile
+
+
+@dataclass
+class OperatingPoints:
+    """Detection rates per (agent kind, detector)."""
+
+    runs_per_agent: int
+    #: agent -> detector name -> fraction of runs flagged
+    rates: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: agent -> fraction of runs flagged by *any* detector
+    overall: Dict[str, float] = field(default_factory=dict)
+
+    def false_positive_rate(self) -> float:
+        """Fraction of human runs flagged by anything."""
+        return self.overall.get("human", 0.0)
+
+    def detection_rate(self, agent: str) -> float:
+        return self.overall.get(agent, 0.0)
+
+    def format_table(self) -> str:
+        detectors = sorted(
+            {name for per_agent in self.rates.values() for name in per_agent}
+        )
+        width = max(len(d) for d in detectors) + 2
+        agents = list(self.rates)
+        header = "detector".ljust(width) + "  ".join(f"{a:>10s}" for a in agents)
+        lines = [header, "-" * len(header)]
+        for detector in detectors:
+            cells = "  ".join(
+                f"{self.rates[a].get(detector, 0.0):>9.0%} " for a in agents
+            )
+            lines.append(detector.ljust(width) + cells)
+        lines.append("-" * len(header))
+        lines.append(
+            "ANY".ljust(width)
+            + "  ".join(f"{self.overall[a]:>9.0%} " for a in agents)
+        )
+        return "\n".join(lines)
+
+
+def default_agent_factories() -> Dict[str, Callable[[int], object]]:
+    """Seeded factories for the standard population."""
+    return {
+        "selenium": lambda seed: SeleniumAgent(),
+        "naive": lambda seed: NaiveAgent(seed=seed),
+        "hlisa": lambda seed: HLISAAgent(seed=seed),
+        "human": lambda seed: HumanAgent(HumanProfile(seed=seed)),
+    }
+
+
+def evaluate_operating_points(
+    level: DetectionLevel = DetectionLevel.CONSISTENCY,
+    runs_per_agent: int = 5,
+    agent_factories: Optional[Dict[str, Callable[[int], object]]] = None,
+    scenario: Optional[BrowsingScenario] = None,
+    base_seed: int = 1000,
+) -> OperatingPoints:
+    """Run each agent ``runs_per_agent`` times through the battery."""
+    factories = agent_factories or default_agent_factories()
+    scenario = scenario or BrowsingScenario(clicks=40)
+    battery = DetectorBattery(level)
+    result = OperatingPoints(runs_per_agent=runs_per_agent)
+    for agent_name, factory in factories.items():
+        per_detector: Dict[str, int] = {}
+        any_flagged = 0
+        for run in range(runs_per_agent):
+            agent = factory(base_seed + 37 * run)
+            recorder = scenario.run(agent).recorder
+            report = battery.evaluate(recorder)
+            if report.is_bot:
+                any_flagged += 1
+            for verdict in report.verdicts:
+                per_detector.setdefault(verdict.detector, 0)
+                if verdict.is_bot:
+                    per_detector[verdict.detector] += 1
+        result.rates[agent_name] = {
+            name: count / runs_per_agent for name, count in per_detector.items()
+        }
+        result.overall[agent_name] = any_flagged / runs_per_agent
+    return result

@@ -1,0 +1,117 @@
+"""Scrolling metrics (Section 4.1, "Scrolling" / Appendix D).
+
+The observable differences between scrolling styles:
+
+- **wheel coverage**: Selenium's programmatic scrolls fire ``scroll``
+  without ``wheel``; wheel scrolling fires both.  (The paper cautions
+  that absence of wheel events alone is *not* conclusive -- scroll bars,
+  arrow keys and anchors also lack them.)
+- **per-event scroll distance**: a wheel tick moves a fixed 57 px;
+  programmatic scrolling can cover "arbitrary long distances in one
+  scroll event".
+- **cadence**: human ticks come in sweeps separated by finger-
+  repositioning breaks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.events.event import Event
+
+
+@dataclass(frozen=True)
+class ScrollMetrics:
+    """Summary of one scrolling session."""
+
+    n_scroll_events: int
+    n_wheel_events: int
+    total_distance_px: float
+    max_single_scroll_px: float
+    #: Median per-scroll-event distance (57 px for tick-wise scrolling).
+    median_scroll_step_px: float
+    #: Median absolute wheel delta (the tick size; 0 if no wheel events).
+    wheel_tick_px: float
+    #: Median / 90th-percentile gap between consecutive wheel events (ms).
+    median_tick_gap_ms: float
+    p90_tick_gap_ms: float
+    #: Fraction of inter-tick gaps at least twice the median (the long
+    #: finger-repositioning breaks).
+    long_gap_fraction: float
+
+    @property
+    def wheelless(self) -> bool:
+        """Scrolling happened with no wheel events at all."""
+        return self.n_scroll_events > 0 and self.n_wheel_events == 0
+
+    @property
+    def has_teleport_scrolls(self) -> bool:
+        """Some single scroll event moved much more than a wheel tick."""
+        return self.max_single_scroll_px > 4 * 57.0
+
+    @property
+    def has_sweep_structure(self) -> bool:
+        """Long breaks interleave the short tick gaps (finger resets).
+
+        Human wheel scrolling resets the finger every ~5-12 ticks, so a
+        noticeable minority of gaps is much longer than the median; a
+        metronome has none.
+        """
+        return self.median_tick_gap_ms > 0 and self.long_gap_fraction >= 0.05
+
+
+def scroll_metrics(
+    scroll_events: Sequence[Event],
+    wheel_events: Sequence[Event],
+) -> ScrollMetrics:
+    """Compute :class:`ScrollMetrics` from recorded scroll/wheel events.
+
+    Scroll distances are reconstructed from consecutive ``scroll``
+    events' page offsets.
+    """
+    scrolls = list(scroll_events)
+    wheels = list(wheel_events)
+    if scrolls:
+        offsets = np.array([e.page_y for e in scrolls], dtype=float)
+        steps = np.abs(np.diff(np.concatenate([[0.0], offsets])))
+        total = float(steps.sum())
+        max_single = float(steps.max()) if steps.size else 0.0
+        median_step = float(np.median(steps)) if steps.size else 0.0
+    else:
+        total = 0.0
+        max_single = 0.0
+        median_step = 0.0
+
+    if wheels:
+        tick = float(np.median([abs(e.delta_y) for e in wheels]))
+        times = np.array([e.timestamp for e in wheels], dtype=float)
+    else:
+        # Wheel-less scrolling (programmatic / HLISA's scrollBy ticks):
+        # cadence is still observable from the scroll events themselves.
+        tick = 0.0
+        times = np.array([e.timestamp for e in scrolls], dtype=float)
+    gaps = np.diff(times)
+    gaps = gaps[gaps > 0]
+    if gaps.size:
+        median_gap = float(np.median(gaps))
+        p90_gap = float(np.quantile(gaps, 0.9))
+        long_fraction = float(np.mean(gaps >= 2.0 * median_gap)) if median_gap > 0 else 0.0
+    else:
+        median_gap = 0.0
+        p90_gap = 0.0
+        long_fraction = 0.0
+
+    return ScrollMetrics(
+        n_scroll_events=len(scrolls),
+        n_wheel_events=len(wheels),
+        total_distance_px=total,
+        max_single_scroll_px=max_single,
+        median_scroll_step_px=median_step,
+        wheel_tick_px=tick,
+        median_tick_gap_ms=median_gap,
+        p90_tick_gap_ms=p90_gap,
+        long_gap_fraction=long_fraction,
+    )

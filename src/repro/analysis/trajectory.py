@@ -1,0 +1,192 @@
+"""Cursor-trajectory metrics (Fig. 1's qualitative contrasts, made
+quantitative).
+
+Given a recorded mouse path ``[(t_ms, x, y), ...]`` the metrics capture:
+
+- **straightness**: chord length / path length (1.0 = perfect line);
+- **speed profile**: per-segment speeds, their coefficient of variation
+  (uniform-speed movement has CV ~ 0), and an acceleration signature --
+  mean speed in the first and last fifths relative to the middle (humans
+  accelerate then decelerate, so edge/middle << 1);
+- **jitter energy**: RMS residual of the path from its smoothed version
+  (human tremor; absent from straight lines and plain Béziers);
+- **curvature**: mean absolute turn angle per segment.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+PathSample = Tuple[float, float, float]  # (t_ms, x, y)
+
+
+@dataclass(frozen=True)
+class TrajectoryMetrics:
+    """Shape/kinematics summary of one cursor movement."""
+
+    n_samples: int
+    duration_ms: float
+    path_length: float
+    chord_length: float
+    straightness: float
+    mean_speed_px_s: float
+    peak_speed_px_s: float
+    speed_cv: float
+    edge_to_middle_speed_ratio: float
+    jitter_rms_px: float
+    mean_abs_turn_rad: float
+
+    @property
+    def has_bell_speed_profile(self) -> bool:
+        """Accelerates at the start and decelerates at the end."""
+        return self.edge_to_middle_speed_ratio < 0.75
+
+    @property
+    def is_straight(self) -> bool:
+        """Effectively a straight line."""
+        return self.straightness > 0.995
+
+    @property
+    def is_uniform_speed(self) -> bool:
+        """Effectively constant speed."""
+        return self.speed_cv < 0.12
+
+
+def split_movements(
+    path: Sequence[PathSample],
+    min_gap_ms: float = 120.0,
+    min_samples: int = 4,
+) -> List[List[PathSample]]:
+    """Split a recording into individual movements.
+
+    A new movement starts wherever the cursor rested for more than
+    ``min_gap_ms`` between consecutive mousemove events.  Movements with
+    fewer than ``min_samples`` samples (twitches) are dropped.
+    """
+    samples = list(path)
+    movements: List[List[PathSample]] = []
+    current: List[PathSample] = []
+    for sample in samples:
+        if current and sample[0] - current[-1][0] > min_gap_ms:
+            if len(current) >= min_samples:
+                movements.append(current)
+            current = []
+        current.append(sample)
+    if len(current) >= min_samples:
+        movements.append(current)
+    return movements
+
+
+def per_movement_metrics(
+    path: Sequence[PathSample],
+    min_gap_ms: float = 120.0,
+) -> List[TrajectoryMetrics]:
+    """Trajectory metrics for each movement in a recording."""
+    return [
+        trajectory_metrics(m) for m in split_movements(path, min_gap_ms=min_gap_ms)
+    ]
+
+
+def _savitzky_golay_center_weights(window: int, degree: int = 2) -> np.ndarray:
+    """Weights that evaluate a local least-squares polynomial at the
+    window centre (classic Savitzky-Golay smoothing coefficients)."""
+    half = window // 2
+    t = np.arange(-half, half + 1, dtype=float)
+    design = np.vander(t, degree + 1, increasing=True)
+    pseudo_inverse = np.linalg.pinv(design)
+    return pseudo_inverse[0]  # evaluation of the constant term at t=0
+
+
+def _polynomial_residual_rms(t: np.ndarray, x: np.ndarray, y: np.ndarray) -> float:
+    """RMS residual of the path from a *local* quadratic fit (tremor).
+
+    Any smooth curve -- straight line, Bézier, B-spline -- is locally
+    quadratic over a short window, so its residual vanishes; hand tremor
+    and HLISA's injected jitter do not.  A global polynomial would
+    mislabel smooth-but-complex curves as jittery.
+    """
+    n = x.size
+    if n < 5:
+        return 0.0
+    window = min(9, n if n % 2 == 1 else n - 1)
+    if window < 5:
+        window = 5
+    half = window // 2
+    weights = _savitzky_golay_center_weights(window)
+    smooth_x = np.convolve(x, weights[::-1], mode="valid")
+    smooth_y = np.convolve(y, weights[::-1], mode="valid")
+    rx = x[half : n - half] - smooth_x
+    ry = y[half : n - half] - smooth_y
+    if rx.size == 0:
+        return 0.0
+    return float(np.sqrt(np.mean(rx**2 + ry**2)))
+
+
+def trajectory_metrics(path: Sequence[PathSample]) -> TrajectoryMetrics:
+    """Compute :class:`TrajectoryMetrics` from a recorded mouse path."""
+    samples = list(path)
+    if len(samples) < 2:
+        raise ValueError("need at least 2 samples for trajectory metrics")
+    t = np.array([s[0] for s in samples], dtype=float)
+    x = np.array([s[1] for s in samples], dtype=float)
+    y = np.array([s[2] for s in samples], dtype=float)
+
+    dx, dy = np.diff(x), np.diff(y)
+    seg_len = np.hypot(dx, dy)
+    dt = np.diff(t)
+    duration = float(t[-1] - t[0])
+    path_length = float(seg_len.sum())
+    chord = float(math.hypot(x[-1] - x[0], y[-1] - y[0]))
+    straightness = chord / path_length if path_length > 1e-9 else 1.0
+
+    valid = dt > 0
+    speeds = np.zeros(0)
+    if valid.any():
+        speeds = seg_len[valid] / (dt[valid] / 1000.0)
+    mean_speed = float(speeds.mean()) if speeds.size else 0.0
+    peak_speed = float(speeds.max()) if speeds.size else 0.0
+    speed_cv = float(speeds.std() / mean_speed) if speeds.size and mean_speed > 1e-9 else 0.0
+
+    edge_ratio = 1.0
+    if speeds.size >= 5:
+        fifth = max(1, speeds.size // 5)
+        edge = np.concatenate([speeds[:fifth], speeds[-fifth:]])
+        middle = speeds[fifth:-fifth] if speeds.size > 2 * fifth else speeds
+        middle_mean = float(middle.mean()) if middle.size else mean_speed
+        if middle_mean > 1e-9:
+            edge_ratio = float(edge.mean() / middle_mean)
+
+    # Jitter: RMS residual from a low-order polynomial fit of the path
+    # over (normalised) time.  Straight lines and smooth Bézier curves fit
+    # almost exactly; human tremor and HLISA's added jitter do not.
+    jitter_rms = _polynomial_residual_rms(t, x, y)
+
+    # Mean absolute turn angle between consecutive segments.
+    turns: List[float] = []
+    for i in range(len(dx) - 1):
+        a = math.hypot(dx[i], dy[i])
+        b = math.hypot(dx[i + 1], dy[i + 1])
+        if a < 1e-9 or b < 1e-9:
+            continue
+        cross = dx[i] * dy[i + 1] - dy[i] * dx[i + 1]
+        dot = dx[i] * dx[i + 1] + dy[i] * dy[i + 1]
+        turns.append(abs(math.atan2(cross, dot)))
+    mean_turn = float(np.mean(turns)) if turns else 0.0
+
+    return TrajectoryMetrics(
+        n_samples=len(samples),
+        duration_ms=duration,
+        path_length=path_length,
+        chord_length=chord,
+        straightness=min(straightness, 1.0),
+        mean_speed_px_s=mean_speed,
+        peak_speed_px_s=peak_speed,
+        speed_cv=speed_cv,
+        edge_to_middle_speed_ratio=edge_ratio,
+        jitter_rms_px=jitter_rms,
+        mean_abs_turn_rad=mean_turn,
+    )

@@ -1,0 +1,34 @@
+"""The interaction arms race (Section 4.2 / Fig. 3), made executable.
+
+The paper models detectors and simulators as an escalation ladder.  This
+package instantiates **both sides as running code** and plays them
+against each other:
+
+- :mod:`repro.armsrace.levels` -- the ladder itself: simulator levels,
+  detector levels, and the model's prediction of who beats whom;
+- :mod:`repro.armsrace.simulators` -- a concrete agent per simulator
+  level (Selenium at "no limits", the naive agent at "humanly possible",
+  HLISA at "use distribution of human behaviour", a consistency-complete
+  simulator, and a specific-profile impersonator);
+- :mod:`repro.armsrace.tournament` -- runs every simulator through a
+  browsing scenario and every (cumulative) detector battery over the
+  recordings, producing the detection matrix that validates Fig. 3.
+"""
+
+from repro.armsrace.levels import (
+    SimulatorLevel,
+    expected_detection,
+    EXPECTED_MATRIX_NOTE,
+)
+from repro.armsrace.simulators import simulator_for_level, GENERIC_SIMULATION_PROFILE
+from repro.armsrace.tournament import Tournament, TournamentResult
+
+__all__ = [
+    "SimulatorLevel",
+    "expected_detection",
+    "EXPECTED_MATRIX_NOTE",
+    "simulator_for_level",
+    "GENERIC_SIMULATION_PROFILE",
+    "Tournament",
+    "TournamentResult",
+]

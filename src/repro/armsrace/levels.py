@@ -1,0 +1,62 @@
+"""The escalation ladder of Fig. 3.
+
+Web-bot side (simulators), bottom to top:
+
+0. *No limits on behaviour* -- plain Selenium;
+1. *Limit behaviour to humanly possible* -- naive improvements;
+2. *Use distribution of human behaviour* -- **HLISA sits here** ("HLISA
+   offers a simulation of human interaction.  As such, it is situated at
+   the third level in the hierarchy");
+3. *Use consistent behaviour* -- couplings between signals included;
+4. *Use specific user profile* -- impersonating one individual.
+
+Website side (detectors), bottom to top:
+
+1. *Detect artificial behaviour*;
+2. *Detect deviations from human behaviour*;
+3. *Tracking consistency of behaviour* -- "consistently defeating HLISA
+   requires tracking consistency of behaviour";
+4. *Recognise specific user profile* (needs enrolment; the paper notes
+   the GDPR may limit this level).
+
+The model's prediction: a detector at level ``d`` catches exactly the
+simulators at levels strictly below ``d``.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+from repro.detection.base import DetectionLevel
+
+
+class SimulatorLevel(IntEnum):
+    """The web-bot side of Fig. 3."""
+
+    UNLIMITED = 0  # "No limits on behaviour" (Selenium)
+    HUMANLY_POSSIBLE = 1  # "Limit behaviour to humanly possible" (naive)
+    HUMAN_DISTRIBUTION = 2  # "Use distribution of human behaviour" (HLISA)
+    CONSISTENT = 3  # "Use consistent behaviour"
+    SPECIFIC_PROFILE = 4  # "Use specific user profile"
+
+
+#: The level the paper assigns to HLISA.
+HLISA_LEVEL = SimulatorLevel.HUMAN_DISTRIBUTION
+
+
+def expected_detection(simulator: SimulatorLevel, detector: DetectionLevel) -> bool:
+    """The Fig. 3 model's prediction: does this detector level catch this
+    simulator level?
+
+    A detector catches every simulator below its own rung and none at or
+    above it -- the lower-triangular matrix the tournament validates.
+    """
+    return int(detector) > int(simulator)
+
+
+EXPECTED_MATRIX_NOTE = (
+    "Fig. 3 predicts a lower-triangular detection matrix: detector level d "
+    "catches simulator levels < d. HLISA (simulator level 2) evades "
+    "artificial-behaviour and human-deviation detectors; only consistency "
+    "tracking (level 3) and enrolled profiles (level 4) catch it."
+)

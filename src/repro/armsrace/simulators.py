@@ -1,0 +1,102 @@
+"""A concrete agent per simulator level of Fig. 3.
+
+Levels 0-2 are the paper's own artefacts (Selenium, the naive solutions,
+HLISA).  Levels 3-4 are the escalations the paper *describes* but does
+not build: a simulator with full internal consistency (the couplings of
+human motor control), and one that impersonates a specific enrolled
+individual.  Both are realised with the generative human model -- which
+is exactly the paper's point: "the simulators can always beat the
+detectors by making use of the same models".
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.armsrace.levels import SimulatorLevel
+from repro.experiment.agents import (
+    Agent,
+    HLISAAgent,
+    HumanAgent,
+    NaiveAgent,
+    SeleniumAgent,
+)
+from repro.humans.profile import HumanProfile
+
+#: The "generic population" parameters a level-3 simulator would ship
+#: with: internally consistent, plausibly human -- but visibly not any
+#: *particular* enrolled user (which is what level-4 detection exploits).
+GENERIC_SIMULATION_PROFILE = HumanProfile(
+    name="generic-simulation",
+    seed=101,
+    fitts_a_ms=155.0,
+    fitts_b_ms=195.0,
+    fitts_noise_sigma=0.19,
+    jitter_px=3.0,
+    click_sigma_frac=0.40,
+    click_dwell_mean_ms=150.0,
+    key_dwell_mean_ms=165.0,
+    key_dwell_sd_ms=38.0,
+    key_flight_mean_ms=240.0,
+    key_flight_sd_ms=75.0,
+    scroll_tick_pause_mean_ms=145.0,
+)
+
+
+class ConsistentSimulatorAgent(HumanAgent):
+    """Level 3: "use consistent behaviour".
+
+    Full human-model simulation (couplings included) with generic
+    population parameters.  Runs in an automated browser -- it is still a
+    bot, just a behaviourally consistent one.
+    """
+
+    name = "consistent-simulator"
+    automated = True
+
+    def __init__(self, profile: Optional[HumanProfile] = None) -> None:
+        super().__init__(profile or GENERIC_SIMULATION_PROFILE)
+
+
+class ProfileSimulatorAgent(HumanAgent):
+    """Level 4: "use specific user profile".
+
+    Impersonates one enrolled individual by replaying that individual's
+    *parameters* (not their raw data) through the human model -- the
+    paper's endgame: "simulating the specific interaction profile of a
+    specific individual".
+    """
+
+    name = "profile-simulator"
+    automated = True
+
+    def __init__(self, target_profile: HumanProfile, seed_offset: int = 991) -> None:
+        impersonation = replace(target_profile, seed=target_profile.seed + seed_offset)
+        super().__init__(impersonation)
+
+
+def simulator_for_level(
+    level: SimulatorLevel,
+    target_profile: Optional[HumanProfile] = None,
+) -> Agent:
+    """Instantiate the standard simulator for a ladder level.
+
+    ``target_profile`` is required for :data:`SimulatorLevel.SPECIFIC_
+    PROFILE` -- the individual being impersonated.
+    """
+    if level is SimulatorLevel.UNLIMITED:
+        return SeleniumAgent()
+    if level is SimulatorLevel.HUMANLY_POSSIBLE:
+        return NaiveAgent()
+    if level is SimulatorLevel.HUMAN_DISTRIBUTION:
+        return HLISAAgent()
+    if level is SimulatorLevel.CONSISTENT:
+        return ConsistentSimulatorAgent()
+    if level is SimulatorLevel.SPECIFIC_PROFILE:
+        if target_profile is None:
+            raise ValueError(
+                "impersonation needs the target individual's profile"
+            )
+        return ProfileSimulatorAgent(target_profile)
+    raise ValueError(f"unknown simulator level {level!r}")

@@ -1,0 +1,44 @@
+"""Experiment-level humanisation behaviours (the paper's Appendix F).
+
+Appendix F lists aspects of human behaviour that "cannot be delegated to
+an interaction API" because they may interfere with an experiment's
+purpose -- they must be applied *at the experiment level*, by the study
+author.  This package provides them as composable helpers:
+
+- :func:`~repro.behaviors.session_behaviors.warm_up_cursor` -- "Mouse
+  movement starting at (0,0), which can be solved by moving the mouse
+  prior to loading a page";
+- :class:`~repro.behaviors.session_behaviors.SpontaneousMovements` --
+  "Adding random/spontaneous mouse movements";
+- :func:`~repro.behaviors.session_behaviors.misclick_then_correct` --
+  "Misclicking";
+- :class:`~repro.behaviors.typing_errors.TypoGenerator` -- "Introducing
+  typing errors and more complex typing behaviour such as ... erasing
+  and cancelling input";
+- :func:`~repro.behaviors.session_behaviors.idle_select_deselect` --
+  the "non-functional interaction" example (selecting and deselecting
+  parts of a page without purpose).
+
+None of these are wired into ``HLISA_ActionChains`` -- exactly as the
+paper argues.  The corresponding detector,
+:class:`~repro.behaviors.origin_detector.OriginStartDetector`, shows why
+the warm-up matters.
+"""
+
+from repro.behaviors.session_behaviors import (
+    SpontaneousMovements,
+    idle_select_deselect,
+    misclick_then_correct,
+    warm_up_cursor,
+)
+from repro.behaviors.typing_errors import TypoGenerator
+from repro.behaviors.origin_detector import OriginStartDetector
+
+__all__ = [
+    "warm_up_cursor",
+    "SpontaneousMovements",
+    "misclick_then_correct",
+    "idle_select_deselect",
+    "TypoGenerator",
+    "OriginStartDetector",
+]

@@ -1,0 +1,104 @@
+"""Typing errors and corrections (Appendix F).
+
+"Introducing typing errors and more complex typing behaviour such as
+reformulating sentences, pausing in longer texts, erasing and cancelling
+input" is experiment-level behaviour.  :class:`TypoGenerator` rewrites a
+text into the *keystroke sequence a human would actually produce*:
+occasionally a neighbouring key is hit, noticed after a few more
+characters, erased with Backspace, and retyped.
+
+The output is plain text-with-Backspace tokens; feed it to any typing
+model (HLISA's ``send_keys`` included) and the final field value equals
+the intended text.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+#: QWERTY neighbourhoods for plausible substitution errors.
+QWERTY_NEIGHBOURS = {
+    "a": "qwsz", "b": "vghn", "c": "xdfv", "d": "serfcx", "e": "wsdr",
+    "f": "drtgvc", "g": "ftyhbv", "h": "gyujnb", "i": "ujko", "j": "huikmn",
+    "k": "jiolm", "l": "kop", "m": "njk", "n": "bhjm", "o": "iklp",
+    "p": "ol", "q": "wa", "r": "edft", "s": "awedxz", "t": "rfgy",
+    "u": "yhji", "v": "cfgb", "w": "qase", "x": "zsdc", "y": "tghu",
+    "z": "asx",
+}
+
+#: Token representing a Backspace press in the generated sequence.
+BACKSPACE = "Backspace"
+
+
+class TypoGenerator:
+    """Rewrites text into a human keystroke sequence with corrections."""
+
+    def __init__(
+        self,
+        error_rate: float = 0.03,
+        max_notice_delay: int = 3,
+        seed: Optional[int] = None,
+    ) -> None:
+        if not 0.0 <= error_rate < 1.0:
+            raise ValueError("error_rate must be in [0, 1)")
+        #: Per-character probability of a substitution error.
+        self.error_rate = error_rate
+        #: How many further characters may be typed before noticing.
+        self.max_notice_delay = max_notice_delay
+        self.rng = np.random.default_rng(seed)
+
+    def _wrong_key_for(self, char: str) -> str:
+        neighbours = QWERTY_NEIGHBOURS.get(char.lower())
+        if not neighbours:
+            return char  # no plausible slip: typed correctly
+        wrong = str(self.rng.choice(list(neighbours)))
+        return wrong.upper() if char.isupper() else wrong
+
+    def keystrokes(self, text: str) -> List[str]:
+        """The full keystroke sequence (chars + Backspace tokens).
+
+        Replaying it left-to-right against an editable field yields
+        exactly ``text``.
+        """
+        sequence: List[str] = []
+        i = 0
+        while i < len(text):
+            char = text[i]
+            wrong = self._wrong_key_for(char)
+            if wrong != char and self.rng.random() < self.error_rate:
+                # Type the wrong key, continue for a moment, notice,
+                # erase back to the error, resume correctly.
+                sequence.append(wrong)
+                extra = int(
+                    self.rng.integers(0, min(self.max_notice_delay, len(text) - i - 1) + 1)
+                )
+                for j in range(extra):
+                    sequence.append(text[i + 1 + j])
+                sequence.extend([BACKSPACE] * (extra + 1))
+                # Do not re-roll an error for the same position.
+                sequence.append(char)
+                for j in range(extra):
+                    sequence.append(text[i + 1 + j])
+                i += 1 + extra
+            else:
+                sequence.append(char)
+                i += 1
+        return sequence
+
+    @staticmethod
+    def replay(sequence: List[str]) -> str:
+        """Apply a keystroke sequence to an empty buffer (for testing)."""
+        buffer: List[str] = []
+        for token in sequence:
+            if token == BACKSPACE:
+                if buffer:
+                    buffer.pop()
+            else:
+                buffer.append(token)
+        return "".join(buffer)
+
+    def error_count(self, sequence: List[str]) -> int:
+        """Number of corrections in a generated sequence."""
+        return sum(1 for token in sequence if token == BACKSPACE)

@@ -1,0 +1,23 @@
+"""The simulated browser: window, navigator and input pipeline.
+
+This is the substrate both halves of the paper run on:
+
+- :mod:`repro.browser.navigator` builds a Firefox-like ``navigator`` on the
+  JS object model -- WebIDL accessors with brand checks live on
+  ``Navigator.prototype``; ``navigator.webdriver`` is ``True`` for
+  WebDriver-controlled instances (the W3C convention the paper calls
+  "crucial" for bot identification).
+- :class:`repro.browser.window.Window` owns the document, viewport, scroll
+  position and the navigator slot (which spoofing replaces).
+- :class:`repro.browser.input_pipeline.InputPipeline` converts OS-level
+  input into DOM events with the quirks Appendix D measured: 57 px wheel
+  ticks, environment-dependent double-click intervals (500 ms default,
+  600 ms observed under Selenium), 1 ms keyboard timestamp granularity,
+  mousemove coalescing, and focus/visibility semantics.
+"""
+
+from repro.browser.navigator import NavigatorProfile, make_navigator
+from repro.browser.window import Window
+from repro.browser.input_pipeline import InputPipeline
+
+__all__ = ["NavigatorProfile", "make_navigator", "Window", "InputPipeline"]

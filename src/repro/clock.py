@@ -1,0 +1,55 @@
+"""A virtual clock shared by the browser, input pipeline and agents.
+
+All timing in the reproduction is simulated: agents "sleep" by advancing the
+clock, and every dispatched event is stamped from it.  This makes experiments
+deterministic and lets a benchmark replay minutes of interaction in
+milliseconds of wall time.
+
+The paper's Appendix D observed that Firefox reports keyboard event times at
+1 ms granularity; :class:`VirtualClock` therefore exposes both the raw float
+time and a quantised event timestamp.
+"""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """A monotonically non-decreasing simulated clock, in milliseconds."""
+
+    #: Timestamp granularity applied to event timestamps (Appendix D: 1 ms).
+    EVENT_GRANULARITY_MS = 1.0
+
+    def __init__(self, start_ms: float = 0.0) -> None:
+        if start_ms < 0:
+            raise ValueError("clock cannot start before time zero")
+        self._now_ms = float(start_ms)
+
+    def now(self) -> float:
+        """Current simulated time in milliseconds (full precision)."""
+        return self._now_ms
+
+    def event_timestamp(self) -> float:
+        """Current time quantised to event granularity (1 ms)."""
+        g = self.EVENT_GRANULARITY_MS
+        return float(int(self._now_ms / g) * g)
+
+    def advance(self, delta_ms: float) -> float:
+        """Advance the clock by ``delta_ms`` (must be non-negative).
+
+        Returns the new time.
+        """
+        if delta_ms < 0:
+            raise ValueError(f"cannot advance clock by {delta_ms} ms")
+        self._now_ms += delta_ms
+        return self._now_ms
+
+    def sleep(self, seconds: float) -> None:
+        """Advance the clock by ``seconds`` seconds.
+
+        Mirrors ``time.sleep`` so agent code reads like real automation
+        code.
+        """
+        self.advance(seconds * 1000.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualClock(t={self._now_ms:.3f} ms)"

@@ -1,0 +1,38 @@
+"""HLISA: the Human-Like Interaction Selenium API (the paper's core
+contribution).
+
+:class:`~repro.core.hlisa_action_chains.HLISA_ActionChains` is a drop-in
+replacement for Selenium's ``ActionChains`` offering "the same calls and
+signatures as in the original Selenium API ... with the exception of a few
+additions" (Table 3).  Integration takes two changed lines, as in the
+paper's Listing 2::
+
+    from repro.core.hlisa_action_chains import HLISA_ActionChains
+
+    ac = HLISA_ActionChains(webdriver)
+    element = driver.find_element_by_id("text_area")
+    ac.move_to_element(element)
+    ac.send_keys_to_element(element, "Text..")
+    ac.perform()
+
+Internally HLISA only calls the *fine-grained* functions of the Selenium
+API (pointer moves, ``key_down``/``key_up``, ``click_and_hold``/
+``release``, pauses), which makes it "resistant to changes in the Selenium
+source code that do not affect the Selenium API".  One internal override
+is needed: Selenium's lower bound on pointer-move durations is reduced to
+50 ms via :func:`repro.core.patching.patch_pointer_move_duration`.
+"""
+
+from repro.core.hlisa_action_chains import HLISA_ActionChains
+from repro.core.patching import (
+    patch_pointer_move_duration,
+    unpatch_pointer_move_duration,
+    HLISA_POINTER_MOVE_DURATION_MS,
+)
+
+__all__ = [
+    "HLISA_ActionChains",
+    "patch_pointer_move_duration",
+    "unpatch_pointer_move_duration",
+    "HLISA_POINTER_MOVE_DURATION_MS",
+]

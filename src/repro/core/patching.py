@@ -1,0 +1,65 @@
+"""The Selenium patch HLISA applies (Section 4.1).
+
+    "The default Selenium API enforces a lower bound on the duration of
+    mouse movements that is too high for simulating human interaction.
+    For Selenium versions <4, we change this duration to 50 msec by
+    overriding the internal Selenium function ``create_pointer_move()``.
+    This allows us to express human-like mouse movements."
+
+The patch replaces :func:`repro.webdriver.actions.create_pointer_move`
+with a factory whose lower bound is 50 ms.  ``ActionChains`` looks the
+factory up on the module at call time, so the override takes effect for
+every chain -- exactly how monkey-patching the real Selenium internals
+works.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.webdriver import actions as actions_module
+from repro.webdriver.actions import PointerMove
+from repro.webdriver.errors import InvalidArgumentException
+
+#: The duration HLISA patches Selenium's lower bound down to.
+HLISA_POINTER_MOVE_DURATION_MS = 50.0
+
+_original_factory = actions_module.create_pointer_move
+
+
+def patch_pointer_move_duration(
+    min_duration_ms: float = HLISA_POINTER_MOVE_DURATION_MS,
+) -> None:
+    """Override ``create_pointer_move`` with a lower minimum duration.
+
+    Idempotent; calling it again just changes the bound.
+    """
+
+    def _patched(
+        x: float,
+        y: float,
+        duration_ms: float = actions_module.DEFAULT_POINTER_MOVE_DURATION_MS,
+        origin: Union[str, object] = "viewport",
+    ) -> PointerMove:
+        if duration_ms < 0:
+            raise InvalidArgumentException(f"negative move duration: {duration_ms}")
+        return PointerMove(
+            x=x, y=y, duration_ms=max(duration_ms, min_duration_ms), origin=origin
+        )
+
+    _patched.hlisa_min_duration_ms = min_duration_ms  # type: ignore[attr-defined]
+    actions_module.create_pointer_move = _patched
+
+
+def unpatch_pointer_move_duration() -> None:
+    """Restore Selenium's original ``create_pointer_move``."""
+    actions_module.create_pointer_move = _original_factory
+
+
+def current_min_duration_ms() -> float:
+    """The minimum pointer-move duration currently in force."""
+    factory = actions_module.create_pointer_move
+    patched = getattr(factory, "hlisa_min_duration_ms", None)
+    if patched is not None:
+        return float(patched)
+    return actions_module.MIN_POINTER_MOVE_DURATION_MS

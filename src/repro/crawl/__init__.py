@@ -1,0 +1,60 @@
+"""The simulated 1,000-site field study (Section 3.2).
+
+The paper crawls 1,000 random Tranco-top-10K sites with two OpenWPM
+configurations (with/without the spoofing extension), 8 browser instances
+each, and evaluates screenshots (Table 2) and HTTP status codes (Fig. 4 /
+Appendix B).  The live web is replaced by a synthetic population:
+
+- :mod:`repro.crawl.population` -- sites with configurable bot-detector
+  deployment (webdriver-flag checkers, a rare side-effect-aware detector,
+  HTTP-only blockers), ad slots, videos, breakage susceptibility and
+  web-dynamics noise.  Deployment rates are calibrated so the *baseline*
+  crawler experiences the paper's magnitudes (visible reactions on ~1.7 %
+  of sites); what happens when the extension is enabled is then fully
+  mechanical: sites re-run their real fingerprint probes against the real
+  (spoofed) navigator.
+- :mod:`repro.crawl.crawler` -- the OpenWPM-like crawler.
+- :mod:`repro.crawl.evaluation` -- the Table 2 screenshot evaluation, the
+  breakage report, and the Fig. 4 HTTP-error histogram with the Wilcoxon
+  matched-pairs significance test.
+"""
+
+from repro.crawl.population import (
+    DetectorDeployment,
+    DetectionSignal,
+    Reaction,
+    SiteConfig,
+    PopulationConfig,
+    generate_population,
+)
+from repro.crawl.visit import HTTPResponse, Screenshot, VisitRecord, simulate_visit
+from repro.crawl.crawler import OpenWPMCrawler, CrawlResult
+from repro.crawl.evaluation import (
+    ScreenshotEvaluation,
+    evaluate_screenshots,
+    BreakageReport,
+    evaluate_breakage,
+    HTTPErrorEvaluation,
+    evaluate_http_errors,
+)
+
+__all__ = [
+    "DetectorDeployment",
+    "DetectionSignal",
+    "Reaction",
+    "SiteConfig",
+    "PopulationConfig",
+    "generate_population",
+    "HTTPResponse",
+    "Screenshot",
+    "VisitRecord",
+    "simulate_visit",
+    "OpenWPMCrawler",
+    "CrawlResult",
+    "ScreenshotEvaluation",
+    "evaluate_screenshots",
+    "BreakageReport",
+    "evaluate_breakage",
+    "HTTPErrorEvaluation",
+    "evaluate_http_errors",
+]

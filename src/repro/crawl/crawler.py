@@ -1,0 +1,102 @@
+"""The OpenWPM-like crawler."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.crawl.population import SiteConfig
+from repro.crawl.visit import VisitRecord, simulate_visit
+from repro.detection.fingerprint import _reference_navigator
+from repro.spoofing.extension import SpoofingExtension
+
+
+@dataclass
+class CrawlResult:
+    """All visit records of one crawl configuration."""
+
+    crawler_name: str
+    records: List[VisitRecord] = field(default_factory=list)
+
+    # -- totals ----------------------------------------------------------
+
+    @property
+    def successful_visits(self) -> List[VisitRecord]:
+        return [r for r in self.records if r.reached]
+
+    @property
+    def reached_domains(self) -> List[str]:
+        return sorted({r.domain for r in self.successful_visits})
+
+    def by_domain(self) -> Dict[str, List[VisitRecord]]:
+        grouped: Dict[str, List[VisitRecord]] = {}
+        for record in self.successful_visits:
+            grouped.setdefault(record.domain, []).append(record)
+        return grouped
+
+    def first_party_error_counts(self) -> Dict[str, int]:
+        """Per-domain total first-party error responses (for Wilcoxon)."""
+        counts: Dict[str, int] = {}
+        for record in self.successful_visits:
+            counts[record.domain] = counts.get(record.domain, 0) + record.first_party_errors()
+        return counts
+
+    def status_code_counts(self, first_party: Optional[bool] = None) -> Dict[int, int]:
+        """Occurrences of each status code (optionally split by party)."""
+        counts: Dict[int, int] = {}
+        for record in self.successful_visits:
+            for response in record.responses:
+                if first_party is not None and response.first_party != first_party:
+                    continue
+                counts[response.status] = counts.get(response.status, 0) + 1
+        return counts
+
+
+class OpenWPMCrawler:
+    """Visits every site of a population a fixed number of times.
+
+    Parameters
+    ----------
+    extension:
+        ``None`` models stock OpenWPM (column 1 of Table 2); a
+        :class:`SpoofingExtension` models OpenWPM+extension (column 2).
+    instances:
+        Browser instances per site -- the paper ran 8 simultaneously per
+        machine to average out web dynamics.
+    seed:
+        Seed for the visit-level randomness (web dynamics, sampled
+        detector checks).  Two crawlers with different seeds model the
+        two distinct machines/residential IPs of the paper's setup.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        extension: Optional[SpoofingExtension] = None,
+        instances: int = 8,
+        seed: int = 1,
+    ) -> None:
+        self.name = name
+        self.extension = extension
+        self.instances = instances
+        self.seed = seed
+
+    def crawl(self, population: Sequence[SiteConfig]) -> CrawlResult:
+        """Visit every site ``instances`` times."""
+        rng = np.random.default_rng(self.seed)
+        reference = _reference_navigator()
+        result = CrawlResult(crawler_name=self.name)
+        for site in population:
+            for visit_index in range(self.instances):
+                result.records.append(
+                    simulate_visit(
+                        site,
+                        extension=self.extension,
+                        visit_index=visit_index,
+                        rng=rng,
+                        reference=reference,
+                    )
+                )
+        return result

@@ -1,0 +1,195 @@
+"""Evaluation pipelines: Table 2, the breakage report, and Fig. 4.
+
+``evaluate_screenshots`` reproduces the paper's screenshot review: for
+each crawler it counts sites and visits showing missing ads (split into
+"no ads"/"less ads"), blocking pages/CAPTCHAs, and frozen video elements.
+
+``evaluate_http_errors`` reproduces Appendix B / Fig. 4: status-code
+occurrence counts per crawler (codes above a threshold), split by party,
+plus the Wilcoxon matched-pairs signed-rank test on per-site first-party
+and third-party error counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.crawl.crawler import CrawlResult
+from repro.stats.wilcoxon import WilcoxonResult, wilcoxon_signed_rank
+
+
+@dataclass
+class ScreenshotCategory:
+    """One Table 2 row for one crawler: affected sites and visits."""
+
+    sites: int = 0
+    visits: int = 0
+
+
+@dataclass
+class ScreenshotEvaluation:
+    """Table 2 for one crawler configuration."""
+
+    crawler_name: str
+    total_sites: int = 0
+    total_visits: int = 0
+    missing_ads: ScreenshotCategory = field(default_factory=ScreenshotCategory)
+    no_ads: ScreenshotCategory = field(default_factory=ScreenshotCategory)
+    less_ads: ScreenshotCategory = field(default_factory=ScreenshotCategory)
+    blocking_captchas: ScreenshotCategory = field(default_factory=ScreenshotCategory)
+    frozen_video: ScreenshotCategory = field(default_factory=ScreenshotCategory)
+
+    @property
+    def affected_sites(self) -> int:
+        """Sites showing any visible sign of bot detection."""
+        return self.missing_ads.sites + self.blocking_captchas.sites + self.frozen_video.sites
+
+    def rows(self) -> List[Tuple[str, int, int]]:
+        """Table rows as ``(label, sites, visits)``."""
+        return [
+            ("total", self.total_sites, self.total_visits),
+            ("missing ads", self.missing_ads.sites, self.missing_ads.visits),
+            ("- no ads", self.no_ads.sites, self.no_ads.visits),
+            ("- less ads", self.less_ads.sites, self.less_ads.visits),
+            ("blocking/CAPTCHAs", self.blocking_captchas.sites, self.blocking_captchas.visits),
+            ("frozen video element(s)", self.frozen_video.sites, self.frozen_video.visits),
+        ]
+
+
+def evaluate_screenshots(result: CrawlResult) -> ScreenshotEvaluation:
+    """The Table 2 screenshot review for one crawl."""
+    evaluation = ScreenshotEvaluation(crawler_name=result.crawler_name)
+    by_domain = result.by_domain()
+    evaluation.total_sites = len(by_domain)
+    evaluation.total_visits = len(result.successful_visits)
+    for domain, records in by_domain.items():
+        no_ads_visits = sum(1 for r in records if r.screenshot.missing_all_ads)
+        less_ads_visits = sum(1 for r in records if r.screenshot.missing_some_ads)
+        blocked_visits = sum(
+            1 for r in records if r.screenshot.blocked or r.screenshot.captcha
+        )
+        frozen_visits = sum(1 for r in records if r.screenshot.video_frozen)
+        if no_ads_visits:
+            evaluation.no_ads.sites += 1
+            evaluation.no_ads.visits += no_ads_visits
+        if less_ads_visits:
+            evaluation.less_ads.sites += 1
+            evaluation.less_ads.visits += less_ads_visits
+        if no_ads_visits or less_ads_visits:
+            evaluation.missing_ads.sites += 1
+            evaluation.missing_ads.visits += no_ads_visits + less_ads_visits
+        if blocked_visits:
+            evaluation.blocking_captchas.sites += 1
+            evaluation.blocking_captchas.visits += blocked_visits
+        if frozen_visits:
+            evaluation.frozen_video.sites += 1
+            evaluation.frozen_video.visits += frozen_visits
+    return evaluation
+
+
+@dataclass
+class BreakageReport:
+    """Website breakage attributable to the extension (Section 3.2)."""
+
+    deformed_layout_sites: List[str] = field(default_factory=list)
+    frozen_video_sites: List[str] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.deformed_layout_sites) + len(self.frozen_video_sites)
+
+
+def evaluate_breakage(
+    baseline: CrawlResult, extended: CrawlResult
+) -> BreakageReport:
+    """Breakage = anomalies the *extension* crawl shows and the baseline
+    does not (on sites that showed no bot reaction either way)."""
+    report = BreakageReport()
+    baseline_by_domain = baseline.by_domain()
+    for domain, records in extended.by_domain().items():
+        base_records = baseline_by_domain.get(domain, [])
+        deformed = any(r.screenshot.layout_deformed for r in records)
+        deformed_base = any(r.screenshot.layout_deformed for r in base_records)
+        if deformed and not deformed_base:
+            report.deformed_layout_sites.append(domain)
+        frozen = any(r.screenshot.video_frozen for r in records)
+        frozen_base = any(
+            r.screenshot.video_frozen or r.detected_as_bot for r in base_records
+        )
+        if frozen and not frozen_base:
+            report.frozen_video_sites.append(domain)
+    return report
+
+
+@dataclass
+class HTTPErrorEvaluation:
+    """Fig. 4 / Appendix B: status-code histogram + significance tests."""
+
+    #: status -> (baseline count, extension count); all parties combined.
+    status_counts: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+    first_party_wilcoxon: Optional[WilcoxonResult] = None
+    third_party_wilcoxon: Optional[WilcoxonResult] = None
+    baseline_first_party_errors: int = 0
+    extended_first_party_errors: int = 0
+
+    def rows(self, min_occurrences: int = 100) -> List[Tuple[int, int, int]]:
+        """Fig. 4's bars: ``(status, baseline, extension)`` for codes with
+        more than ``min_occurrences`` occurrences in either crawl."""
+        rows = [
+            (status, counts[0], counts[1])
+            for status, counts in sorted(self.status_counts.items())
+            if max(counts) > min_occurrences
+        ]
+        return rows
+
+
+def evaluate_http_errors(
+    baseline: CrawlResult, extended: CrawlResult
+) -> HTTPErrorEvaluation:
+    """Compare the two crawls' HTTP responses (Section 3.2 / Appendix B)."""
+    evaluation = HTTPErrorEvaluation()
+    base_counts = baseline.status_code_counts()
+    ext_counts = extended.status_code_counts()
+    for status in sorted(set(base_counts) | set(ext_counts)):
+        evaluation.status_counts[status] = (
+            base_counts.get(status, 0),
+            ext_counts.get(status, 0),
+        )
+
+    # Wilcoxon matched pairs over per-site error counts (sites reached by
+    # both crawls; the paper pairs the two machines' observations).
+    def _paired(counter_name: str) -> Tuple[List[float], List[float]]:
+        base_map = getattr(baseline, counter_name)()
+        ext_map = getattr(extended, counter_name)()
+        shared = sorted(set(base_map) & set(ext_map))
+        return (
+            [float(base_map[d]) for d in shared],
+            [float(ext_map[d]) for d in shared],
+        )
+
+    base_fp, ext_fp = _paired("first_party_error_counts")
+    evaluation.baseline_first_party_errors = int(sum(base_fp))
+    evaluation.extended_first_party_errors = int(sum(ext_fp))
+    try:
+        evaluation.first_party_wilcoxon = wilcoxon_signed_rank(base_fp, ext_fp)
+    except ValueError:
+        evaluation.first_party_wilcoxon = None
+
+    def _third_party_counts(result: CrawlResult) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for record in result.successful_visits:
+            counts[record.domain] = counts.get(record.domain, 0) + record.third_party_errors()
+        return counts
+
+    base_tp_map = _third_party_counts(baseline)
+    ext_tp_map = _third_party_counts(extended)
+    shared = sorted(set(base_tp_map) & set(ext_tp_map))
+    try:
+        evaluation.third_party_wilcoxon = wilcoxon_signed_rank(
+            [float(base_tp_map[d]) for d in shared],
+            [float(ext_tp_map[d]) for d in shared],
+        )
+    except ValueError:
+        evaluation.third_party_wilcoxon = None
+    return evaluation

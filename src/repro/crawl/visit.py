@@ -1,0 +1,198 @@
+"""A single crawler visit to a site.
+
+Every visit builds a *real* simulated browser window (WebDriver-controlled
+profile), lets the extension -- if any -- inject its content script, and
+then runs the site's actual fingerprint probes against it.  The bot
+verdict is therefore produced by the same code path as the Table 1
+experiments; the population only decides *which* probes a site runs and
+how it reacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.browser.navigator import NavigatorProfile
+from repro.browser.window import Window
+from repro.crawl.population import DetectionSignal, Reaction, SiteConfig
+from repro.detection.fingerprint import probe_webdriver_flag, run_all_probes
+from repro.spoofing.extension import SpoofingExtension
+
+
+@dataclass
+class HTTPResponse:
+    """One HTTP response observed during a visit."""
+
+    url: str
+    status: int
+    first_party: bool
+
+    @property
+    def is_error(self) -> bool:
+        return self.status >= 400
+
+
+@dataclass
+class Screenshot:
+    """The visually observable outcome of a visit (Table 2's categories)."""
+
+    blocked: bool = False
+    captcha: bool = False
+    ads_expected: int = 0
+    ads_shown: int = 0
+    video_frozen: bool = False
+    layout_deformed: bool = False
+
+    @property
+    def missing_all_ads(self) -> bool:
+        return self.ads_expected > 0 and self.ads_shown == 0
+
+    @property
+    def missing_some_ads(self) -> bool:
+        return 0 < self.ads_shown < self.ads_expected
+
+
+@dataclass
+class VisitRecord:
+    """Everything recorded about one visit."""
+
+    domain: str
+    rank: int
+    visit_index: int
+    reached: bool
+    responses: List[HTTPResponse] = field(default_factory=list)
+    screenshot: Optional[Screenshot] = None
+    #: Whether the site's detector decided "bot" this visit.
+    detected_as_bot: bool = False
+
+    def first_party_errors(self) -> int:
+        return sum(1 for r in self.responses if r.first_party and r.is_error)
+
+    def third_party_errors(self) -> int:
+        return sum(1 for r in self.responses if not r.first_party and r.is_error)
+
+
+def _run_site_detector(
+    site: SiteConfig, window: Window, rng: np.random.Generator, reference
+) -> bool:
+    """The site's bot-detection script.  Returns True when it fires."""
+    deployment = site.detector
+    if deployment is None:
+        return False
+    if rng.random() >= deployment.fire_probability:
+        return False
+    if deployment.signal is DetectionSignal.WEBDRIVER_FLAG:
+        return probe_webdriver_flag(window) is True
+    if deployment.signal is DetectionSignal.SIDE_EFFECTS:
+        result = run_all_probes(window, reference)
+        return result.bot_suspected
+    # DetectionSignal.OTHER: non-fingerprint signal; already gated by
+    # fire_probability above.
+    return True
+
+
+def simulate_visit(
+    site: SiteConfig,
+    *,
+    extension: Optional[SpoofingExtension],
+    visit_index: int,
+    rng: np.random.Generator,
+    reference=None,
+    per_visit_failure: float = 0.002,
+) -> VisitRecord:
+    """Simulate one crawler visit to ``site``."""
+    record = VisitRecord(
+        domain=site.domain, rank=site.rank, visit_index=visit_index, reached=True
+    )
+    if site.unreachable or rng.random() < per_visit_failure:
+        record.reached = False
+        return record
+
+    # Build the automated browser and let the extension act on the page.
+    window = Window(profile=NavigatorProfile(webdriver=True))
+    if extension is not None:
+        extension.inject(window)
+
+    detected = _run_site_detector(site, window, rng, reference)
+    record.detected_as_bot = detected
+    reaction = site.detector.reaction if (site.detector and detected) else None
+
+    screenshot = Screenshot(ads_expected=site.ad_slots, ads_shown=site.ad_slots)
+    responses: List[HTTPResponse] = [
+        HTTPResponse(f"https://{site.domain}/", 200, first_party=True)
+    ]
+
+    if reaction is Reaction.BLOCK_PAGE:
+        screenshot.blocked = True
+        responses[0] = HTTPResponse(f"https://{site.domain}/", 403, first_party=True)
+        screenshot.ads_shown = 0
+        screenshot.ads_expected = 0  # the block page has no ad slots
+    elif reaction is Reaction.CAPTCHA:
+        screenshot.captcha = True
+        responses[0] = HTTPResponse(f"https://{site.domain}/", 503, first_party=True)
+        screenshot.ads_shown = 0
+        screenshot.ads_expected = 0
+    elif reaction is Reaction.NO_ADS:
+        screenshot.ads_shown = 0
+    elif reaction is Reaction.LESS_ADS:
+        if site.ad_slots > 1:
+            screenshot.ads_shown = int(rng.integers(1, site.ad_slots))
+        else:
+            screenshot.ads_shown = 0
+    elif reaction is Reaction.FREEZE_VIDEO:
+        screenshot.video_frozen = True
+    elif reaction is Reaction.HTTP_ONLY:
+        # Subresource blocking: some first-party API calls and trackers
+        # answer 403/503; the page still renders.
+        for i in range(int(rng.integers(1, 4))):
+            status = 403 if rng.random() < 0.7 else 503
+            responses.append(
+                HTTPResponse(
+                    f"https://{site.domain}/api/{i}", status, first_party=True
+                )
+            )
+
+    # Ordinary first-party subresources.
+    if not (screenshot.blocked or screenshot.captcha):
+        for i in range(6):
+            status = 200
+            roll = rng.random()
+            if roll < site.first_party_error_rate:
+                status = int(rng.choice([404, 403, 500, 503], p=[0.6, 0.15, 0.15, 0.1]))
+            responses.append(
+                HTTPResponse(f"https://{site.domain}/assets/{i}", status, first_party=True)
+            )
+
+        # Third parties (ads, trackers, CDNs) with web-dynamics noise.
+        for i in range(site.n_third_party):
+            status = 200
+            roll = rng.random()
+            if roll < site.third_party_error_rate:
+                status = int(
+                    rng.choice(
+                        [404, 400, 403, 410, 429, 500, 502, 503],
+                        p=[0.48, 0.12, 0.1, 0.05, 0.05, 0.1, 0.05, 0.05],
+                    )
+                )
+            responses.append(
+                HTTPResponse(f"https://tp-{i}.example/r", status, first_party=False)
+            )
+
+        # Ad-auction noise: occasionally fewer ads regardless of detection.
+        if reaction is None and screenshot.ads_expected > 0:
+            if rng.random() < site.ad_noise_probability:
+                screenshot.ads_shown = int(rng.integers(0, screenshot.ads_expected))
+
+    # Breakage: the proxied navigator trips the site's own scripts.
+    if extension is not None and site.breakage is not None:
+        if site.breakage == "layout":
+            screenshot.layout_deformed = True
+        elif site.breakage == "video":
+            screenshot.video_frozen = True
+
+    record.responses = responses
+    record.screenshot = screenshot
+    return record

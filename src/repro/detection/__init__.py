@@ -1,0 +1,81 @@
+"""Bot detectors, organised by the arms-race levels of the paper's Fig. 3.
+
+The website side of the arms race:
+
+- **Level 1** (:mod:`repro.detection.artificial`): "detect artificial
+  behaviour" -- superhuman speed, perfect straight lines, exact-centre
+  clicks, zero dwell times, 13,333 cpm typing, capitals without Shift,
+  teleporting scrolls.  Catches plain Selenium.
+- **Level 2** (:mod:`repro.detection.deviation`): "detect deviations from
+  human behaviour" -- distributional tests on click scatter, trajectory
+  shape (smooth curves without tremor), rhythmless typing, metronome
+  scrolling.  Catches the naive improvements.
+- **Level 3** (:mod:`repro.detection.consistency`): "tracking consistency
+  of behaviour" -- cross-signal couplings such as the Fitts'-law relation
+  between movement time and target difficulty, and the speed-accuracy
+  trade-off.  This is the level the paper says is conceptually required
+  to catch HLISA.
+- **Level 4** (:mod:`repro.detection.profile_match`): "recognise specific
+  user profile" -- enrolment-based matching of one individual's
+  parameters (the level the paper notes may collide with the GDPR).
+
+Fingerprint detection is orthogonal to interaction and lives in
+:mod:`repro.detection.fingerprint`: the ``webdriver`` flag, a JavaScript
+template attack, and the five side-effect probes of Table 1.
+
+:mod:`repro.detection.battery` assembles standard batteries per level and
+produces reports.
+"""
+
+from repro.detection.base import Detector, Verdict, DetectionLevel
+from repro.detection.artificial import ARTIFICIAL_DETECTORS
+from repro.detection.deviation import DEVIATION_DETECTORS
+from repro.detection.consistency import CONSISTENCY_DETECTORS
+from repro.detection.profile_match import EnrolledProfileDetector
+from repro.detection.fingerprint import (
+    FingerprintProbeResult,
+    SideEffect,
+    probe_webdriver_flag,
+    probe_property_order,
+    probe_property_count,
+    probe_object_keys,
+    probe_proto_webdriver,
+    probe_function_tostring,
+    run_all_probes,
+    TemplateAttack,
+)
+from repro.detection.battery import DetectorBattery, BatteryReport
+from repro.detection.crosscheck import (
+    SmoothScrollMismatchDetector,
+    TouchClaimDetector,
+    cross_check,
+)
+from repro.detection.replay import CrossSessionReplayDetector
+from repro.detection.traversal import TraversalDetector
+
+__all__ = [
+    "Detector",
+    "Verdict",
+    "DetectionLevel",
+    "ARTIFICIAL_DETECTORS",
+    "DEVIATION_DETECTORS",
+    "CONSISTENCY_DETECTORS",
+    "EnrolledProfileDetector",
+    "FingerprintProbeResult",
+    "SideEffect",
+    "probe_webdriver_flag",
+    "probe_property_order",
+    "probe_property_count",
+    "probe_object_keys",
+    "probe_proto_webdriver",
+    "probe_function_tostring",
+    "run_all_probes",
+    "TemplateAttack",
+    "DetectorBattery",
+    "BatteryReport",
+    "SmoothScrollMismatchDetector",
+    "TouchClaimDetector",
+    "cross_check",
+    "CrossSessionReplayDetector",
+    "TraversalDetector",
+]

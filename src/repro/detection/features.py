@@ -1,0 +1,86 @@
+"""Behavioural feature vectors (used by profile matching).
+
+A compact numeric description of one recording: pointing kinematics,
+click placement, typing rhythm.  Missing modalities yield ``None`` so the
+profile matcher can restrict itself to features both enrolment and probe
+recordings share.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.analysis.clicks import click_metrics
+from repro.analysis.trajectory import per_movement_metrics
+from repro.analysis.typing_metrics import typing_metrics
+from repro.events.recorder import EventRecorder
+
+FeatureVector = Dict[str, Optional[float]]
+
+#: Feature names, in canonical order.
+FEATURE_NAMES = (
+    "mean_speed_px_s",
+    "speed_cv",
+    "jitter_rms_px",
+    "straightness",
+    "click_offset_mean",
+    "click_offset_std",
+    "click_dwell_mean_ms",
+    "key_dwell_mean_ms",
+    "key_dwell_std_ms",
+    "key_flight_mean_ms",
+    "chars_per_minute",
+)
+
+
+def extract_features(recorder: EventRecorder) -> FeatureVector:
+    """Extract the feature vector from one recording.
+
+    Absent modalities (no clicks recorded, no typing, ...) produce
+    ``None`` entries rather than fabricated zeros.
+    """
+    features: FeatureVector = {name: None for name in FEATURE_NAMES}
+
+    movements = [
+        m
+        for m in per_movement_metrics(recorder.mouse_path())
+        if m.chord_length > 80
+    ]
+    if movements:
+        features["mean_speed_px_s"] = float(
+            np.mean([m.mean_speed_px_s for m in movements])
+        )
+        features["speed_cv"] = float(np.mean([m.speed_cv for m in movements]))
+        features["jitter_rms_px"] = float(
+            np.mean([m.jitter_rms_px for m in movements])
+        )
+        features["straightness"] = float(
+            np.mean([m.straightness for m in movements])
+        )
+
+    clicks = recorder.clicks()
+    positions, boxes = [], []
+    for click in clicks:
+        box = click.target_box
+        if box is not None and box.width >= 4 and box.height >= 4:
+            positions.append(click.position)
+            boxes.append(box)
+    if len(positions) >= 5:
+        cm = click_metrics(positions, boxes)
+        features["click_offset_mean"] = cm.mean_radial_offset
+        features["click_offset_std"] = cm.std_radial_offset
+        features["click_dwell_mean_ms"] = float(
+            np.mean([c.dwell_ms for c in clicks])
+        )
+
+    strokes = recorder.key_strokes()
+    if len(strokes) >= 10:
+        tm = typing_metrics(strokes)
+        features["key_dwell_mean_ms"] = tm.dwell_mean_ms
+        features["key_dwell_std_ms"] = tm.dwell_std_ms
+        features["key_flight_mean_ms"] = tm.flight_mean_ms
+        features["chars_per_minute"] = tm.chars_per_minute
+
+    return features

@@ -1,0 +1,162 @@
+"""The third detection avenue: site traversal (navigational patterns).
+
+The paper's introduction names three web-bot detection avenues:
+fingerprinting, interaction, and *site traversal* -- and argues that the
+third "cannot be solved generically, as such paths depend on the study
+being executed".  This module supplies the detector side (in the spirit
+of Tan & Kumar's navigational-pattern classification) so the claim can
+be demonstrated: HLISA changes interaction, not traversal, so a
+traversal detector flags an HLISA-driven crawl exactly as it flags a
+Selenium one.
+
+A traversal is a sequence of page visits ``(url, dwell_ms)``.  Bot
+signatures:
+
+- **systematic order**: pages visited in a monotone (list/rank/BFS)
+  order; humans wander, backtrack and revisit;
+- **metronomic dwell**: near-constant per-page time; human dwell is
+  heavy-tailed;
+- **no revisits**: a crawler working through a list never returns;
+  humans return to hub pages constantly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+PageVisit = Tuple[str, float]  # (url, dwell_ms)
+
+
+@dataclass(frozen=True)
+class TraversalMetrics:
+    """Summary of one navigation sequence."""
+
+    n_visits: int
+    n_unique: int
+    revisit_rate: float
+    #: Kendall-tau-style monotonicity of the visit order against the
+    #: lexicographic page order (1.0 = perfectly systematic sweep).
+    order_monotonicity: float
+    dwell_cv: float
+    dwell_p95_over_median: float
+
+
+def traversal_metrics(visits: Sequence[PageVisit]) -> TraversalMetrics:
+    """Compute :class:`TraversalMetrics` from a visit sequence."""
+    visits = list(visits)
+    if len(visits) < 3:
+        raise ValueError("need at least 3 page visits")
+    urls = [u for u, _ in visits]
+    dwells = np.array([d for _, d in visits], dtype=float)
+    unique = list(dict.fromkeys(urls))
+    revisit_rate = 1.0 - len(unique) / len(urls)
+
+    # Monotonicity of first-visit order vs sorted page order.
+    order = {url: i for i, url in enumerate(sorted(set(urls)))}
+    ranks = [order[u] for u in urls]
+    concordant = discordant = 0
+    for i in range(len(ranks) - 1):
+        if ranks[i + 1] > ranks[i]:
+            concordant += 1
+        elif ranks[i + 1] < ranks[i]:
+            discordant += 1
+    steps = max(concordant + discordant, 1)
+    monotonicity = (concordant - discordant) / steps
+
+    median = float(np.median(dwells))
+    return TraversalMetrics(
+        n_visits=len(visits),
+        n_unique=len(unique),
+        revisit_rate=revisit_rate,
+        order_monotonicity=float(monotonicity),
+        dwell_cv=float(np.std(dwells) / np.mean(dwells)) if np.mean(dwells) > 0 else 0.0,
+        dwell_p95_over_median=float(np.quantile(dwells, 0.95) / median) if median > 0 else 0.0,
+    )
+
+
+class TraversalDetector:
+    """Flags systematic, rhythm-less, revisit-free navigation.
+
+    Study-dependent by nature: thresholds assume a browsing-like context
+    (a dozen-plus pages).  This is deliberately *not* part of the
+    interaction batteries -- the paper's point is precisely that no
+    interaction API can fix traversal.
+    """
+
+    name = "navigational-pattern"
+    minimum_visits = 12
+
+    def __init__(
+        self,
+        monotonicity_threshold: float = 0.85,
+        dwell_cv_threshold: float = 0.25,
+        revisit_threshold: float = 0.05,
+    ) -> None:
+        self.monotonicity_threshold = monotonicity_threshold
+        self.dwell_cv_threshold = dwell_cv_threshold
+        self.revisit_threshold = revisit_threshold
+
+    def observe(self, visits: Sequence[PageVisit]) -> Tuple[bool, List[str]]:
+        """Returns ``(is_bot, reasons)`` for a navigation sequence."""
+        if len(visits) < self.minimum_visits:
+            return False, []
+        metrics = traversal_metrics(visits)
+        reasons: List[str] = []
+        signals = 0
+        if abs(metrics.order_monotonicity) >= self.monotonicity_threshold:
+            signals += 1
+            reasons.append(
+                f"systematic page order (monotonicity "
+                f"{metrics.order_monotonicity:+.2f})"
+            )
+        if metrics.dwell_cv <= self.dwell_cv_threshold:
+            signals += 1
+            reasons.append(f"metronomic dwell times (CV {metrics.dwell_cv:.2f})")
+        if metrics.revisit_rate <= self.revisit_threshold:
+            signals += 1
+            reasons.append(f"no revisits ({metrics.revisit_rate:.0%})")
+        return signals >= 2, reasons
+
+
+# -- traversal generators (for the demonstration benches) --------------------
+
+
+def crawler_traversal(
+    pages: Sequence[str],
+    dwell_ms: float = 10000.0,
+    rng: Optional[np.random.Generator] = None,
+) -> List[PageVisit]:
+    """How measurement crawlers traverse: in list order, fixed timeout.
+
+    OpenWPM-style studies visit each page once, in order, with a
+    configured per-page dwell (the paper's own field study visited its
+    list with a fixed timeout).  Tiny jitter models load-time variance.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    return [
+        (page, float(dwell_ms + rng.normal(0, dwell_ms * 0.02))) for page in pages
+    ]
+
+
+def human_traversal(
+    pages: Sequence[str],
+    n_visits: int = 40,
+    rng: Optional[np.random.Generator] = None,
+) -> List[PageVisit]:
+    """How people browse: hub-and-spoke wandering with heavy-tailed dwell."""
+    rng = rng if rng is not None else np.random.default_rng(1)
+    pages = list(pages)
+    hub = pages[0]
+    visits: List[PageVisit] = []
+    current = hub
+    for _ in range(n_visits):
+        dwell = float(rng.lognormal(np.log(8000), 0.9))
+        visits.append((current, dwell))
+        if current != hub and rng.random() < 0.45:
+            current = hub  # back to the hub (revisit)
+        else:
+            current = str(rng.choice(pages))
+    return visits

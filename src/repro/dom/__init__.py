@@ -1,0 +1,14 @@
+"""A minimal DOM: an element tree with explicit layout boxes.
+
+The reproduction does not need HTML parsing or CSS -- pages are built
+programmatically (by the experiment tasks and the synthetic crawl sites)
+with explicit geometry.  What *is* needed faithfully is everything
+interaction detectors observe: hit testing (which element is under the
+cursor), focus, element centres (Selenium clicks exactly there), scrollable
+document heights, and event bubbling from element to document.
+"""
+
+from repro.dom.element import Element
+from repro.dom.document import Document
+
+__all__ = ["Element", "Document"]

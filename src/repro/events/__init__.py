@@ -1,0 +1,41 @@
+"""Interaction events: taxonomy, event objects, dispatch and recording.
+
+The paper's Appendix C enumerates the Firefox events "related to or
+triggered by interaction"; Appendix D reduces them to a small covering set
+that captures *all* interaction information available to a web page.  This
+package provides:
+
+- :mod:`repro.events.taxonomy` -- the event name lists, exactly as printed
+  in the paper, plus the Appendix D covering set grouped by interaction
+  category;
+- :class:`repro.events.event.Event` -- the event object (timestamp,
+  coordinates, key, deltas, modifier flags);
+- :class:`repro.events.dispatch.EventTarget` -- listener registration and
+  bubbling dispatch;
+- :class:`repro.events.recorder.EventRecorder` -- the "website that records
+  interaction" of Appendix E, storing a raw timeline with typed filters.
+"""
+
+from repro.events.taxonomy import (
+    DOCUMENT_EVENTS,
+    ELEMENT_EVENTS,
+    WINDOW_EVENTS,
+    ALL_INTERACTION_EVENTS,
+    COVERING_SET,
+    COVERING_SET_EVENTS,
+)
+from repro.events.event import Event
+from repro.events.dispatch import EventTarget
+from repro.events.recorder import EventRecorder
+
+__all__ = [
+    "DOCUMENT_EVENTS",
+    "ELEMENT_EVENTS",
+    "WINDOW_EVENTS",
+    "ALL_INTERACTION_EVENTS",
+    "COVERING_SET",
+    "COVERING_SET_EVENTS",
+    "Event",
+    "EventTarget",
+    "EventRecorder",
+]

@@ -1,0 +1,76 @@
+"""Listener registration and bubbling dispatch.
+
+A trimmed-down DOM event flow: events dispatched on an element bubble up
+through its ancestors to the document and then the window, except for the
+handful of non-bubbling types (``focus``/``blur``, ``mouseenter``/
+``mouseleave``), matching the semantics detectors rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.events.event import Event
+
+Listener = Callable[[Event], None]
+
+#: Event types that do not propagate upwards in this model.  In the real
+#: DOM, ``focus``/``blur`` and ``scroll`` do not *bubble* either, but they
+#: are observable at the document/window via the capture phase (or their
+#: bubbling twins ``focusin``/``focusout``); since this model has no
+#: capture phase, they are allowed to propagate so a document-level
+#: recorder sees what a real instrumented page sees.
+NON_BUBBLING = frozenset({"mouseenter", "mouseleave", "load"})
+
+
+class EventTarget:
+    """Mixin providing ``addEventListener``-style listener management.
+
+    Subclasses (elements, documents, windows) may define a ``parent_target``
+    property returning the next target in the bubbling path.
+    """
+
+    def __init__(self) -> None:
+        self._listeners: Dict[str, List[Listener]] = {}
+
+    # -- registration -------------------------------------------------------
+
+    def add_event_listener(self, event_type: str, listener: Listener) -> None:
+        """Register ``listener`` for events of ``event_type``."""
+        self._listeners.setdefault(event_type, []).append(listener)
+
+    def remove_event_listener(self, event_type: str, listener: Listener) -> None:
+        """Unregister a previously added listener (no-op if absent)."""
+        listeners = self._listeners.get(event_type)
+        if listeners and listener in listeners:
+            listeners.remove(listener)
+
+    def listener_count(self, event_type: Optional[str] = None) -> int:
+        """Number of listeners for ``event_type`` (or all types)."""
+        if event_type is not None:
+            return len(self._listeners.get(event_type, []))
+        return sum(len(ls) for ls in self._listeners.values())
+
+    # -- dispatch -------------------------------------------------------------
+
+    @property
+    def parent_target(self) -> Optional["EventTarget"]:
+        """Next target in the bubbling path (``None`` terminates)."""
+        return None
+
+    def handle_event(self, event: Event) -> None:
+        """Invoke this target's listeners for ``event`` (no bubbling)."""
+        for listener in list(self._listeners.get(event.type, [])):
+            listener(event)
+
+    def dispatch_event(self, event: Event) -> None:
+        """Dispatch ``event`` at this target and bubble it upwards."""
+        if event.target is None:
+            event.target = self
+        self.handle_event(event)
+        if event.type in NON_BUBBLING:
+            return
+        node = self.parent_target
+        while node is not None:
+            node.handle_event(event)
+            node = node.parent_target

@@ -1,0 +1,109 @@
+"""The interaction-event taxonomy of the paper's Appendices C and D.
+
+Appendix C lists the events Firefox exposes that are "related to or
+triggered by interaction", grouped by the object they fire on.  The paper's
+prose says 57 events; the printed lists contain 54 distinct names (36
+document + 16 element + 2 window).  We encode the lists *as printed* and
+record the discrepancy here rather than invent three extra names.
+
+Appendix D reduces the taxonomy to a covering set: the events that together
+"cover all interaction information available to a web page".  The printed
+covering set, grouped by interaction category, is encoded in
+:data:`COVERING_SET`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+#: Events that fire on (or are observed at) the document (Appendix C).
+DOCUMENT_EVENTS: Tuple[str, ...] = (
+    "copy",
+    "cut",
+    "dragend",
+    "dragenter",
+    "dragleave",
+    "dragover",
+    "dragstart",
+    "drag",
+    "drop",
+    "fullscreenchange",
+    "gotpointercapture",
+    "keydown",
+    "keypress",
+    "keyup",
+    "lostpointercapture",
+    "paste",
+    "pointercancel",
+    "pointerdown",
+    "pointerenter",
+    "pointerleave",
+    "pointermove",
+    "pointerout",
+    "pointerover",
+    "pointerup",
+    "scroll",
+    "selectionchange",
+    "selectstart",
+    "touchcancel",
+    "touchend",
+    "touchmove",
+    "touchstart",
+    "transitionend",
+    "transitionrun",
+    "transitionstart",
+    "visibilitychange",
+    "wheel",
+)
+
+#: Events that fire on individual elements (Appendix C).
+ELEMENT_EVENTS: Tuple[str, ...] = (
+    "auxclick",
+    "blur",
+    "click",
+    "contextmenu",
+    "dblclick",
+    "focusin",
+    "focusout",
+    "focus",
+    "mousedown",
+    "mouseenter",
+    "mouseleave",
+    "mousemove",
+    "mouseout",
+    "mouseover",
+    "mouseup",
+    "select",
+)
+
+#: Events that fire on the window (Appendix C).
+WINDOW_EVENTS: Tuple[str, ...] = (
+    "resize",
+    "focus",
+)
+
+#: All distinct interaction-related event names.
+ALL_INTERACTION_EVENTS: Tuple[str, ...] = tuple(
+    dict.fromkeys(DOCUMENT_EVENTS + ELEMENT_EVENTS + WINDOW_EVENTS)
+)
+
+#: Appendix D's covering set, grouped by interaction category.  Together
+#: these events expose every piece of interaction information a page can
+#: observe; everything else in Appendix C is redundant with them.
+COVERING_SET: Dict[str, Tuple[str, ...]] = {
+    "mouse_movement": ("mousemove",),
+    "mouse_clicking": ("dblclick", "mousedown", "mouseup"),
+    "scrolling": ("scroll", "wheel"),
+    "typing": ("keydown", "keyup"),
+    "touch": ("touchstart", "touchend"),
+    "focus": ("visibilitychange", "blur", "focus"),
+}
+
+#: Flat tuple of the covering-set event names.
+COVERING_SET_EVENTS: Tuple[str, ...] = tuple(
+    name for group in COVERING_SET.values() for name in group
+)
+
+#: Number of event names the paper's prose claims (Appendix D: "57 events").
+#: The printed appendix lists fewer distinct names; see module docstring.
+PAPER_CLAIMED_EVENT_COUNT = 57

@@ -1,0 +1,56 @@
+"""The measurement harness of Appendices D and E.
+
+The paper "built a website that uses JavaScript to record events" and had
+each agent (Selenium, a human, naive improvements, HLISA) perform simple
+tasks on it:
+
+- :class:`~repro.experiment.tasks.PointingTask` -- click two distant
+  elements in order (mouse-movement recording, Fig. 1);
+- :class:`~repro.experiment.tasks.MovingClickTask` -- click an element
+  that relocates after every click, 100 times (click distribution,
+  Fig. 2);
+- :class:`~repro.experiment.tasks.ScrollTask` -- scroll a 30,000 px page
+  top to bottom;
+- :class:`~repro.experiment.tasks.TypingTask` -- type a given 100-character
+  text.
+
+:mod:`repro.experiment.agents` provides the four subjects; each runs
+against a fresh :class:`~repro.experiment.session.Session` whose recorder
+plays the instrumented website.
+"""
+
+from repro.experiment.session import Session
+from repro.experiment.agents import (
+    Agent,
+    SeleniumAgent,
+    NaiveAgent,
+    HLISAAgent,
+    HumanAgent,
+    STANDARD_AGENTS,
+)
+from repro.experiment.tasks import (
+    PointingTask,
+    MovingClickTask,
+    ScrollTask,
+    TypingTask,
+    BrowsingScenario,
+    TaskResult,
+    TYPING_SAMPLE_TEXT,
+)
+
+__all__ = [
+    "Session",
+    "Agent",
+    "SeleniumAgent",
+    "NaiveAgent",
+    "HLISAAgent",
+    "HumanAgent",
+    "STANDARD_AGENTS",
+    "PointingTask",
+    "MovingClickTask",
+    "ScrollTask",
+    "TypingTask",
+    "BrowsingScenario",
+    "TaskResult",
+    "TYPING_SAMPLE_TEXT",
+]

@@ -1,0 +1,127 @@
+"""Recording, serialising and replaying interaction sessions.
+
+Two paper hooks:
+
+- Related work: Serwadda & Phoha's statistical attack drives bots with
+  *recorded human data* -- the strongest within-session simulator, since
+  every distribution and coupling is genuinely human.
+- Section 4.2 names the catch: simulators must include "noise instead of
+  perfect replayability".  A replayed session is perfect -- and
+  perfectly identical across visits, which is what
+  :class:`repro.detection.replay.CrossSessionReplayDetector` exploits.
+
+This module provides lossless serialisation of recordings (a portable
+dataset format) and :class:`ReplayAgent`, which re-drives the input
+pipeline from a recorded session.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.events.event import Event
+from repro.events.recorder import EventRecorder
+
+#: Event fields preserved by the dataset format.
+_SERIALISED_FIELDS = (
+    "type",
+    "timestamp",
+    "client_x",
+    "client_y",
+    "page_x",
+    "page_y",
+    "button",
+    "buttons",
+    "delta_x",
+    "delta_y",
+    "key",
+    "code",
+    "shift_key",
+    "ctrl_key",
+    "alt_key",
+    "meta_key",
+    "detail",
+    "is_trusted",
+)
+
+
+def serialize_recording(recorder: EventRecorder) -> str:
+    """Serialise a recording to a JSON dataset (target refs dropped)."""
+    rows: List[Dict] = []
+    for event in recorder.events:
+        row = {field: getattr(event, field) for field in _SERIALISED_FIELDS}
+        if event.target_box is not None:
+            box = event.target_box
+            row["target_box"] = [box.x, box.y, box.width, box.height]
+        rows.append(row)
+    return json.dumps({"format": "repro-recording-v1", "events": rows})
+
+
+def deserialize_recording(payload: str) -> EventRecorder:
+    """Load a dataset back into a (detached) recorder."""
+    from repro.geometry import Box
+
+    data = json.loads(payload)
+    if data.get("format") != "repro-recording-v1":
+        raise ValueError("not a repro recording dataset")
+    recorder = EventRecorder()
+    for row in data["events"]:
+        box = row.pop("target_box", None)
+        event = Event(**row)
+        if box is not None:
+            event.target_box = Box(*box)
+        recorder.events.append(event)
+    return recorder
+
+
+class ReplayAgent:
+    """Drives the input pipeline from a recorded session, verbatim.
+
+    The statistical attack of the paper's related work: because the
+    source was human, every timing distribution and motor coupling is
+    human, so *within-session* interaction detectors pass it.  Its
+    weakness is determinism -- every visit is identical.
+
+    The replay re-issues OS-level input (moves, buttons, wheel, keys)
+    with the original inter-event delays; derived events (click,
+    dblclick, pointer twins) are re-synthesised by the pipeline.
+    """
+
+    name = "replay"
+    automated = True
+
+    #: Event types that are *inputs* (the rest are synthesised).
+    _INPUT_TYPES = frozenset(
+        {"mousemove", "mousedown", "mouseup", "wheel", "keydown", "keyup"}
+    )
+
+    def __init__(self, source: EventRecorder) -> None:
+        self.source_events = [
+            e for e in source.events if e.type in self._INPUT_TYPES
+        ]
+        if not self.source_events:
+            raise ValueError("source recording contains no input events")
+
+    def run(self, session) -> None:
+        """Replay the whole recording into ``session``."""
+        pipeline = session.pipeline
+        clock = session.clock
+        previous_t: Optional[float] = None
+        for event in self.source_events:
+            if previous_t is not None:
+                clock.advance(max(event.timestamp - previous_t, 0.0))
+            previous_t = event.timestamp
+            if event.type == "mousemove":
+                pipeline.move_mouse_to(event.client_x, event.client_y, force_event=True)
+            elif event.type == "mousedown":
+                pipeline.move_mouse_to(event.client_x, event.client_y, force_event=False)
+                pipeline.mouse_down(event.button)
+            elif event.type == "mouseup":
+                pipeline.mouse_up(event.button)
+            elif event.type == "wheel":
+                pipeline.wheel(event.delta_y, event.delta_x)
+            elif event.type == "keydown":
+                pipeline.key_down(event.key)
+            elif event.type == "keyup":
+                pipeline.key_up(event.key)

@@ -1,0 +1,201 @@
+"""The recording tasks of Appendix E.
+
+Each task builds a page, asks an agent to perform the interaction, and
+returns the recording plus whatever ground truth the analysis needs
+(target boxes for clicks, the typed text, the scroll distance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.dom.element import Element
+from repro.events.recorder import EventRecorder
+from repro.experiment.agents import Agent
+from repro.experiment.session import Session
+from repro.geometry import Box
+
+#: 100-character sample with sentences, commas and capitals -- exercising
+#: every contextual-pause category and the Shift model (Appendix E used
+#: "a given text of 100 characters").
+TYPING_SAMPLE_TEXT = (
+    "The web, as seen by bots, differs. Humans type slowly, pause often, "
+    "and press Shift for capitals."
+)
+
+
+@dataclass
+class TaskResult:
+    """Everything a task produced."""
+
+    agent_name: str
+    recorder: EventRecorder
+    #: Target boxes, in click order (clicking tasks only).
+    target_boxes: List[Box] = field(default_factory=list)
+    #: The text the agent was asked to type (typing task only).
+    text: str = ""
+    #: Requested scroll distance (scroll task only).
+    scroll_distance: float = 0.0
+
+
+def _session_for(agent: Agent, page_height: float = 768.0) -> Session:
+    return Session(automated=agent.automated, page_height=page_height)
+
+
+class PointingTask:
+    """Click two distant elements in a given order (Fig. 1's recording).
+
+    "The site instructed the participant to click two distant elements in
+    a specific order, so that the interaction starts and ends at similar
+    positions."  Repeating the A->B->A cycle yields several long
+    movements per run.
+    """
+
+    def __init__(self, repetitions: int = 3) -> None:
+        self.repetitions = repetitions
+
+    def run(self, agent: Agent) -> TaskResult:
+        session = _session_for(agent)
+        document = session.document
+        left = document.create_element("button", Box(120, 380, 140, 48), id="target-a", text="A")
+        right = document.create_element("button", Box(1100, 320, 140, 48), id="target-b", text="B")
+        boxes: List[Box] = []
+        for _ in range(self.repetitions):
+            for element in (left, right):
+                agent.click_element(session, element)
+                boxes.append(element.box)
+                session.clock.advance(300.0)
+        return TaskResult(agent.name, session.recorder, target_boxes=boxes)
+
+
+class MovingClickTask:
+    """Click an element that relocates after every click (Fig. 2).
+
+    "We created a moving element to collect data for various different
+    angles.  The element relocates every time after it is clicked.  Our
+    human participant repeated this task 100 times."
+    """
+
+    def __init__(self, clicks: int = 100, seed: int = 97, element_size: float = 90.0) -> None:
+        self.clicks = clicks
+        self.seed = seed
+        self.element_size = element_size
+
+    def run(self, agent: Agent) -> TaskResult:
+        session = _session_for(agent)
+        document = session.document
+        rng = np.random.default_rng(self.seed)
+        size = self.element_size
+        target = document.create_element(
+            "button", Box(600, 350, size, size), id="moving-target", text="click me"
+        )
+        boxes: List[Box] = []
+        for _ in range(self.clicks):
+            boxes.append(target.box)
+            agent.click_element(session, target)
+            session.clock.advance(150.0)
+            # Relocate anywhere fully inside the viewport.
+            target.box = Box(
+                float(rng.uniform(10, session.window.viewport_width - size - 10)),
+                float(rng.uniform(10, session.window.viewport_height - size - 10)),
+                size,
+                size,
+            )
+        return TaskResult(agent.name, session.recorder, target_boxes=boxes)
+
+
+class ScrollTask:
+    """Scroll a very tall page from top to bottom (Appendix E).
+
+    "We created a page with a sufficient height (30K pixels).  The task
+    was to scroll via the mouse wheel from top to bottom at a comfortable
+    pace."  (Bot agents scroll however their API scrolls.)
+    """
+
+    def __init__(self, page_height: float = 30000.0) -> None:
+        self.page_height = page_height
+
+    def run(self, agent: Agent) -> TaskResult:
+        session = _session_for(agent, page_height=self.page_height)
+        distance = session.window.max_scroll_y
+        agent.scroll_by(session, distance)
+        return TaskResult(agent.name, session.recorder, scroll_distance=distance)
+
+
+class BrowsingScenario:
+    """A combined session exercising every interaction modality.
+
+    Detector batteries (and profile enrolment) need one recording that
+    contains clicks at varied distances, typing, and scrolling -- like a
+    real page visit.  The scenario clicks a relocating element many
+    times, types a text, then scrolls a long page.
+    """
+
+    def __init__(
+        self,
+        clicks: int = 45,
+        text: Optional[str] = None,
+        scroll_distance: float = 4000.0,
+        seed: int = 1234,
+    ) -> None:
+        self.clicks = clicks
+        self.text = text if text is not None else TYPING_SAMPLE_TEXT
+        self.scroll_distance = scroll_distance
+        self.seed = seed
+
+    def run(self, agent: Agent) -> TaskResult:
+        page_height = 768.0 + self.scroll_distance
+        session = _session_for(agent, page_height=page_height)
+        document = session.document
+        rng = np.random.default_rng(self.seed)
+        size_choices = (40.0, 70.0, 110.0, 160.0)
+        target = document.create_element(
+            "button", Box(640, 360, 110, 110), id="scenario-target", text="go"
+        )
+        boxes: List[Box] = []
+        for _ in range(self.clicks):
+            boxes.append(target.box)
+            agent.click_element(session, target)
+            session.clock.advance(float(rng.uniform(200, 700)))
+            size = float(rng.choice(size_choices))
+            target.box = Box(
+                float(rng.uniform(10, session.window.viewport_width - size - 10)),
+                float(rng.uniform(10, session.window.viewport_height - size - 10)),
+                size,
+                size,
+            )
+        area = document.create_element(
+            "textarea", Box(420, 500, 520, 180), id="scenario-typing"
+        )
+        agent.type_text(session, area, self.text)
+        session.clock.advance(400.0)
+        agent.scroll_by(session, self.scroll_distance)
+        return TaskResult(
+            agent.name,
+            session.recorder,
+            target_boxes=boxes,
+            text=self.text,
+            scroll_distance=self.scroll_distance,
+        )
+
+
+class TypingTask:
+    """Type a given text into a text area (Appendix E).
+
+    "we took measurements on typing by letting the user type a given text
+    of 100 characters", recording key press/release timestamps.
+    """
+
+    def __init__(self, text: Optional[str] = None) -> None:
+        self.text = text if text is not None else TYPING_SAMPLE_TEXT
+
+    def run(self, agent: Agent) -> TaskResult:
+        session = _session_for(agent)
+        area = session.document.create_element(
+            "textarea", Box(420, 240, 520, 200), id="typing-area"
+        )
+        agent.type_text(session, area, self.text)
+        return TaskResult(agent.name, session.recorder, text=self.text)

@@ -1,0 +1,134 @@
+"""Shared 2-D geometry primitives used by the DOM layout, trajectories and
+input pipeline.
+
+Coordinates follow browser conventions: the origin is the top-left corner of
+the page, ``x`` grows to the right and ``y`` grows downwards.  *Client*
+coordinates are relative to the viewport; *page* coordinates are relative to
+the document and differ from client coordinates by the scroll offset.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Point:
+    """A point in 2-D space."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance between this point and ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def offset(self, dx: float, dy: float) -> "Point":
+        """Return a new point translated by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def round(self) -> "Point":
+        """Return the point with integer-rounded coordinates.
+
+        Browsers report mouse event coordinates as integers; rounding is
+        applied at the event-dispatch boundary.
+        """
+        return Point(float(round(self.x)), float(round(self.y)))
+
+    def as_tuple(self) -> tuple:
+        """Return ``(x, y)`` as a plain tuple."""
+        return (self.x, self.y)
+
+
+@dataclass(frozen=True)
+class Box:
+    """An axis-aligned rectangle (an element's layout box).
+
+    ``x``/``y`` locate the top-left corner in page coordinates; ``width`` and
+    ``height`` must be non-negative.
+    """
+
+    x: float
+    y: float
+    width: float
+    height: float
+
+    def __post_init__(self) -> None:
+        if self.width < 0 or self.height < 0:
+            raise ValueError(
+                "Box dimensions must be non-negative, got "
+                f"{self.width}x{self.height}"
+            )
+
+    @property
+    def left(self) -> float:
+        return self.x
+
+    @property
+    def top(self) -> float:
+        return self.y
+
+    @property
+    def right(self) -> float:
+        return self.x + self.width
+
+    @property
+    def bottom(self) -> float:
+        return self.y + self.height
+
+    @property
+    def center(self) -> Point:
+        """The exact centre of the box.
+
+        Selenium clicks precisely here; humans almost never do (paper,
+        Fig. 2).
+        """
+        return Point(self.x + self.width / 2.0, self.y + self.height / 2.0)
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    def contains(self, point: Point) -> bool:
+        """Whether ``point`` lies inside the box (edges inclusive)."""
+        return (
+            self.left <= point.x <= self.right
+            and self.top <= point.y <= self.bottom
+        )
+
+    def clamp(self, point: Point) -> Point:
+        """Project ``point`` onto the nearest location inside the box."""
+        return Point(
+            min(max(point.x, self.left), self.right),
+            min(max(point.y, self.top), self.bottom),
+        )
+
+    def intersects(self, other: "Box") -> bool:
+        """Whether this box and ``other`` overlap (edge contact counts)."""
+        return (
+            self.left <= other.right
+            and other.left <= self.right
+            and self.top <= other.bottom
+            and other.top <= self.bottom
+        )
+
+    def translated(self, dx: float, dy: float) -> "Box":
+        """Return a copy of the box moved by ``(dx, dy)``."""
+        return Box(self.x + dx, self.y + dy, self.width, self.height)
+
+
+def lerp(a: float, b: float, t: float) -> float:
+    """Linear interpolation between ``a`` and ``b`` at parameter ``t``."""
+    return a + (b - a) * t
+
+
+def lerp_point(a: Point, b: Point, t: float) -> Point:
+    """Linear interpolation between two points at parameter ``t``."""
+    return Point(lerp(a.x, b.x, t), lerp(a.y, b.y, t))
+
+
+def path_length(points) -> float:
+    """Total polyline length of a sequence of :class:`Point`."""
+    pts = list(points)
+    return sum(pts[i].distance_to(pts[i + 1]) for i in range(len(pts) - 1))

@@ -1,0 +1,37 @@
+"""A generative model of human interaction.
+
+The paper contrasts Selenium's interaction with that of a human (the
+authors themselves, Appendix E).  With no humans available offline, this
+package provides the "human subject": a physiologically-grounded generator
+of pointing, clicking, typing and scrolling behaviour whose *qualitative*
+signatures match the paper's observations:
+
+- mouse movement with initial acceleration, deceleration near the target,
+  and a jittery curved trajectory (Fig. 1 B) -- minimum-jerk velocity
+  profiles with motor noise, Fitts'-law durations;
+- clicks distributed around (but almost never exactly on) element centres
+  (Fig. 2 top-right) -- bivariate Gaussian scatter with clamping;
+- typing with variable dwell/flight times, contextual pauses in the style
+  of Alves et al., Shift usage for capitals, and occasional rollover
+  (interleaved key presses) at speed;
+- mouse-wheel scrolling in 57 px ticks with short inter-tick pauses and
+  longer finger-repositioning breaks.
+
+Parameters live in :class:`~repro.humans.profile.HumanProfile`; all
+randomness flows from a seeded generator for reproducibility.
+"""
+
+from repro.humans.profile import HumanProfile
+from repro.humans.pointing import HumanPointing, fitts_duration_ms
+from repro.humans.clicking import HumanClicking
+from repro.humans.typing import HumanTyping
+from repro.humans.scrolling import HumanScrolling
+
+__all__ = [
+    "HumanProfile",
+    "HumanPointing",
+    "fitts_duration_ms",
+    "HumanClicking",
+    "HumanTyping",
+    "HumanScrolling",
+]

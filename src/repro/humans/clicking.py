@@ -1,0 +1,80 @@
+"""Human click placement and button dwell.
+
+Fig. 2 (top right): human clicks are "much more distributed but hardly
+ever in the centre" of the element.  The generator samples a bivariate
+Gaussian around the centre, scaled to the element, clamped inside it with
+a small margin, and adds a systematic bias along the approach direction
+(people undershoot slightly towards where they came from).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.geometry import Box, Point
+from repro.humans.profile import HumanProfile
+
+
+class HumanClicking:
+    """Samples click positions and button dwell times."""
+
+    def __init__(self, profile: Optional[HumanProfile] = None, rng: Optional[np.random.Generator] = None) -> None:
+        self.profile = profile or HumanProfile()
+        self.rng = rng if rng is not None else self.profile.rng()
+
+    def click_point(
+        self,
+        box: Box,
+        approach_from: Optional[Point] = None,
+        speed_factor: float = 1.0,
+    ) -> Point:
+        """A click position inside ``box``, Gaussian around the centre.
+
+        ``speed_factor`` expresses how hurried the approach movement was
+        relative to the subject's typical pace; faster approaches scatter
+        wider (the speed-accuracy trade-off level-3 detectors track --
+        Section 4.2: "faster mouse movement may be correlated with ...
+        accuracy").
+        """
+        profile = self.profile
+        center = box.center
+        accuracy_scale = float(np.clip(speed_factor**1.5, 0.5, 2.5))
+        sigma_x = max(box.width / 2.0 * profile.click_sigma_frac * accuracy_scale, 0.5)
+        sigma_y = max(box.height / 2.0 * profile.click_sigma_frac * accuracy_scale, 0.5)
+        x = float(self.rng.normal(center.x, sigma_x))
+        y = float(self.rng.normal(center.y, sigma_y))
+        if approach_from is not None:
+            # Undershoot: a small bias towards the approach side, bounded
+            # by a fraction of the element size (not of the approach
+            # distance -- the hand corrects most of the way).
+            dx = approach_from.x - center.x
+            dy = approach_from.y - center.y
+            dist = max((dx**2 + dy**2) ** 0.5, 1e-9)
+            magnitude = min(box.width, box.height) * profile.click_bias_frac
+            x += dx / dist * magnitude
+            y += dy / dist * magnitude
+        # Keep a safety margin so clamping cannot put the click on the
+        # border (humans aim inside the visual boundary).
+        margin_x = min(2.0, box.width / 4.0)
+        margin_y = min(2.0, box.height / 4.0)
+        inner = Box(
+            box.x + margin_x,
+            box.y + margin_y,
+            max(box.width - 2 * margin_x, 0.0),
+            max(box.height - 2 * margin_y, 0.0),
+        )
+        return inner.clamp(Point(x, y))
+
+    def dwell_ms(self) -> float:
+        """Mouse-button hold time (press to release), in ms."""
+        value = self.rng.normal(
+            self.profile.click_dwell_mean_ms, self.profile.click_dwell_sd_ms
+        )
+        return float(max(value, 25.0))
+
+    def double_click_gap_ms(self) -> float:
+        """Release-to-press gap inside a double click (must stay well
+        under the environment's interval -- 500 ms by default)."""
+        return float(np.clip(self.rng.normal(120.0, 35.0), 40.0, 350.0))

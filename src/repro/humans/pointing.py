@@ -1,0 +1,170 @@
+"""Human pointing: minimum-jerk kinematics, curvature, tremor, corrections.
+
+The paper (Fig. 1 B) characterises human mouse movement by: initial
+acceleration, deceleration near the end, and a "jitterish curved
+trajectory".  This generator composes:
+
+1. a **minimum-jerk** time course (Flash & Hogan's 10t^3 - 15t^4 + 6t^5
+   polynomial), giving the bell-shaped speed profile human reaching
+   exhibits;
+2. a movement **duration from Fitts' law** [Fitts 1954, cited by the
+   paper], with lognormal trial-to-trial noise;
+3. a low-frequency **bow** perpendicular to the chord (humans rarely move
+   in straight lines; Phillips & Triggs 2001);
+4. high-frequency smoothed **tremor** (jitter);
+5. an optional corrective **submovement** near the target, producing the
+   characteristic hooks of real cursor data.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.geometry import Point
+from repro.humans.profile import HumanProfile
+
+
+def fitts_duration_ms(
+    distance: float,
+    target_width: float,
+    a_ms: float = 120.0,
+    b_ms: float = 140.0,
+) -> float:
+    """Movement time from Fitts' law: ``MT = a + b * log2(D/W + 1)``.
+
+    ``target_width`` below 1 px is clamped to keep the index of difficulty
+    finite.
+    """
+    width = max(target_width, 1.0)
+    index_of_difficulty = math.log2(distance / width + 1.0)
+    return a_ms + b_ms * index_of_difficulty
+
+
+def minimum_jerk_profile(n: int) -> np.ndarray:
+    """Normalised minimum-jerk position profile at ``n`` samples.
+
+    Returns s(tau) for tau in [0, 1]: s = 10 tau^3 - 15 tau^4 + 6 tau^5.
+    The derivative (speed) is bell-shaped: slow start, fast middle, slow
+    end -- the acceleration/deceleration signature the paper requires.
+    """
+    tau = np.linspace(0.0, 1.0, n)
+    return 10.0 * tau**3 - 15.0 * tau**4 + 6.0 * tau**5
+
+
+def _smoothed_noise(rng: np.random.Generator, n: int, sigma: float, kernel: int = 3) -> np.ndarray:
+    """White noise convolved with a small box kernel (tremor-like)."""
+    if n <= 0:
+        return np.zeros(0)
+    raw = rng.normal(0.0, sigma, size=n)
+    if kernel > 1 and n > kernel:
+        window = np.ones(kernel) / kernel
+        raw = np.convolve(raw, window, mode="same")
+    raw[0] = 0.0
+    raw[-1] = 0.0
+    return raw
+
+
+class HumanPointing:
+    """Generates timestamped human cursor paths between two points."""
+
+    def __init__(self, profile: Optional[HumanProfile] = None, rng: Optional[np.random.Generator] = None) -> None:
+        self.profile = profile or HumanProfile()
+        self.rng = rng if rng is not None else self.profile.rng()
+
+    def duration_ms(self, start: Point, end: Point, target_width: float) -> float:
+        """Sampled movement duration for this trial (Fitts + noise)."""
+        distance = start.distance_to(end)
+        base = fitts_duration_ms(
+            distance, target_width, self.profile.fitts_a_ms, self.profile.fitts_b_ms
+        )
+        noise = float(np.exp(self.rng.normal(0.0, self.profile.fitts_noise_sigma)))
+        return max(base * noise, 2.0 * self.profile.sample_interval_ms)
+
+    def path(
+        self,
+        start: Point,
+        end: Point,
+        *,
+        target_width: float = 30.0,
+        duration_ms: Optional[float] = None,
+    ) -> List[Tuple[float, Point]]:
+        """A timestamped path ``[(dt_ms, point), ...]`` from start to end.
+
+        ``dt_ms`` values are offsets from movement onset; the final sample
+        lands exactly on ``end`` (plus any corrective hook returning to
+        it).
+        """
+        profile = self.profile
+        distance = start.distance_to(end)
+        if distance < 1e-9:
+            return [(0.0, start)]
+        if duration_ms is None:
+            duration_ms = self.duration_ms(start, end, target_width)
+        n = max(3, int(round(duration_ms / profile.sample_interval_ms)) + 1)
+        s = minimum_jerk_profile(n)
+        dt = duration_ms / (n - 1)
+
+        # Chord direction and its perpendicular.
+        ux, uy = (end.x - start.x) / distance, (end.y - start.y) / distance
+        px, py = -uy, ux
+
+        # Low-frequency bow: a half-sine arc with random amplitude/sign.
+        amplitude = (
+            distance
+            * profile.curve_amplitude_frac
+            * float(self.rng.normal(1.0, 0.35))
+            * (1.0 if self.rng.random() < 0.5 else -1.0)
+        )
+        bow = amplitude * np.sin(np.pi * s)
+
+        # High-frequency tremor, scaled down near both endpoints.
+        tremor = _smoothed_noise(self.rng, n, profile.jitter_px)
+        envelope = np.sin(np.pi * np.linspace(0.0, 1.0, n)) ** 0.5
+        tremor = tremor * envelope
+
+        offsets = bow + tremor
+        points: List[Tuple[float, Point]] = []
+        for i in range(n):
+            along_x = start.x + (end.x - start.x) * s[i]
+            along_y = start.y + (end.y - start.y) * s[i]
+            points.append(
+                (
+                    i * dt,
+                    Point(along_x + offsets[i] * px, along_y + offsets[i] * py),
+                )
+            )
+
+        if self.rng.random() < profile.correction_prob and distance > 60.0:
+            points = self._append_correction(points, end, dt)
+        return points
+
+    def _append_correction(
+        self,
+        points: List[Tuple[float, Point]],
+        end: Point,
+        dt: float,
+    ) -> List[Tuple[float, Point]]:
+        """Overshoot slightly past the target, then hook back onto it."""
+        last_t = points[-1][0]
+        overshoot = Point(
+            end.x + float(self.rng.normal(0.0, 4.0)),
+            end.y + float(self.rng.normal(0.0, 4.0)),
+        )
+        hook_samples = int(self.rng.integers(2, 5))
+        out: List[Tuple[float, Point]] = list(points)
+        for i in range(1, hook_samples + 1):
+            tau = i / hook_samples
+            out.append(
+                (
+                    last_t + i * dt,
+                    Point(
+                        end.x + (overshoot.x - end.x) * math.sin(math.pi * tau),
+                        end.y + (overshoot.y - end.y) * math.sin(math.pi * tau),
+                    ),
+                )
+            )
+        out.append((last_t + (hook_samples + 1) * dt, end))
+        return out

@@ -1,0 +1,121 @@
+"""Per-subject motor parameters.
+
+The paper's human data came from an "extremely small set" of subjects (the
+authors).  :class:`HumanProfile` captures the parameters such a subject
+exhibits; :data:`SUBJECT_POOL` offers a few plausible presets so
+experiments can be run against more than one "person" (the paper's own
+future-work suggestion).
+
+Magnitudes are drawn from the HCI literature the paper cites (Fitts 1954;
+Phillips & Triggs 2001; Alves et al. 2007) and from its own measurements
+(57 px wheel ticks, 600 cpm fast typing with rollover).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+import numpy as np
+
+
+@dataclass
+class HumanProfile:
+    """Motor parameters of one simulated human subject."""
+
+    name: str = "subject-a"
+    seed: int = 7
+
+    # -- pointing (Fitts' law: MT = a + b * log2(D/W + 1)) -------------------
+    fitts_a_ms: float = 120.0
+    fitts_b_ms: float = 140.0
+    #: Multiplicative lognormal noise on movement time (sigma of log).
+    #: This trial-to-trial variation carries the speed-accuracy coupling
+    #: that level-3 detectors measure; real pointing data shows ~15-20%.
+    fitts_noise_sigma: float = 0.17
+    #: Bow of the path's main curve, as a fraction of movement distance.
+    curve_amplitude_frac: float = 0.08
+    #: Standard deviation of tremor/jitter perpendicular to the path (px).
+    jitter_px: float = 2.8
+    #: Probability of a corrective submovement near the target.
+    correction_prob: float = 0.55
+    #: Pointer sampling interval (ms); ~125 Hz mouse.
+    sample_interval_ms: float = 8.0
+
+    # -- clicking --------------------------------------------------------------
+    #: Click scatter sigma as a fraction of the element's half-extent.
+    click_sigma_frac: float = 0.28
+    #: Mean/SD of mouse-button dwell time (ms).
+    click_dwell_mean_ms: float = 85.0
+    click_dwell_sd_ms: float = 22.0
+    #: Systematic click bias towards the approach direction (fraction).
+    click_bias_frac: float = 0.05
+
+    # -- typing ------------------------------------------------------------------
+    #: Mean/SD of key dwell time (ms).
+    key_dwell_mean_ms: float = 95.0
+    key_dwell_sd_ms: float = 24.0
+    #: Mean/SD of within-word flight time (ms).  600 cpm ~= 100 ms/char.
+    key_flight_mean_ms: float = 135.0
+    key_flight_sd_ms: float = 45.0
+    #: Probability that a fast transition interleaves (rollover).
+    rollover_prob: float = 0.12
+    #: Contextual pause means (ms), in the style of Alves et al. [1]:
+    #: extra flight time before a new word / after a comma / after ending
+    #: a sentence / before opening one.
+    pause_new_word_ms: float = 210.0
+    pause_comma_ms: float = 420.0
+    pause_sentence_ms: float = 850.0
+    pause_open_sentence_ms: float = 520.0
+    #: SD of contextual pauses as a fraction of their mean.
+    pause_sd_frac: float = 0.45
+
+    # -- scrolling ------------------------------------------------------------------
+    #: Pixels per wheel tick (paper: 57 in their setup).
+    wheel_tick_px: float = 57.0
+    #: Mean/SD of the pause between consecutive ticks (ms).
+    scroll_tick_pause_mean_ms: float = 90.0
+    scroll_tick_pause_sd_ms: float = 35.0
+    #: Every ~N ticks the finger is repositioned, causing a longer break.
+    scroll_ticks_per_sweep_mean: float = 7.0
+    scroll_finger_pause_mean_ms: float = 380.0
+    scroll_finger_pause_sd_ms: float = 130.0
+
+    def rng(self) -> np.random.Generator:
+        """A fresh seeded generator for this profile."""
+        return np.random.default_rng(self.seed)
+
+    def with_seed(self, seed: int) -> "HumanProfile":
+        """A copy of this profile with a different seed."""
+        return replace(self, seed=seed)
+
+
+#: A small pool of subjects with plausibly different motor habits.  The
+#: paper's limitations appendix cautions that its own subjects were not
+#: representative; varying these parameters is the suggested remedy.
+SUBJECT_POOL: Dict[str, HumanProfile] = {
+    "subject-a": HumanProfile(name="subject-a", seed=7),
+    "subject-b": HumanProfile(
+        name="subject-b",
+        seed=11,
+        fitts_b_ms=170.0,
+        jitter_px=3.8,
+        click_sigma_frac=0.34,
+        click_dwell_mean_ms=118.0,
+        key_dwell_mean_ms=130.0,
+        key_flight_mean_ms=180.0,
+        scroll_tick_pause_mean_ms=115.0,
+    ),
+    "subject-c": HumanProfile(
+        name="subject-c",
+        seed=13,
+        fitts_a_ms=95.0,
+        fitts_b_ms=118.0,
+        jitter_px=2.0,
+        click_sigma_frac=0.21,
+        click_dwell_mean_ms=62.0,
+        key_dwell_mean_ms=68.0,
+        key_flight_mean_ms=95.0,
+        rollover_prob=0.2,
+    ),
+}

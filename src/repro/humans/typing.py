@@ -1,0 +1,172 @@
+"""Human typing: dwell/flight times, contextual pauses, Shift, rollover.
+
+Reproduces the typing phenomena of Section 4.1 / Appendix E:
+
+- each keystroke has a *dwell time* (press to release) and a *flight time*
+  (release to next press), both variable;
+- fast typing interleaves key presses ("sometimes a key is only released
+  when a different key has already been pressed");
+- capital letters and shifted symbols require a **Shift** press before the
+  character key and a release after it, from which a page can infer the
+  keyboard layout;
+- flight times carry **contextual pauses** in the style of Alves et
+  al. [1]: longer before a new word, after commas, after closing and
+  before opening sentences.
+
+The output is an abstract key-event plan ``[(dt_ms, "down"/"up", key)]``
+that any agent can feed into the input pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.humans.profile import HumanProfile
+
+#: Characters that need Shift on a US layout.
+SHIFTED_SYMBOLS = set('~!@#$%^&*()_+{}|:"<>?')
+
+
+def needs_shift(char: str) -> bool:
+    """Whether ``char`` requires the Shift modifier on a US layout."""
+    return (char.isalpha() and char.isupper()) or char in SHIFTED_SYMBOLS
+
+
+KeyEvent = Tuple[float, str, str]  # (dt since previous event, "down"/"up", key)
+
+
+def lognormal_ms(rng: np.random.Generator, mean: float, sd: float) -> float:
+    """A lognormal draw moment-matched to ``(mean, sd)``.
+
+    Human keystroke timings are right-skewed, not normal (the paper's
+    Appendix F concedes HLISA's normal model is a simplification).  The
+    generative human therefore samples lognormally; the skew is exactly
+    what a *refined* level-2 detector can exploit against stock HLISA
+    (see :mod:`repro.models.refinements`).
+    """
+    if mean <= 0:
+        raise ValueError("lognormal mean must be positive")
+    variance_ratio = (sd / mean) ** 2
+    sigma2 = np.log1p(variance_ratio)
+    mu = np.log(mean) - sigma2 / 2.0
+    return float(rng.lognormal(mu, np.sqrt(sigma2)))
+
+
+class HumanTyping:
+    """Generates human key-event plans for a piece of text.
+
+    ``layout`` selects the keyboard layout whose modifier conventions
+    the subject follows (defaults to US; pass
+    :data:`repro.models.layouts.DE_LAYOUT` for a German typist).
+    """
+
+    def __init__(
+        self,
+        profile: Optional[HumanProfile] = None,
+        rng: Optional[np.random.Generator] = None,
+        layout=None,
+    ) -> None:
+        self.profile = profile or HumanProfile()
+        self.rng = rng if rng is not None else self.profile.rng()
+        if layout is None:
+            from repro.models.layouts import US_LAYOUT
+
+            layout = US_LAYOUT
+        self.layout = layout
+
+    # -- timing primitives ----------------------------------------------------
+
+    def dwell_ms(self) -> float:
+        """Key hold time (right-skewed, as real keystroke data is)."""
+        value = lognormal_ms(
+            self.rng, self.profile.key_dwell_mean_ms, self.profile.key_dwell_sd_ms
+        )
+        return float(max(value, 18.0))
+
+    def flight_ms(self, previous: str, current: str) -> float:
+        """Flight time from releasing ``previous`` to pressing ``current``.
+
+        Contextual pauses are added based on what was just typed,
+        following the categories of Alves et al.: word boundaries,
+        commas, sentence boundaries.
+        """
+        profile = self.profile
+        base = lognormal_ms(
+            self.rng, profile.key_flight_mean_ms, profile.key_flight_sd_ms
+        )
+        extra = 0.0
+        if previous == " ":
+            extra += self._pause(profile.pause_new_word_ms)
+        if previous == ",":
+            extra += self._pause(profile.pause_comma_ms)
+        if previous in ".!?":
+            extra += self._pause(profile.pause_sentence_ms)
+        if current.isupper() and previous in ".!?  ":
+            # Opening a new sentence: planning pause before the capital.
+            extra += self._pause(profile.pause_open_sentence_ms)
+        return float(max(base, 15.0) + extra)
+
+    def _pause(self, mean_ms: float) -> float:
+        sd = mean_ms * self.profile.pause_sd_frac
+        return float(max(self.rng.normal(mean_ms, sd), 0.0))
+
+    # -- plan generation ----------------------------------------------------------
+
+    def plan(self, text: str) -> List[KeyEvent]:
+        """Key-event plan for typing ``text``.
+
+        Shift is pressed/released around shifted characters; with
+        probability :attr:`HumanProfile.rollover_prob` a fast transition
+        interleaves the next press before the previous release.
+        """
+        from repro.models.layouts import PLAIN, SHIFT
+
+        events: List[KeyEvent] = []
+        previous_char: Optional[str] = None
+        for char in text:
+            flight = 0.0 if previous_char is None else self.flight_ms(previous_char, char)
+            modifier = self.layout.modifier_for(char)
+            shifted = modifier is not PLAIN
+            dwell = self.dwell_ms()
+            if shifted:
+                # The modifier leads the character press by a short
+                # interval and is released shortly after the character.
+                modifier_key = "Shift" if modifier is SHIFT else "AltGraph"
+                shift_lead = float(max(self.rng.normal(45.0, 15.0), 10.0))
+                shift_lag = float(max(self.rng.normal(35.0, 12.0), 5.0))
+                events.append((max(flight - shift_lead, 5.0), "down", modifier_key))
+                events.append((shift_lead, "down", char))
+                events.append((dwell, "up", char))
+                events.append((shift_lag, "up", modifier_key))
+            else:
+                rollover = (
+                    previous_char is not None
+                    and not needs_shift(previous_char)
+                    and self.rng.random() < self.profile.rollover_prob
+                )
+                if rollover and events:
+                    # Press the next key *before* the previous key's
+                    # release: swap the order by inserting the press with
+                    # a negative lead relative to the pending release.
+                    overlap = float(np.clip(self.rng.normal(25.0, 10.0), 5.0, 60.0))
+                    last_dt, last_kind, last_key = events[-1]
+                    if last_kind == "up" and last_dt > overlap + 5.0:
+                        events[-1] = (last_dt - overlap, "down", char)
+                        events.append((overlap, "up", last_key))
+                        events.append((dwell, "up", char))
+                        previous_char = char
+                        continue
+                events.append((flight, "down", char))
+                events.append((dwell, "up", char))
+            previous_char = char
+        return events
+
+    def characters_per_minute(self, text: str) -> float:
+        """Expected typing speed for ``text`` under this profile."""
+        plan = self.plan(text)
+        total_ms = sum(dt for dt, _, _ in plan)
+        if total_ms <= 0:
+            return 0.0
+        return len(text) / (total_ms / 60000.0)

@@ -1,0 +1,59 @@
+"""A JavaScript-like object model.
+
+The paper's Section 3 compares four ways of spoofing ``navigator.webdriver``
+at the JavaScript level and shows that each leaves detectable side effects
+(Table 1).  Those side effects are *semantic consequences* of the JavaScript
+object model: property descriptors and their defaults, insertion-order
+enumeration, prototype chains, WebIDL brand checks on native getters, and
+the ``toString`` of (wrapped) native functions.
+
+This package re-implements exactly that slice of JavaScript semantics in
+Python so the spoofing study can be reproduced mechanically rather than by
+hard-coding the paper's table:
+
+- :class:`~repro.jsobject.jsobject.JSObject` -- ordered own properties with
+  full descriptors and a prototype pointer.
+- :class:`~repro.jsobject.descriptors.PropertyDescriptor` -- data/accessor
+  descriptors with ES-style definition defaults.
+- :class:`~repro.jsobject.functions.NativeFunction` -- named "native"
+  functions whose ``toString`` renders ``function name() { [native code] }``.
+- :class:`~repro.jsobject.functions.NativeAccessor` -- WebIDL-style getters
+  with a brand check (reading them with the wrong ``this`` raises
+  :class:`~repro.jsobject.errors.JSTypeError`, like Firefox's
+  ``Navigator.prototype.webdriver``).
+- :class:`~repro.jsobject.proxy.JSProxy` -- ES ``Proxy`` with forwarding
+  traps; its ``get`` trap wraps function values so the brand check passes,
+  which is what produces the missing-function-name side effect the paper
+  shows in Listing 1.
+- Free functions mirroring the JS built-ins the paper's probes use:
+  :func:`object_keys`, :func:`get_own_property_names`, :func:`for_in_names`.
+"""
+
+from repro.jsobject.errors import JSTypeError
+from repro.jsobject.descriptors import PropertyDescriptor
+from repro.jsobject.functions import JSFunction, NativeFunction, NativeAccessor
+from repro.jsobject.jsobject import (
+    JSObject,
+    UNDEFINED,
+    Undefined,
+    object_keys,
+    get_own_property_names,
+    for_in_names,
+)
+from repro.jsobject.proxy import JSProxy, is_proxy
+
+__all__ = [
+    "JSTypeError",
+    "PropertyDescriptor",
+    "JSFunction",
+    "NativeFunction",
+    "NativeAccessor",
+    "JSObject",
+    "UNDEFINED",
+    "Undefined",
+    "object_keys",
+    "get_own_property_names",
+    "for_in_names",
+    "JSProxy",
+    "is_proxy",
+]

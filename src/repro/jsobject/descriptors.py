@@ -1,0 +1,190 @@
+"""Property descriptors, mirroring ECMAScript's attribute model.
+
+A property is either a *data* property (``value`` + ``writable``) or an
+*accessor* property (``get``/``set``).  Every property additionally carries
+``enumerable`` and ``configurable`` attributes.
+
+The defaults matter for the paper's Table 1: ``Object.defineProperty`` with
+an incomplete descriptor creates a **non-enumerable** property, which is why
+a naively spoofed ``navigator.webdriver`` "disappears from the listing when
+calling ``Object.keys(navigator)``" (Section 3.1) until the spoofing code
+remembers to set ``enumerable: true``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+
+class PropertyDescriptor:
+    """An ECMAScript property descriptor.
+
+    Exactly one of the two flavours is active:
+
+    - data descriptor: ``value`` (anything) and ``writable``;
+    - accessor descriptor: ``get`` and/or ``set`` callables.
+
+    Use :meth:`data` / :meth:`accessor` to build fully-specified
+    descriptors, or the constructor with ``None`` attributes to express a
+    *partial* descriptor as passed to ``defineProperty`` (unspecified
+    attributes default to ``False``/``undefined`` per the spec).
+    """
+
+    __slots__ = ("value", "writable", "get", "set", "enumerable", "configurable", "_has_value")
+
+    def __init__(
+        self,
+        value: Any = None,
+        *,
+        has_value: bool = False,
+        writable: Optional[bool] = None,
+        get: Optional[Callable] = None,
+        set: Optional[Callable] = None,
+        enumerable: Optional[bool] = None,
+        configurable: Optional[bool] = None,
+    ) -> None:
+        if has_value and (get is not None or set is not None):
+            raise ValueError(
+                "a descriptor cannot be both a data and an accessor descriptor"
+            )
+        self.value = value
+        self._has_value = has_value
+        self.writable = writable
+        self.get = get
+        self.set = set
+        self.enumerable = enumerable
+        self.configurable = configurable
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def data(
+        cls,
+        value: Any,
+        *,
+        writable: bool = True,
+        enumerable: bool = True,
+        configurable: bool = True,
+    ) -> "PropertyDescriptor":
+        """A fully-specified data descriptor (assignment-style defaults)."""
+        return cls(
+            value,
+            has_value=True,
+            writable=writable,
+            enumerable=enumerable,
+            configurable=configurable,
+        )
+
+    @classmethod
+    def accessor(
+        cls,
+        get: Optional[Callable] = None,
+        set: Optional[Callable] = None,
+        *,
+        enumerable: bool = True,
+        configurable: bool = True,
+    ) -> "PropertyDescriptor":
+        """A fully-specified accessor descriptor."""
+        return cls(
+            get=get,
+            set=set,
+            enumerable=enumerable,
+            configurable=configurable,
+        )
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def has_value(self) -> bool:
+        """Whether ``value`` was explicitly specified."""
+        return self._has_value
+
+    def is_accessor(self) -> bool:
+        """Whether this is an accessor descriptor."""
+        return self.get is not None or self.set is not None
+
+    def is_data(self) -> bool:
+        """Whether this is a data descriptor."""
+        return self._has_value or self.writable is not None
+
+    def is_generic(self) -> bool:
+        """Neither data nor accessor: only attribute flags specified."""
+        return not self.is_accessor() and not self.is_data()
+
+    # -- completion --------------------------------------------------------
+
+    def completed(self) -> "PropertyDescriptor":
+        """Fill unspecified attributes with spec defaults (all falsy).
+
+        Applied when ``defineProperty`` creates a **new** property: per
+        ES2015 `OrdinaryDefineOwnProperty`, absent fields default to
+        ``false``/``undefined``.  This default is the root cause of the
+        "disappears from Object.keys" side effect observed in the paper.
+        """
+        if self.is_accessor():
+            return PropertyDescriptor(
+                get=self.get,
+                set=self.set,
+                enumerable=bool(self.enumerable),
+                configurable=bool(self.configurable),
+            )
+        return PropertyDescriptor(
+            self.value if self._has_value else None,
+            has_value=True,
+            writable=bool(self.writable),
+            enumerable=bool(self.enumerable),
+            configurable=bool(self.configurable),
+        )
+
+    def merged_onto(self, current: "PropertyDescriptor") -> "PropertyDescriptor":
+        """Redefine ``current`` with this (partial) descriptor.
+
+        Per the spec, attributes absent from the new descriptor keep the
+        current property's attributes.  Switching between data and accessor
+        flavours replaces the flavour-specific fields entirely.
+        """
+        same_flavour = (
+            (self.is_accessor() and current.is_accessor())
+            or (not self.is_accessor() and not current.is_accessor())
+        )
+        enumerable = current.enumerable if self.enumerable is None else self.enumerable
+        configurable = (
+            current.configurable if self.configurable is None else self.configurable
+        )
+        if self.is_accessor():
+            get = self.get if self.get is not None else (current.get if same_flavour else None)
+            set_ = self.set if self.set is not None else (current.set if same_flavour else None)
+            return PropertyDescriptor(
+                get=get, set=set_, enumerable=enumerable, configurable=configurable
+            )
+        if self.is_generic() and current.is_accessor():
+            return PropertyDescriptor(
+                get=current.get,
+                set=current.set,
+                enumerable=enumerable,
+                configurable=configurable,
+            )
+        value = self.value if self._has_value else (current.value if same_flavour else None)
+        writable = (
+            self.writable
+            if self.writable is not None
+            else (current.writable if same_flavour else False)
+        )
+        return PropertyDescriptor(
+            value,
+            has_value=True,
+            writable=bool(writable),
+            enumerable=bool(enumerable),
+            configurable=bool(configurable),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.is_accessor():
+            return (
+                f"PropertyDescriptor(get={self.get!r}, set={self.set!r}, "
+                f"enumerable={self.enumerable}, configurable={self.configurable})"
+            )
+        return (
+            f"PropertyDescriptor(value={self.value!r}, writable={self.writable}, "
+            f"enumerable={self.enumerable}, configurable={self.configurable})"
+        )

@@ -1,0 +1,16 @@
+"""Error types raised by the JavaScript object model."""
+
+from __future__ import annotations
+
+
+class JSTypeError(Exception):
+    """Equivalent of JavaScript's ``TypeError``.
+
+    Raised by WebIDL brand checks (reading a native accessor with the wrong
+    ``this``), by invalid property (re)definitions on non-configurable
+    properties, and by proxy invariant violations.
+    """
+
+
+class JSReferenceError(Exception):
+    """Equivalent of JavaScript's ``ReferenceError``."""

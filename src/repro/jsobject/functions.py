@@ -1,0 +1,163 @@
+"""Function objects of the JavaScript model.
+
+Two kinds matter for the paper:
+
+- :class:`NativeFunction` -- a browser built-in.  Its ``toString`` renders
+  the browser's native stub, *including the function name*::
+
+      function toString() {
+          [native code]
+      }
+
+  The paper's Listing 1 shows that wrapping ``navigator`` in a Proxy makes
+  method lookups return *anonymous* wrappers, whose stub is missing the
+  name -- the detectable side effect of spoofing method 4.
+
+- :class:`NativeAccessor` -- a WebIDL attribute getter with a **brand
+  check**: it must be invoked with a ``this`` of the right platform class
+  (e.g. reading ``Navigator.prototype.webdriver`` directly throws a
+  ``TypeError`` in Firefox).  Spoofing method 3 (``setPrototypeOf``) has to
+  substitute a plain-object prototype, which loses the brand check -- the
+  "Defined navigator.__proto__.webdriver" side effect of Table 1.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+
+class JSFunction:
+    """A plain (script-level) JavaScript function."""
+
+    def __init__(self, fn: Callable, name: str = "") -> None:
+        self._fn = fn
+        self.name = name
+
+    def call(self, this: Any, *args: Any) -> Any:
+        """Invoke the function with an explicit ``this``."""
+        return self._fn(this, *args)
+
+    def to_string(self) -> str:
+        """JS ``Function.prototype.toString`` for a script function."""
+        return f"function {self.name}() {{\n    [user code]\n}}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"JSFunction({self.name or '<anonymous>'})"
+
+
+class NativeFunction(JSFunction):
+    """A browser built-in function.
+
+    ``to_string`` renders the native stub with the function's name -- unless
+    the name is empty, in which case the stub is anonymous.  Comparing the
+    two is precisely the probe from the paper's Listing 1.
+    """
+
+    def __init__(
+        self,
+        fn: Callable,
+        name: str,
+        *,
+        brand: Optional[str] = None,
+    ) -> None:
+        super().__init__(fn, name)
+        #: Required platform-class brand of ``this`` (``None`` disables the
+        #: check).  Mirrors WebIDL's "called on an object that does not
+        #: implement interface X" TypeError.
+        self.brand = brand
+
+    def call(self, this: Any, *args: Any) -> Any:
+        from repro.jsobject.errors import JSTypeError
+        from repro.jsobject.proxy import JSProxy
+
+        if self.brand is not None:
+            if isinstance(this, JSProxy):
+                # A raw (unwrapped) call through a proxy fails the brand
+                # check: the proxy is not a platform object.  Stealth
+                # proxies avoid this by *binding* wrapped methods to the
+                # target -- which is what creates anonymous wrappers.
+                raise JSTypeError(
+                    f"'{self.name}' called on an object that does not "
+                    f"implement interface {self.brand}."
+                )
+            actual = getattr(this, "js_class", None)
+            if actual != self.brand:
+                raise JSTypeError(
+                    f"'{self.name}' called on an object that does not "
+                    f"implement interface {self.brand}."
+                )
+        return self._fn(this, *args)
+
+    def to_string(self) -> str:
+        """Native stub: ``function <name>() { [native code] }``."""
+        return f"function {self.name}() {{\n    [native code]\n}}"
+
+    def bound_anonymous(self, this: Any) -> "NativeFunction":
+        """Return an anonymous wrapper bound to ``this``.
+
+        This is what a stealth Proxy's ``get`` trap produces so that brand
+        checks pass -- and it is detectable because the wrapper's
+        ``to_string`` has lost the function name (paper, Listing 1).
+        """
+        inner = self
+
+        def _call_bound(_ignored_this: Any, *args: Any) -> Any:
+            return inner.call(this, *args)
+
+        return NativeFunction(_call_bound, name="", brand=None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NativeFunction({self.name or '<anonymous>'})"
+
+
+class NativeAccessor:
+    """A WebIDL attribute getter/setter pair with a brand check.
+
+    Used as the ``get``/``set`` of accessor :class:`PropertyDescriptor`\\ s
+    on interface prototype objects (e.g. ``Navigator.prototype.webdriver``).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        getter: Callable[[Any], Any],
+        *,
+        brand: str,
+        setter: Optional[Callable[[Any, Any], None]] = None,
+    ) -> None:
+        self.name = name
+        self.brand = brand
+        self._getter = getter
+        self._setter = setter
+        #: The visible getter function object (what ``Object.
+        #: getOwnPropertyDescriptor(proto, name).get`` returns in JS).
+        self.get_function = NativeFunction(
+            lambda this: self(this), name=f"get {name}", brand=brand
+        )
+
+    def __call__(self, this: Any) -> Any:
+        from repro.jsobject.errors import JSTypeError
+
+        actual = getattr(this, "js_class", None)
+        if actual != self.brand:
+            raise JSTypeError(
+                f"'get {self.name}' called on an object that does not "
+                f"implement interface {self.brand}."
+            )
+        return self._getter(this)
+
+    def set(self, this: Any, value: Any) -> None:
+        from repro.jsobject.errors import JSTypeError
+
+        if self._setter is None:
+            raise JSTypeError(f"setting getter-only property \"{self.name}\"")
+        actual = getattr(this, "js_class", None)
+        if actual != self.brand:
+            raise JSTypeError(
+                f"'set {self.name}' called on an object that does not "
+                f"implement interface {self.brand}."
+            )
+        self._setter(this, value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NativeAccessor({self.brand}.{self.name})"

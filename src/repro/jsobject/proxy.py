@@ -1,0 +1,155 @@
+"""ES ``Proxy`` objects.
+
+A proxy wraps a target object and routes every fundamental operation
+through a *trap* supplied by a handler, defaulting to forwarding.  The
+paper's preferred spoofing method (method 4) wraps ``navigator`` in a proxy
+whose ``get`` trap lies about ``webdriver``.
+
+Two behaviours reproduce the paper's findings mechanically:
+
+- Reflective traps (``ownKeys``, ``getOwnPropertyDescriptor``,
+  ``getPrototypeOf``) forward to the target, so enumeration order, property
+  counts and ``Object.keys`` are *unchanged* -- the reason Table 1 shows no
+  ×'s for method 4 in the first three rows.
+- Platform brand checks live on an internal slot the proxy does **not**
+  have, so naively returning a native method from the ``get`` trap would
+  make later calls throw.  Stealth handlers therefore return methods
+  *bound to the target* -- anonymous wrappers whose ``toString`` has lost
+  the function name (Listing 1; Table 1 row 5).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.jsobject.descriptors import PropertyDescriptor
+from repro.jsobject.errors import JSTypeError
+from repro.jsobject.functions import NativeFunction
+from repro.jsobject.jsobject import JSObject, UNDEFINED
+
+
+class JSProxy:
+    """``new Proxy(target, handler)``.
+
+    ``handler`` maps trap names (``"get"``, ``"set"``, ``"has"``,
+    ``"ownKeys"``, ``"getOwnPropertyDescriptor"``, ``"deleteProperty"``,
+    ``"getPrototypeOf"``) to callables.  Missing traps forward to the
+    target.
+    """
+
+    def __init__(self, target: JSObject, handler: Optional[Dict[str, Callable]] = None) -> None:
+        if not isinstance(target, (JSObject, JSProxy)):
+            raise JSTypeError("Proxy target must be an object")
+        self.target = target
+        self.handler: Dict[str, Callable] = dict(handler or {})
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def js_class(self) -> str:
+        """Forwarded class brand (what ``Symbol.toStringTag`` would show).
+
+        Note that WebIDL *brand checks* do not consult this -- they check
+        for an internal slot the proxy lacks, which
+        :meth:`NativeFunction.call` models by rejecting proxy receivers.
+        """
+        return self.target.js_class
+
+    @property
+    def proto(self) -> Optional[JSObject]:
+        """``getPrototypeOf`` trap (default: the target's prototype)."""
+        trap = self.handler.get("getPrototypeOf")
+        if trap is not None:
+            return trap(self.target)
+        return self.target.proto
+
+    # -- fundamental operations ------------------------------------------------
+
+    def get(self, name: str, receiver: Any = None) -> Any:
+        if receiver is None:
+            receiver = self
+        trap = self.handler.get("get")
+        if trap is not None:
+            return trap(self.target, name, receiver)
+        return self.target.get(name, receiver=receiver)
+
+    def set(self, name: str, value: Any, receiver: Any = None) -> None:
+        if receiver is None:
+            receiver = self
+        trap = self.handler.get("set")
+        if trap is not None:
+            trap(self.target, name, value, receiver)
+            return
+        self.target.set(name, value, receiver=receiver)
+
+    def has(self, name: str) -> bool:
+        trap = self.handler.get("has")
+        if trap is not None:
+            return bool(trap(self.target, name))
+        return self.target.has(name)
+
+    def has_own(self, name: str) -> bool:
+        return name in self.own_property_names()
+
+    def delete(self, name: str) -> bool:
+        trap = self.handler.get("deleteProperty")
+        if trap is not None:
+            return bool(trap(self.target, name))
+        return self.target.delete(name)
+
+    def get_own_property(self, name: str) -> Optional[PropertyDescriptor]:
+        trap = self.handler.get("getOwnPropertyDescriptor")
+        if trap is not None:
+            return trap(self.target, name)
+        return self.target.get_own_property(name)
+
+    def own_property_names(self) -> List[str]:
+        trap = self.handler.get("ownKeys")
+        if trap is not None:
+            return list(trap(self.target))
+        return self.target.own_property_names()
+
+    def own_enumerable_names(self) -> List[str]:
+        names = []
+        for name in self.own_property_names():
+            desc = self.get_own_property(name)
+            if desc is not None and desc.enumerable:
+                names.append(name)
+        return names
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"JSProxy({self.target!r})"
+
+
+def is_proxy(obj: Any) -> bool:
+    """Whether ``obj`` is a proxy.
+
+    NOTE: real JavaScript offers **no** such predicate -- this helper exists
+    for tests and for the arms-race discussion (the paper argues a website
+    cannot tell *which* property a wrapped navigator lies about).  Detector
+    code must not call it; detectors rely on observable side effects such as
+    :func:`repro.detection.fingerprint.probe_function_tostring`.
+    """
+    return isinstance(obj, JSProxy)
+
+
+def make_stealth_get_trap(
+    overrides: Dict[str, Any],
+) -> Callable[[JSObject, str, Any], Any]:
+    """Build the ``get`` trap used by spoofing method 4.
+
+    ``overrides`` maps property names to spoofed values.  All other reads
+    forward to the target; function-valued results are bound to the target
+    so that platform brand checks pass (producing the anonymous-wrapper
+    side effect the paper detects via ``toString``).
+    """
+
+    def _get(target: JSObject, name: str, receiver: Any) -> Any:
+        if name in overrides:
+            return overrides[name]
+        value = target.get(name, receiver=target)
+        if isinstance(value, NativeFunction):
+            return value.bound_anonymous(target)
+        return value
+
+    return _get

@@ -1,0 +1,180 @@
+"""Mouse trajectories: straight line, naive Bézier, and HLISA's curve.
+
+Fig. 1 of the paper contrasts four trajectories:
+
+- (A) **Selenium**: a straight line at uniform speed;
+- (B) a human;
+- (C) the **naive solution**: a plain Bézier curve -- curved, but traversed
+  at uniform speed with no jitter, "still very artificial";
+- (D) **HLISA**: a Bézier curve *modified* to start with acceleration and
+  end with deceleration, over a jittery curve, with speed/acceleration/
+  jitter parameters taken from the experiment.
+
+All three synthetic variants are implemented here; the human one lives in
+:mod:`repro.humans.pointing`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.geometry import Point, lerp_point
+
+TimedPoint = Tuple[float, Point]  # (dt since movement onset ms, position)
+
+
+@dataclass
+class TrajectoryParams:
+    """HLISA trajectory parameters (defaults from the paper's experiment).
+
+    ``base_speed_px_s`` and the acceleration shape are chosen so generated
+    movements sit inside the human envelope measured in Appendix E.
+    """
+
+    #: Average cursor speed over a movement (px/s).
+    base_speed_px_s: float = 900.0
+    #: Trial-to-trial lognormal speed noise (sigma of log).
+    speed_noise_sigma: float = 0.15
+    #: Control-point offset, as a fraction of the movement distance.
+    control_offset_frac: float = 0.18
+    #: Jitter standard deviation perpendicular to the curve (px).
+    jitter_px: float = 2.4
+    #: Sampling interval between emitted pointer positions (ms).
+    sample_interval_ms: float = 8.0
+    #: Minimal movement duration (ms); must cooperate with the patched
+    #: Selenium lower bound of 50 ms (Section 4.1).
+    min_duration_ms: float = 50.0
+
+
+class BezierTrajectory:
+    """Cubic Bézier curve with randomised control points."""
+
+    def __init__(self, start: Point, end: Point, rng: np.random.Generator, control_offset_frac: float = 0.18) -> None:
+        self.start = start
+        self.end = end
+        distance = max(start.distance_to(end), 1e-9)
+        ux, uy = (end.x - start.x) / distance, (end.y - start.y) / distance
+        px, py = -uy, ux
+        offset = distance * control_offset_frac
+
+        def control(along: float) -> Point:
+            side = float(rng.normal(0.0, 1.0)) * offset
+            return Point(
+                start.x + (end.x - start.x) * along + px * side,
+                start.y + (end.y - start.y) * along + py * side,
+            )
+
+        self.c1 = control(1.0 / 3.0)
+        self.c2 = control(2.0 / 3.0)
+
+    def at(self, t: float) -> Point:
+        """Evaluate the curve at parameter ``t`` in [0, 1]."""
+        mt = 1.0 - t
+        x = (
+            mt**3 * self.start.x
+            + 3 * mt**2 * t * self.c1.x
+            + 3 * mt * t**2 * self.c2.x
+            + t**3 * self.end.x
+        )
+        y = (
+            mt**3 * self.start.y
+            + 3 * mt**2 * t * self.c1.y
+            + 3 * mt * t**2 * self.c2.y
+            + t**3 * self.end.y
+        )
+        return Point(x, y)
+
+
+def _ease_min_jerk(tau: np.ndarray) -> np.ndarray:
+    """Acceleration/deceleration easing (minimum-jerk position profile)."""
+    return 10.0 * tau**3 - 15.0 * tau**4 + 6.0 * tau**5
+
+
+def straight_line_path(
+    start: Point,
+    end: Point,
+    duration_ms: float,
+    sample_interval_ms: float = 16.0,
+) -> List[TimedPoint]:
+    """Selenium's trajectory: straight line, uniform speed (Fig. 1 A)."""
+    n = max(2, int(round(duration_ms / sample_interval_ms)) + 1)
+    dt = duration_ms / (n - 1)
+    return [(i * dt, lerp_point(start, end, i / (n - 1))) for i in range(n)]
+
+
+def naive_bezier_path(
+    start: Point,
+    end: Point,
+    rng: np.random.Generator,
+    *,
+    duration_ms: Optional[float] = None,
+    params: Optional[TrajectoryParams] = None,
+) -> List[TimedPoint]:
+    """The naive solution (Fig. 1 C): plain Bézier at uniform speed.
+
+    Curved, but with no jitter and a flat speed profile -- "still very
+    artificial".
+    """
+    params = params or TrajectoryParams()
+    distance = start.distance_to(end)
+    if duration_ms is None:
+        duration_ms = max(
+            distance / params.base_speed_px_s * 1000.0, params.min_duration_ms
+        )
+    curve = BezierTrajectory(start, end, rng, params.control_offset_frac)
+    n = max(2, int(round(duration_ms / params.sample_interval_ms)) + 1)
+    dt = duration_ms / (n - 1)
+    return [(i * dt, curve.at(i / (n - 1))) for i in range(n)]
+
+
+def hlisa_path(
+    start: Point,
+    end: Point,
+    rng: np.random.Generator,
+    *,
+    duration_ms: Optional[float] = None,
+    params: Optional[TrajectoryParams] = None,
+) -> List[TimedPoint]:
+    """HLISA's trajectory (Fig. 1 D).
+
+    A Bézier curve traversed with a minimum-jerk speed profile (initial
+    acceleration, final deceleration) and low-amplitude smoothed jitter
+    perpendicular to the path.
+    """
+    params = params or TrajectoryParams()
+    distance = start.distance_to(end)
+    if distance < 1e-9:
+        return [(0.0, start)]
+    if duration_ms is None:
+        speed = params.base_speed_px_s * float(
+            np.exp(rng.normal(0.0, params.speed_noise_sigma))
+        )
+        duration_ms = max(distance / speed * 1000.0, params.min_duration_ms)
+    curve = BezierTrajectory(start, end, rng, params.control_offset_frac)
+    n = max(3, int(round(duration_ms / params.sample_interval_ms)) + 1)
+    dt = duration_ms / (n - 1)
+    eased = _ease_min_jerk(np.linspace(0.0, 1.0, n))
+
+    # Smoothed jitter, zeroed at the endpoints so the cursor lands exactly.
+    jitter = rng.normal(0.0, params.jitter_px, size=n)
+    if n > 5:
+        kernel = np.ones(3) / 3.0
+        jitter = np.convolve(jitter, kernel, mode="same")
+    fade = np.sin(np.pi * np.linspace(0.0, 1.0, n))
+    jitter = jitter * fade
+
+    points: List[TimedPoint] = []
+    for i in range(n):
+        base = curve.at(float(eased[i]))
+        # Perpendicular direction approximated from the chord.
+        chord = max(distance, 1e-9)
+        px = -(end.y - start.y) / chord
+        py = (end.x - start.x) / chord
+        points.append(
+            (i * dt, Point(base.x + jitter[i] * px, base.y + jitter[i] * py))
+        )
+    return points

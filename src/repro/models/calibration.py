@@ -1,0 +1,115 @@
+"""Fitting HLISA model parameters from recorded interaction.
+
+Appendix E's workflow: record a human performing simple tasks, derive the
+distribution parameters, and use them as HLISA's model parameters ("We use
+the speed, acceleration and jitter of the mouse movement observed in the
+experiment as a baseline").  These fitters close that loop against data
+captured by :class:`repro.events.recorder.EventRecorder`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.events.recorder import ClickRecord, EventRecorder, KeyStroke, flight_times
+from repro.geometry import Box
+from repro.models.clicks import ClickParams
+from repro.models.scroll_cadence import ScrollParams
+from repro.models.typing_rhythm import TypingParams
+
+
+def calibrate_click_params(
+    clicks: Sequence[ClickRecord],
+    target: Optional[Box] = None,
+) -> ClickParams:
+    """Fit the click model from recorded clicks.
+
+    Scatter sigma is estimated relative to each click target's half
+    extents (the dispatch-time ``target_box`` snapshot, so moving-target
+    recordings calibrate correctly); pass ``target`` explicitly only for
+    recordings that lack box snapshots.  Dwell comes from the
+    press/release gaps.
+    """
+    if not clicks:
+        raise ValueError("no clicks to calibrate from")
+    dx_list, dy_list = [], []
+    for click in clicks:
+        box = click.target_box if target is None else target
+        if box is None:
+            continue
+        center = box.center
+        dx_list.append((click.position[0] - center.x) / max(box.width / 2.0, 1e-9))
+        dy_list.append((click.position[1] - center.y) / max(box.height / 2.0, 1e-9))
+    if not dx_list:
+        raise ValueError("no clicks carry target geometry")
+    dx = np.array(dx_list)
+    dy = np.array(dy_list)
+    sigma_frac = float(np.sqrt((np.var(dx) + np.var(dy)) / 2.0))
+    dwells = np.array([c.dwell_ms for c in clicks])
+    return ClickParams(
+        sigma_frac=max(sigma_frac, 0.02),
+        dwell_mean_ms=float(np.mean(dwells)),
+        dwell_sd_ms=float(max(np.std(dwells), 1.0)),
+    )
+
+
+def calibrate_typing_params(strokes: Sequence[KeyStroke]) -> TypingParams:
+    """Fit dwell/flight distributions from recorded keystrokes.
+
+    Contextual pauses are excluded from the flight estimate by trimming
+    the top decile (pauses are rare, long, and would inflate the mean).
+    """
+    if len(strokes) < 3:
+        raise ValueError("need at least 3 keystrokes to calibrate")
+    character_strokes = [s for s in strokes if s.key not in ("Shift", "Control", "Alt", "Meta")]
+    dwells = np.array([s.dwell_ms for s in character_strokes])
+    flights = np.array(
+        [f for f in flight_times(character_strokes) if f > 0]
+    )
+    if flights.size:
+        cutoff = np.quantile(flights, 0.9)
+        core_flights = flights[flights <= cutoff]
+    else:
+        core_flights = np.array([140.0])
+    return TypingParams(
+        dwell_mean_ms=float(np.mean(dwells)),
+        dwell_sd_ms=float(max(np.std(dwells), 1.0)),
+        flight_mean_ms=float(np.mean(core_flights)),
+        flight_sd_ms=float(max(np.std(core_flights), 1.0)),
+    )
+
+
+def calibrate_scroll_params(recorder: EventRecorder) -> ScrollParams:
+    """Fit the scroll cadence from recorded wheel events.
+
+    The tick distance is taken from the modal wheel delta; pauses are
+    split into short (within-sweep) and long (finger repositioning) by a
+    2-means style threshold.
+    """
+    ticks = recorder.wheel_ticks()
+    if len(ticks) < 3:
+        raise ValueError("need at least 3 wheel events to calibrate")
+    deltas = np.array([abs(t.delta_y) for t in ticks])
+    tick_px = float(np.median(deltas))
+    gaps = np.diff(np.array([t.timestamp for t in ticks]))
+    gaps = gaps[gaps > 0]
+    if gaps.size == 0:
+        raise ValueError("wheel events carry no time information")
+    threshold = float(np.quantile(gaps, 0.8))
+    short = gaps[gaps <= threshold]
+    long = gaps[gaps > threshold]
+    short_mean = float(np.mean(short)) if short.size else 95.0
+    long_mean = float(np.mean(long)) if long.size else short_mean * 4.0
+    ticks_per_sweep = (
+        float(gaps.size / max(long.size, 1)) if long.size else float(gaps.size)
+    )
+    return ScrollParams(
+        wheel_tick_px=tick_px,
+        tick_pause_mean_ms=short_mean,
+        tick_pause_sd_ms=float(max(np.std(short), 1.0)) if short.size else 30.0,
+        ticks_per_sweep_mean=max(ticks_per_sweep, 2.0),
+        finger_pause_mean_ms=long_mean,
+        finger_pause_sd_ms=float(max(np.std(long), 1.0)) if long.size else 120.0,
+    )

@@ -1,0 +1,71 @@
+"""Click placement models (Fig. 2).
+
+- ``Selenium``: the exact centre (implemented in the webdriver layer).
+- ``uniform_click_point``: the naive randomisation -- a uniform draw over
+  the whole element, which "generates clicks in places humans never
+  reach" (corners, edges).
+- ``hlisa_click_point``: HLISA's model -- a normal distribution around the
+  centre "with parameters drawn from our experiment", truncated to stay
+  within the element.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.geometry import Box, Point
+
+
+@dataclass
+class ClickParams:
+    """HLISA click-model parameters (defaults from the experiment)."""
+
+    #: Click scatter sigma as a fraction of the element's half extent.
+    sigma_frac: float = 0.26
+    #: Mean/SD of mouse-button dwell time (ms).
+    dwell_mean_ms: float = 92.0
+    dwell_sd_ms: float = 20.0
+    #: Truncation: maximal offset as a fraction of the half extent.
+    max_offset_frac: float = 0.85
+
+
+def uniform_click_point(box: Box, rng: np.random.Generator) -> Point:
+    """Naive baseline: uniform over the element (Fig. 2 bottom-left)."""
+    return Point(
+        float(rng.uniform(box.left, box.right)),
+        float(rng.uniform(box.top, box.bottom)),
+    )
+
+
+def hlisa_click_point(
+    box: Box,
+    rng: np.random.Generator,
+    params: Optional[ClickParams] = None,
+) -> Point:
+    """HLISA's model: truncated Gaussian around the centre (Fig. 2
+    bottom-right)."""
+    params = params or ClickParams()
+    center = box.center
+    half_w = max(box.width / 2.0, 0.5)
+    half_h = max(box.height / 2.0, 0.5)
+    max_dx = half_w * params.max_offset_frac
+    max_dy = half_h * params.max_offset_frac
+    # Rejection-sample the truncated normal (cheap at these sigmas).
+    for _ in range(32):
+        dx = float(rng.normal(0.0, half_w * params.sigma_frac))
+        dy = float(rng.normal(0.0, half_h * params.sigma_frac))
+        if abs(dx) <= max_dx and abs(dy) <= max_dy:
+            return Point(center.x + dx, center.y + dy)
+    return Point(
+        center.x + float(np.clip(dx, -max_dx, max_dx)),
+        center.y + float(np.clip(dy, -max_dy, max_dy)),
+    )
+
+
+def hlisa_dwell_ms(rng: np.random.Generator, params: Optional[ClickParams] = None) -> float:
+    """Mouse-button dwell time from HLISA's normal model."""
+    params = params or ClickParams()
+    return float(max(rng.normal(params.dwell_mean_ms, params.dwell_sd_ms), 20.0))

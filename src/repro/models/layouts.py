@@ -1,0 +1,100 @@
+"""Keyboard layouts and layout-aware modifier synthesis.
+
+Section 4.1: "By monitoring the usage of modifier keys, detectors can
+infer the keyboard layout, which can be used for static fingerprinting
+purposes."  The observable is *which characters arrive with which
+modifiers*: ``/`` is an unshifted key on a US keyboard but Shift+7 on a
+German one; ``@`` is Shift+2 on US but AltGr+Q on German.
+
+A typing simulator must therefore synthesise modifiers for a *specific*
+layout -- and keep it consistent with the rest of the fingerprint (a
+``de`` Accept-Language with US-layout typing is a tell, see
+:class:`repro.detection.layout.LayoutLanguageMismatchDetector`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional
+
+#: Modifier requirement of a character on a layout.
+PLAIN, SHIFT, ALTGR = "plain", "shift", "altgr"
+
+
+@dataclass(frozen=True)
+class KeyboardLayout:
+    """Which modifier each printable character needs."""
+
+    name: str
+    #: Language tags this layout is typical for (prefix match).
+    languages: FrozenSet[str]
+    #: Characters requiring Shift beyond the universal A-Z rule.
+    shifted: FrozenSet[str]
+    #: Characters requiring AltGr.
+    altgr: FrozenSet[str] = frozenset()
+
+    def modifier_for(self, char: str) -> str:
+        """The modifier a human must hold to type ``char``."""
+        if len(char) != 1:
+            return PLAIN
+        if char in self.altgr:
+            return ALTGR
+        if char.isalpha() and char.isupper():
+            return SHIFT
+        if char in self.shifted:
+            return SHIFT
+        return PLAIN
+
+
+#: US ANSI layout (the default everywhere in this package).
+US_LAYOUT = KeyboardLayout(
+    name="us",
+    languages=frozenset({"en"}),
+    shifted=frozenset('~!@#$%^&*()_+{}|:"<>?'),
+)
+
+#: German ISO layout (QWERTZ).  The load-bearing differences from US:
+#: ``/ ; : = ? ' " ( )`` move onto Shift; ``@ { } [ ] | ~ \\`` move onto
+#: AltGr.
+DE_LAYOUT = KeyboardLayout(
+    name="de",
+    languages=frozenset({"de"}),
+    shifted=frozenset("!\"$%&/()=?;:_*'<>°"),
+    altgr=frozenset("@{}[]|~\\"),
+)
+
+#: Registry by name.
+LAYOUTS: Dict[str, KeyboardLayout] = {
+    US_LAYOUT.name: US_LAYOUT,
+    DE_LAYOUT.name: DE_LAYOUT,
+}
+
+#: Characters whose modifier differs between US and DE -- the probe set
+#: a layout-inferring detector watches for.
+DISCRIMINATING_CHARS: FrozenSet[str] = frozenset(
+    char
+    for char in set('~!@#$%^&*()_+{}|:"<>?' + "/;='\\[]")
+    if US_LAYOUT.modifier_for(char) != DE_LAYOUT.modifier_for(char)
+)
+
+
+def infer_layout(observations: Dict[str, str]) -> Optional[KeyboardLayout]:
+    """Infer the layout from observed ``char -> modifier`` pairs.
+
+    Scores each known layout by agreement on the discriminating
+    characters; returns the winner, or ``None`` when no discriminating
+    character was observed.
+    """
+    scores: Dict[str, int] = {name: 0 for name in LAYOUTS}
+    informative = 0
+    for char, modifier in observations.items():
+        if char not in DISCRIMINATING_CHARS:
+            continue
+        informative += 1
+        for name, layout in LAYOUTS.items():
+            if layout.modifier_for(char) == modifier:
+                scores[name] += 1
+    if informative == 0:
+        return None
+    best = max(scores, key=lambda name: scores[name])
+    return LAYOUTS[best]

@@ -1,0 +1,112 @@
+"""HLISA's typing model (Section 4.1, "Key presses").
+
+Selenium types at 13,333 cpm with zero dwell, no errors and no modifier
+keys.  HLISA instead:
+
+- draws **dwell times** from a normal distribution parametrised from the
+  experiment;
+- draws **flight times** likewise, adding contextual pauses based on the
+  measurements of Alves et al. [1] (new word, comma, sentence boundaries);
+- **simulates a Shift press** when the character requires it, so a page
+  monitoring modifier keys sees a consistent keyboard layout.
+
+The model intentionally sticks to normal distributions -- the paper's
+Appendix F concedes this simplification (human timing is not normal),
+which is what separates HLISA from the generative human model in
+:mod:`repro.humans.typing` at the distribution level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.humans.typing import needs_shift
+from repro.models.layouts import ALTGR, PLAIN, SHIFT, US_LAYOUT, KeyboardLayout
+
+KeyEvent = Tuple[float, str, str]  # (dt since previous event ms, "down"/"up", key)
+
+
+@dataclass
+class TypingParams:
+    """HLISA typing parameters (defaults from the experiment)."""
+
+    dwell_mean_ms: float = 92.0
+    dwell_sd_ms: float = 22.0
+    flight_mean_ms: float = 140.0
+    flight_sd_ms: float = 42.0
+    #: Contextual pause means (ms), after Alves et al.
+    pause_new_word_ms: float = 200.0
+    pause_comma_ms: float = 400.0
+    pause_sentence_ms: float = 800.0
+    pause_open_sentence_ms: float = 500.0
+    pause_sd_frac: float = 0.4
+    #: Shift lead/lag around a shifted character (ms).
+    shift_lead_mean_ms: float = 48.0
+    shift_lag_mean_ms: float = 36.0
+
+
+class TypingRhythm:
+    """Generates HLISA key-event plans for a piece of text.
+
+    ``layout`` selects the keyboard layout whose modifier conventions
+    the simulated typist follows (Section 4.1: pages can infer the
+    layout from modifier usage, so it must be chosen deliberately and
+    kept consistent with the rest of the fingerprint).
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        params: Optional[TypingParams] = None,
+        layout: KeyboardLayout = US_LAYOUT,
+    ) -> None:
+        self.rng = rng
+        self.params = params or TypingParams()
+        self.layout = layout
+
+    def _normal(self, mean: float, sd: float, floor: float) -> float:
+        return float(max(self.rng.normal(mean, sd), floor))
+
+    def _contextual_pause(self, previous: str, current: str) -> float:
+        p = self.params
+        extra = 0.0
+        if previous == " ":
+            extra += self._normal(p.pause_new_word_ms, p.pause_new_word_ms * p.pause_sd_frac, 0.0)
+        if previous == ",":
+            extra += self._normal(p.pause_comma_ms, p.pause_comma_ms * p.pause_sd_frac, 0.0)
+        if previous in ".!?":
+            extra += self._normal(p.pause_sentence_ms, p.pause_sentence_ms * p.pause_sd_frac, 0.0)
+        if current.isupper() and previous in ".!? ":
+            extra += self._normal(
+                p.pause_open_sentence_ms, p.pause_open_sentence_ms * p.pause_sd_frac, 0.0
+            )
+        return extra
+
+    def plan(self, text: str) -> List[KeyEvent]:
+        """Key-event plan: dwell, flight, contextual pauses, Shift."""
+        p = self.params
+        events: List[KeyEvent] = []
+        previous: Optional[str] = None
+        for char in text:
+            flight = 0.0
+            if previous is not None:
+                flight = self._normal(p.flight_mean_ms, p.flight_sd_ms, 12.0)
+                flight += self._contextual_pause(previous, char)
+            dwell = self._normal(p.dwell_mean_ms, p.dwell_sd_ms, 15.0)
+            modifier = self.layout.modifier_for(char)
+            if modifier is not PLAIN:
+                modifier_key = "Shift" if modifier is SHIFT else "AltGraph"
+                lead = self._normal(p.shift_lead_mean_ms, p.shift_lead_mean_ms * 0.3, 8.0)
+                lag = self._normal(p.shift_lag_mean_ms, p.shift_lag_mean_ms * 0.3, 5.0)
+                events.append((max(flight - lead, 4.0), "down", modifier_key))
+                events.append((lead, "down", char))
+                events.append((dwell, "up", char))
+                events.append((lag, "up", modifier_key))
+            else:
+                events.append((flight, "down", char))
+                events.append((dwell, "up", char))
+            previous = char
+        return events

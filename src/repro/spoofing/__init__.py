@@ -1,0 +1,40 @@
+"""Property spoofing: the four JavaScript methods of Section 3.1.
+
+Each method hides ``navigator.webdriver`` the way the corresponding
+JavaScript idiom does, and each inherits that idiom's side effects
+(Table 1) *mechanically* from the object-model semantics:
+
+1. :func:`spoof_define_property` -- ``Object.defineProperty(navigator,
+   'webdriver', ...)``;
+2. :func:`spoof_define_getter` -- ``navigator.__defineGetter__(
+   'webdriver', ...)`` (deprecated by Mozilla, still evaluated);
+3. :func:`spoof_set_prototype_of` -- ``Object.setPrototypeOf`` with a
+   patched copy of ``Navigator.prototype``;
+4. :func:`spoof_proxy` -- wrapping ``navigator`` in a ``Proxy`` whose
+   ``get`` trap lies (the method the paper selects).
+
+:class:`~repro.spoofing.extension.SpoofingExtension` packages the chosen
+method as the OpenWPM browser extension of Section 3.2.
+"""
+
+from repro.spoofing.methods import (
+    SpoofingMethod,
+    SPOOFING_METHODS,
+    spoof_define_property,
+    spoof_define_getter,
+    spoof_set_prototype_of,
+    spoof_proxy,
+    apply_spoofing,
+)
+from repro.spoofing.extension import SpoofingExtension
+
+__all__ = [
+    "SpoofingMethod",
+    "SPOOFING_METHODS",
+    "spoof_define_property",
+    "spoof_define_getter",
+    "spoof_set_prototype_of",
+    "spoof_proxy",
+    "apply_spoofing",
+    "SpoofingExtension",
+]

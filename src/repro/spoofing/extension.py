@@ -1,0 +1,41 @@
+"""The OpenWPM spoofing extension (Section 3.2).
+
+    "We developed a browser extension to spoof the webdriver property in
+    OpenWPM clients based on our selected method."
+
+The extension applies the proxy method (the paper's selection from the
+Table 1 comparison) to every page the crawler loads.  Like its real
+counterpart, it can -- rarely -- break sites whose own scripts interact
+badly with a wrapped ``navigator``; the crawl simulation models that
+breakage on susceptible sites (Section 3.2 found one deformed layout and
+one ever-loading video whose root cause the authors could not identify).
+"""
+
+from __future__ import annotations
+
+from repro.spoofing.methods import SpoofingMethod, apply_spoofing
+
+
+class SpoofingExtension:
+    """A browser extension hiding ``navigator.webdriver``.
+
+    Parameters
+    ----------
+    method:
+        The spoofing method to inject; defaults to the proxy method the
+        paper selected.
+    """
+
+    def __init__(self, method: SpoofingMethod = SpoofingMethod.PROXY) -> None:
+        self.method = method
+
+    def inject(self, window) -> None:
+        """Run the content script against a freshly loaded page."""
+        apply_spoofing(window, self.method)
+
+    @property
+    def name(self) -> str:
+        return f"webdriver-spoofer ({self.method.name.lower()})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SpoofingExtension {self.method.name}>"

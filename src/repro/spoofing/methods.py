@@ -1,0 +1,140 @@
+"""The four spoofing methods (Section 3.1).
+
+Every function takes a window, hides ``navigator.webdriver`` (returns
+``False`` to page scripts), and installs the result back into
+``window.navigator``.  None of them is told what its side effects are --
+those emerge from the object model, exactly as the paper measured.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Callable, Dict
+
+from repro.jsobject import (
+    JSObject,
+    JSProxy,
+    PropertyDescriptor,
+)
+from repro.jsobject.proxy import make_stealth_get_trap
+
+
+class SpoofingMethod(Enum):
+    """Identifier of a spoofing method (numbering as in the paper)."""
+
+    DEFINE_PROPERTY = 1
+    DEFINE_GETTER = 2
+    SET_PROTOTYPE_OF = 3
+    PROXY = 4
+
+
+def spoof_define_property(window) -> None:
+    """Method 1: ``Object.defineProperty(navigator, 'webdriver', ...)``.
+
+    As the paper notes, the bare call leaves the property non-enumerable
+    ("disappears from the listing when calling Object.keys"); the
+    remedied variant sets ``enumerable: true``.  We apply the remedied
+    variant -- the order and count side effects remain either way,
+    because an *own* shadow property now exists on the instance.
+    """
+    window.navigator.define_property(
+        "webdriver",
+        PropertyDescriptor(
+            get=lambda this: False,
+            enumerable=True,
+            configurable=True,
+        ),
+    )
+
+
+def spoof_define_property_unremedied(window) -> None:
+    """Method 1 as naive stealth scripts write it (no ``enumerable``).
+
+    ``defineProperty`` defaults the flag to ``False``, so the attribute
+    vanishes from enumeration -- the paper's exact observation.
+    """
+    window.navigator.define_property(
+        "webdriver",
+        PropertyDescriptor(get=lambda this: False, configurable=True),
+    )
+
+
+def spoof_define_getter(window) -> None:
+    """Method 2: ``navigator.__defineGetter__('webdriver', () => false)``.
+
+    Deprecated by Mozilla; always creates an enumerable own accessor.
+    """
+    window.navigator.define_getter("webdriver", lambda this: False)
+
+
+def spoof_set_prototype_of(window) -> None:
+    """Method 3: substitute a patched copy of ``Navigator.prototype``.
+
+    The copy preserves every property name in canonical order (so
+    enumeration order and property counts stay intact) but replaces the
+    ``webdriver`` accessor with a plain getter.  What cannot be preserved
+    is the WebIDL brand check: reading ``webdriver`` off the new
+    prototype *itself* no longer throws -- Table 1's
+    "Defined navigator.__proto__.webdriver".
+    """
+    navigator = window.navigator
+    original_proto = navigator.proto
+    if original_proto is None:
+        raise ValueError("navigator has no prototype to replace")
+    patched = JSObject(proto=original_proto.proto, js_class=original_proto.js_class)
+    for name in original_proto.own_property_names():
+        descriptor = original_proto.get_own_property(name)
+        if name == "webdriver":
+            patched.define_property(
+                name,
+                PropertyDescriptor.accessor(
+                    get=lambda this: False, enumerable=True, configurable=True
+                ),
+            )
+        else:
+            patched.define_property(
+                name,
+                PropertyDescriptor(
+                    value=descriptor.value,
+                    has_value=not descriptor.is_accessor(),
+                    writable=descriptor.writable,
+                    get=descriptor.get,
+                    set=descriptor.set,
+                    enumerable=descriptor.enumerable,
+                    configurable=descriptor.configurable,
+                ),
+            )
+    navigator.set_prototype_of(patched)
+
+
+def spoof_proxy(window) -> None:
+    """Method 4: wrap ``navigator`` in a Proxy (the paper's choice).
+
+    The ``get`` trap answers ``false`` for ``webdriver`` and forwards
+    everything else; function-valued properties are returned bound to the
+    real navigator so WebIDL brand checks keep passing.  Reflective traps
+    forward, so enumeration order, counts and ``Object.keys`` are
+    untouched -- the only residue is the anonymous bound wrappers
+    (Listing 1).
+    """
+    target = window.navigator
+    if isinstance(target, JSProxy):
+        target = target.target
+    window.navigator = JSProxy(
+        target,
+        handler={"get": make_stealth_get_trap({"webdriver": False})},
+    )
+
+
+#: Method registry, keyed by the paper's numbering.
+SPOOFING_METHODS: Dict[SpoofingMethod, Callable] = {
+    SpoofingMethod.DEFINE_PROPERTY: spoof_define_property,
+    SpoofingMethod.DEFINE_GETTER: spoof_define_getter,
+    SpoofingMethod.SET_PROTOTYPE_OF: spoof_set_prototype_of,
+    SpoofingMethod.PROXY: spoof_proxy,
+}
+
+
+def apply_spoofing(window, method: SpoofingMethod) -> None:
+    """Apply one of the four methods to a window."""
+    SPOOFING_METHODS[method](window)

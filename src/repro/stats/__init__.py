@@ -1,0 +1,33 @@
+"""Statistics used by the evaluation and the detectors.
+
+The paper uses a Wilcoxon matched-pairs signed-rank test (95 % confidence)
+on paired HTTP-error counts (Section 3.2); detectors additionally need
+normal fits, Kolmogorov-Smirnov distances and chi-square uniformity
+checks.  Everything is implemented here from first principles (numpy
+only); the test suite cross-checks against scipy where available.
+"""
+
+from repro.stats.descriptive import Summary, summarize, coefficient_of_variation
+from repro.stats.wilcoxon import WilcoxonResult, wilcoxon_signed_rank
+from repro.stats.distributions import (
+    normal_cdf,
+    normal_pdf,
+    fit_normal,
+    ks_statistic,
+    ks_test_normal,
+    chi_square_uniform,
+)
+
+__all__ = [
+    "Summary",
+    "summarize",
+    "coefficient_of_variation",
+    "WilcoxonResult",
+    "wilcoxon_signed_rank",
+    "normal_cdf",
+    "normal_pdf",
+    "fit_normal",
+    "ks_statistic",
+    "ks_test_normal",
+    "chi_square_uniform",
+]

@@ -1,0 +1,61 @@
+"""Descriptive statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-style summary of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    q25: float
+    median: float
+    q75: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.n} mean={self.mean:.2f} std={self.std:.2f} "
+            f"min={self.minimum:.2f} q25={self.q25:.2f} med={self.median:.2f} "
+            f"q75={self.q75:.2f} max={self.maximum:.2f}"
+        )
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summary statistics of ``values`` (population std)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    return Summary(
+        n=int(arr.size),
+        mean=float(np.mean(arr)),
+        std=float(np.std(arr)),
+        minimum=float(np.min(arr)),
+        q25=float(np.quantile(arr, 0.25)),
+        median=float(np.median(arr)),
+        q75=float(np.quantile(arr, 0.75)),
+        maximum=float(np.max(arr)),
+    )
+
+
+def coefficient_of_variation(values: Sequence[float]) -> float:
+    """std/mean -- the uniformity measure speed detectors use.
+
+    A perfectly uniform-speed movement (Selenium) has CV ~ 0; human
+    movement's bell-shaped speed profile has CV well above 0.3.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot compute CV of an empty sample")
+    mean = float(np.mean(arr))
+    if abs(mean) < 1e-12:
+        return 0.0
+    return float(np.std(arr) / abs(mean))

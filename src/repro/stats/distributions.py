@@ -1,0 +1,101 @@
+"""Distribution utilities: normal fits, KS distance, chi-square.
+
+These power the level-2 ("detect deviations from human behaviour")
+detectors: click-scatter shape tests, dwell/flight distribution tests,
+and the uniform-vs-Gaussian discrimination that separates the naive
+click randomisation from HLISA's model (Fig. 2).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+def normal_pdf(x: float, mean: float = 0.0, std: float = 1.0) -> float:
+    """Density of N(mean, std^2) at ``x``."""
+    if std <= 0:
+        raise ValueError("std must be positive")
+    z = (x - mean) / std
+    return math.exp(-0.5 * z * z) / (std * math.sqrt(2.0 * math.pi))
+
+
+def normal_cdf(x: float, mean: float = 0.0, std: float = 1.0) -> float:
+    """CDF of N(mean, std^2) at ``x`` (via erf)."""
+    if std <= 0:
+        raise ValueError("std must be positive")
+    return 0.5 * (1.0 + math.erf((x - mean) / (std * math.sqrt(2.0))))
+
+
+def fit_normal(values: Sequence[float]) -> Tuple[float, float]:
+    """Maximum-likelihood normal fit: ``(mean, std)``."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot fit an empty sample")
+    return float(np.mean(arr)), float(max(np.std(arr), 1e-12))
+
+
+def ks_statistic(values: Sequence[float], cdf) -> float:
+    """Kolmogorov-Smirnov distance of a sample from a model CDF."""
+    arr = np.sort(np.asarray(list(values), dtype=float))
+    n = arr.size
+    if n == 0:
+        raise ValueError("empty sample")
+    model = np.array([cdf(v) for v in arr])
+    empirical_hi = np.arange(1, n + 1) / n
+    empirical_lo = np.arange(0, n) / n
+    return float(max(np.max(empirical_hi - model), np.max(model - empirical_lo)))
+
+
+def _ks_p_value(d: float, n: int) -> float:
+    """Asymptotic two-sided KS p-value (Kolmogorov series)."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    lam = (math.sqrt(n) + 0.12 + 0.11 / math.sqrt(n)) * d
+    if lam < 1e-9:
+        return 1.0
+    total = 0.0
+    for j in range(1, 101):
+        term = 2.0 * (-1.0) ** (j - 1) * math.exp(-2.0 * j * j * lam * lam)
+        total += term
+        if abs(term) < 1e-10:
+            break
+    return float(min(max(total, 0.0), 1.0))
+
+
+def ks_test_normal(values: Sequence[float]) -> Tuple[float, float]:
+    """KS test of a sample against its own normal fit.
+
+    Returns ``(statistic, p_value)``.  (Fitting first makes the test
+    conservative -- Lilliefors-style -- which is acceptable for the
+    detector use case: we threshold on the statistic, not on exact
+    coverage.)
+    """
+    mean, std = fit_normal(values)
+    d = ks_statistic(values, lambda v: normal_cdf(v, mean, std))
+    return d, _ks_p_value(d, len(list(values)))
+
+
+def chi_square_uniform(values: Sequence[float], low: float, high: float, bins: int = 10) -> Tuple[float, float]:
+    """Chi-square test of uniformity on ``[low, high]``.
+
+    Returns ``(statistic, p_value)`` with ``bins - 1`` degrees of
+    freedom (p via the Wilson-Hilferty normal approximation).
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("empty sample")
+    if high <= low:
+        raise ValueError("invalid interval")
+    counts, _ = np.histogram(arr, bins=bins, range=(low, high))
+    expected = arr.size / bins
+    statistic = float(np.sum((counts - expected) ** 2 / expected))
+    dof = bins - 1
+    # Wilson-Hilferty: (X/k)^(1/3) ~ N(1 - 2/(9k), 2/(9k)).
+    z = ((statistic / dof) ** (1.0 / 3.0) - (1.0 - 2.0 / (9.0 * dof))) / math.sqrt(
+        2.0 / (9.0 * dof)
+    )
+    p = 1.0 - normal_cdf(z)
+    return statistic, float(min(max(p, 0.0), 1.0))

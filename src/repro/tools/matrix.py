@@ -1,0 +1,94 @@
+"""Assembling the Table 4 feature matrix."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+# Importing the tool modules registers their backends.
+from repro.tools import bezmouse  # noqa: F401
+from repro.tools import clickbot  # noqa: F401
+from repro.tools import hmm  # noqa: F401
+from repro.tools import pyclick_backend  # noqa: F401
+from repro.tools import pyhm  # noqa: F401
+from repro.tools import scroller  # noqa: F401
+from repro.tools import thesis_typing  # noqa: F401
+from repro.experiment.agents import HLISAAgent, SeleniumAgent
+from repro.tools.base import BACKEND_REGISTRY, ToolBackend, register
+from repro.tools.probes import FEATURES, probe_backend
+
+
+@register
+class HLISABackend(HLISAAgent, ToolBackend):
+    """HLISA as a Table 4 column (the rightmost of the paper's table)."""
+
+    name = "HLISA"
+    selenium_ready = True  # it *is* a Selenium API
+
+    def __init__(self, seed: int = 5) -> None:
+        HLISAAgent.__init__(self, seed=seed)
+
+
+@register
+class SeleniumBackend(SeleniumAgent, ToolBackend):
+    """Plain Selenium, as a reference column outside the paper's table."""
+
+    name = "Selenium"
+    selenium_ready = True
+
+    def __init__(self, seed: int = 5) -> None:
+        SeleniumAgent.__init__(self)
+
+
+#: Table 4's column order.
+TABLE4_COLUMNS = ("HMM", "PyC", "BezMouse", "pyHM", "Scroller", "ClickBot", "[20]", "HLISA")
+
+
+@dataclass
+class FeatureMatrix:
+    """The regenerated Table 4."""
+
+    columns: List[str]
+    #: feature -> {tool -> supported}
+    rows: Dict[str, Dict[str, bool]] = field(default_factory=dict)
+
+    def supported(self, feature: str, tool: str) -> bool:
+        return self.rows.get(feature, {}).get(tool, False)
+
+    def feature_count(self, tool: str) -> int:
+        """Number of features a tool covers (HLISA should lead)."""
+        return sum(1 for feature in self.rows if self.supported(feature, tool))
+
+    def format_table(self) -> str:
+        """Printable check-mark table in the paper's layout."""
+        width = max(len(f) for f in self.rows) + 2
+        header = "Functionality".ljust(width) + "  ".join(
+            f"{c:>8s}" for c in self.columns
+        )
+        lines = [header, "-" * len(header)]
+        for feature in self.rows:
+            cells = "  ".join(
+                f"{'x' if self.rows[feature][c] else '.':>8s}" for c in self.columns
+            )
+            lines.append(feature.ljust(width) + cells)
+        return "\n".join(lines)
+
+
+def build_feature_matrix(
+    columns: Optional[Sequence[str]] = None,
+    click_attempts: int = 120,
+) -> FeatureMatrix:
+    """Probe every backend and assemble the matrix.
+
+    ``columns`` defaults to the paper's eight tools; add ``"Selenium"``
+    for the baseline column.
+    """
+    columns = list(columns or TABLE4_COLUMNS)
+    matrix = FeatureMatrix(columns=columns)
+    results = {
+        name: probe_backend(BACKEND_REGISTRY[name](), click_attempts=click_attempts)
+        for name in columns
+    }
+    for feature in FEATURES:
+        matrix.rows[feature] = {name: results[name][feature] for name in columns}
+    return matrix

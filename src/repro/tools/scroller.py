@@ -1,0 +1,39 @@
+"""Scroller: human-like scrolling for Selenium -- scrolling only.
+
+The original (https://github.com/hayj/Scroller) drives Selenium's
+``window.scrollBy`` in small steps with randomised pauses, including
+occasional longer ones.  No pointer, click or keyboard functionality.
+"""
+
+from __future__ import annotations
+
+from repro.experiment.session import Session
+from repro.tools.base import ToolBackend, register
+
+
+@register
+class ScrollerBackend(ToolBackend):
+    """Tick-wise scripted scrolling with human-ish pauses."""
+
+    name = "Scroller"
+    selenium_ready = True  # built explicitly for Selenium sessions
+
+    TICK_PX = 57.0
+
+    def scroll_by(self, session: Session, dy: float) -> None:
+        direction = 1.0 if dy > 0 else -1.0
+        remaining = abs(dy)
+        ticks_since_break = 0
+        next_break = int(self.rng.integers(4, 11))
+        while remaining > 0:
+            if ticks_since_break >= next_break:
+                session.clock.advance(float(self.rng.uniform(250.0, 700.0)))
+                ticks_since_break = 0
+                next_break = int(self.rng.integers(4, 11))
+            else:
+                session.clock.advance(float(self.rng.uniform(40.0, 160.0)))
+            # Scripted scrollBy: scroll events in ticks, no wheel events
+            # (same limitation HLISA has).
+            session.window.scroll_by(0, direction * self.TICK_PX)
+            remaining -= self.TICK_PX
+            ticks_since_break += 1

@@ -1,0 +1,47 @@
+"""A Selenium-like automation layer over the simulated browser.
+
+The paper studies how the **Selenium interaction API** differs from human
+interaction; this package re-creates that API against
+:mod:`repro.browser`, reproducing Selenium's recognisable artefacts *by
+construction* (the same algorithms, not canned data):
+
+- pointer moves interpolate a straight line at uniform speed
+  (:class:`~repro.webdriver.action_chains.ActionChains`);
+- ``create_pointer_move`` enforces a lower bound on move durations, the
+  internal function HLISA overrides (Section 4.1, "Implementation and
+  deployment");
+- clicks land exactly on the element centre with zero dwell time;
+- ``send_keys`` types at 13,333 characters per minute with no dwell, no
+  modifier synthesis, and no errors;
+- scrolling is programmatic (``window.scrollTo``-style): no wheel events,
+  arbitrary distances.
+"""
+
+from repro.webdriver.errors import (
+    WebDriverException,
+    NoSuchElementException,
+    MoveTargetOutOfBoundsException,
+    ElementNotInteractableException,
+    InvalidArgumentException,
+)
+from repro.webdriver.webelement import WebElement
+from repro.webdriver.action_chains import ActionChains
+from repro.webdriver.action_builder import ActionBuilder
+from repro.webdriver.keys import Keys
+from repro.webdriver.driver import WebDriver, make_browser_driver
+from repro.webdriver import actions
+
+__all__ = [
+    "WebDriverException",
+    "NoSuchElementException",
+    "MoveTargetOutOfBoundsException",
+    "ElementNotInteractableException",
+    "InvalidArgumentException",
+    "WebElement",
+    "ActionChains",
+    "ActionBuilder",
+    "Keys",
+    "WebDriver",
+    "make_browser_driver",
+    "actions",
+]

@@ -1,0 +1,213 @@
+"""The W3C ``ActionBuilder`` API (Selenium 4 style).
+
+The paper pins HLISA's patch to "Selenium versions <4"; real Selenium 4
+replaced the internals with the W3C actions model -- per-device *input
+sources* (pointer, key, wheel) whose action queues are merged tick by
+tick.  This module provides that API surface over the same executor the
+legacy ``ActionChains`` uses, so Selenium-4-style automation code ports
+over unchanged:
+
+    builder = ActionBuilder(driver)
+    builder.pointer_action.move_to(element).click()
+    builder.key_action.send_keys("hi")
+    builder.perform()
+
+Tick semantics: at each tick, every device contributes at most one
+action; a device with nothing queued contributes an implicit pause.  Our
+browser is single-threaded, so a tick's actions execute in device order
+(pointer, key, wheel) -- observable timing matches W3C's "tick duration =
+longest action in the tick" for the pointer-dominant workloads
+measurement code produces.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.webdriver import actions as actions_module
+from repro.webdriver.actions import (
+    Action,
+    ActionExecutor,
+    KeyDown,
+    KeyUp,
+    Pause,
+    PointerDown,
+    PointerUp,
+    ScrollTo,
+)
+from repro.webdriver.errors import InvalidArgumentException
+from repro.webdriver.webelement import WebElement
+
+
+class _InputSource:
+    """Base input source: a queue of (tick-sized) actions."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._queue: List[Action] = []
+
+    def pause(self, seconds: float = 0.0):
+        if seconds < 0:
+            raise InvalidArgumentException(f"negative pause: {seconds}")
+        self._queue.append(Pause(seconds * 1000.0))
+        return self
+
+    def _take(self) -> Optional[Action]:
+        return self._queue.pop(0) if self._queue else None
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class PointerActions(_InputSource):
+    """The pointer input source (a mouse)."""
+
+    def __init__(self, driver, name: str = "mouse") -> None:
+        super().__init__(name)
+        self._driver = driver
+
+    def pointer_down(self, button: int = 0) -> "PointerActions":
+        self._queue.append(PointerDown(button))
+        return self
+
+    def pointer_up(self, button: int = 0) -> "PointerActions":
+        self._queue.append(PointerUp(button))
+        return self
+
+    def move_to(
+        self, element: WebElement, x: float = 0.0, y: float = 0.0
+    ) -> "PointerActions":
+        """Move to an element (optionally offset from its centre)."""
+        self._driver.scroll_into_view(element.dom_element)
+        self._queue.append(
+            actions_module.create_pointer_move(float(x), float(y), origin=element)
+        )
+        return self
+
+    def move_by(self, x: float, y: float) -> "PointerActions":
+        self._queue.append(
+            actions_module.create_pointer_move(float(x), float(y), origin="pointer")
+        )
+        return self
+
+    def move_to_location(self, x: float, y: float) -> "PointerActions":
+        self._queue.append(
+            actions_module.create_pointer_move(float(x), float(y), origin="viewport")
+        )
+        return self
+
+    def click(self, element: Optional[WebElement] = None) -> "PointerActions":
+        if element is not None:
+            self.move_to(element)
+        return self.pointer_down(0).pointer_up(0)
+
+    def click_and_hold(self, element: Optional[WebElement] = None) -> "PointerActions":
+        if element is not None:
+            self.move_to(element)
+        return self.pointer_down(0)
+
+    def release(self) -> "PointerActions":
+        return self.pointer_up(0)
+
+    def double_click(self, element: Optional[WebElement] = None) -> "PointerActions":
+        if element is not None:
+            self.move_to(element)
+        return self.click().click()
+
+    def context_click(self, element: Optional[WebElement] = None) -> "PointerActions":
+        if element is not None:
+            self.move_to(element)
+        return self.pointer_down(2).pointer_up(2)
+
+
+class KeyActions(_InputSource):
+    """The keyboard input source."""
+
+    def __init__(self, name: str = "keyboard") -> None:
+        super().__init__(name)
+
+    def key_down(self, value: str) -> "KeyActions":
+        self._queue.append(KeyDown(value))
+        return self
+
+    def key_up(self, value: str) -> "KeyActions":
+        self._queue.append(KeyUp(value))
+        return self
+
+    def send_keys(self, text: str) -> "KeyActions":
+        from repro.webdriver.keys import decode_keys
+
+        for key in decode_keys(text):
+            self.key_down(key)
+            self.key_up(key)
+        return self
+
+
+class WheelActions(_InputSource):
+    """The wheel input source (Selenium 4.2+)."""
+
+    def __init__(self, driver, name: str = "wheel") -> None:
+        super().__init__(name)
+        self._driver = driver
+
+    def scroll_by_amount(self, delta_x: float, delta_y: float) -> "WheelActions":
+        """Scroll the viewport by a delta (programmatic, wheel-less)."""
+        window = self._driver.window
+        self._queue.append(
+            _RelativeScroll(float(delta_x), float(delta_y))
+        )
+        return self
+
+    def scroll_to_element(self, element: WebElement) -> "WheelActions":
+        """Scroll until the element is in view."""
+        self._queue.append(_ScrollIntoView(element))
+        return self
+
+
+class _RelativeScroll:
+    """Deferred relative scroll (resolved against live scroll position)."""
+
+    def __init__(self, dx: float, dy: float) -> None:
+        self.dx, self.dy = dx, dy
+
+
+class _ScrollIntoView:
+    def __init__(self, element: WebElement) -> None:
+        self.element = element
+
+
+class ActionBuilder:
+    """W3C actions: one queue per input source, merged tick-wise."""
+
+    def __init__(self, driver) -> None:
+        self._driver = driver
+        self.pointer_action = PointerActions(driver)
+        self.key_action = KeyActions()
+        self.wheel_action = WheelActions(driver)
+
+    @property
+    def devices(self) -> List[_InputSource]:
+        return [self.pointer_action, self.key_action, self.wheel_action]
+
+    def clear_actions(self) -> None:
+        """Drop every device's queue."""
+        for device in self.devices:
+            device._queue.clear()
+
+    def perform(self) -> None:
+        """Merge device queues tick by tick and execute."""
+        executor = ActionExecutor(self._driver)
+        while any(len(device) for device in self.devices):
+            for device in self.devices:
+                action = device._take()
+                if action is None:
+                    continue
+                if isinstance(action, _RelativeScroll):
+                    window = self._driver.window
+                    executor.execute(
+                        [ScrollTo(window.scroll_x + action.dx, window.scroll_y + action.dy)]
+                    )
+                elif isinstance(action, _ScrollIntoView):
+                    self._driver.scroll_into_view(action.element.dom_element)
+                else:
+                    executor.execute([action])

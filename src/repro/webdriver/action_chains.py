@@ -1,0 +1,202 @@
+"""Selenium's ``ActionChains``, reproduced with its interaction artefacts.
+
+Every behaviour the paper calls out is produced by the same *algorithm*
+real Selenium uses, so detectors catch it for the same reasons:
+
+- ``move_to_element`` goes to the element's **exact centre** in a straight
+  line at uniform speed (Fig. 1 A / Fig. 2 top-left);
+- pointer-move durations pass through :func:`repro.webdriver.actions.
+  create_pointer_move`, which clamps them to Selenium's lower bound;
+- clicks press and release with **zero dwell time**;
+- ``send_keys`` emits keydown/keyup with zero dwell at 13,333 characters
+  per minute, typing capitals **without Shift** (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.webdriver import actions as actions_module
+from repro.webdriver.actions import (
+    Action,
+    ActionExecutor,
+    KeyDown,
+    KeyUp,
+    Pause,
+    PointerDown,
+    PointerUp,
+    ScrollTo,
+)
+from repro.webdriver.errors import InvalidArgumentException
+from repro.webdriver.webelement import WebElement
+
+#: Selenium's observed typing speed (paper: "inhumanly fast
+#: (13,333 characters per minute)").
+SELENIUM_CHARS_PER_MINUTE = 13333.0
+
+#: Pause between consecutive keystrokes implied by that speed.
+SELENIUM_INTER_KEY_MS = 60000.0 / SELENIUM_CHARS_PER_MINUTE
+
+#: Buttons.
+LEFT, MIDDLE, RIGHT = 0, 1, 2
+
+
+class ActionChains:
+    """Queue of low-level actions, executed in order by :meth:`perform`."""
+
+    def __init__(self, driver) -> None:
+        self._driver = driver
+        self._actions: List[Action] = []
+
+    # -- plumbing ------------------------------------------------------------
+
+    def perform(self) -> None:
+        """Execute all queued actions, then clear the queue."""
+        executor = ActionExecutor(self._driver)
+        executor.execute(self._actions)
+        self._actions = []
+
+    def reset_actions(self) -> "ActionChains":
+        """Drop all queued actions."""
+        self._actions = []
+        return self
+
+    def pause(self, seconds: float) -> "ActionChains":
+        """Insert a pause of ``seconds`` seconds."""
+        if seconds < 0:
+            raise InvalidArgumentException(f"negative pause: {seconds}")
+        self._actions.append(Pause(seconds * 1000.0))
+        return self
+
+    def _move(self, x: float, y: float, origin, duration_ms: Optional[float] = None) -> None:
+        # Looked up on the module at call time so HLISA's patch applies.
+        factory = actions_module.create_pointer_move
+        if duration_ms is None:
+            duration_ms = actions_module.DEFAULT_POINTER_MOVE_DURATION_MS
+        self._actions.append(factory(x, y, duration_ms, origin=origin))
+
+    # -- pointer movement ---------------------------------------------------------
+
+    def move_to_element(self, to_element: WebElement) -> "ActionChains":
+        """Straight-line move to the element's exact centre."""
+        self._driver.scroll_into_view(to_element.dom_element)
+        self._move(0.0, 0.0, origin=to_element)
+        return self
+
+    def move_to_element_with_offset(
+        self, to_element: WebElement, xoffset: float, yoffset: float
+    ) -> "ActionChains":
+        """Straight-line move to an offset from the element's centre."""
+        self._driver.scroll_into_view(to_element.dom_element)
+        self._move(float(xoffset), float(yoffset), origin=to_element)
+        return self
+
+    def move_by_offset(self, xoffset: float, yoffset: float) -> "ActionChains":
+        """Straight-line move relative to the current pointer position."""
+        self._move(float(xoffset), float(yoffset), origin="pointer")
+        return self
+
+    def move_to_location(self, x: float, y: float) -> "ActionChains":
+        """Straight-line move to absolute viewport coordinates."""
+        self._move(float(x), float(y), origin="viewport")
+        return self
+
+    # -- clicking ---------------------------------------------------------------------
+
+    def click(self, on_element: Optional[WebElement] = None) -> "ActionChains":
+        """Press and release the left button (zero dwell)."""
+        if on_element is not None:
+            self.move_to_element(on_element)
+        self._actions.append(PointerDown(LEFT))
+        self._actions.append(PointerUp(LEFT))
+        return self
+
+    def click_and_hold(self, on_element: Optional[WebElement] = None) -> "ActionChains":
+        if on_element is not None:
+            self.move_to_element(on_element)
+        self._actions.append(PointerDown(LEFT))
+        return self
+
+    def release(self, on_element: Optional[WebElement] = None) -> "ActionChains":
+        if on_element is not None:
+            self.move_to_element(on_element)
+        self._actions.append(PointerUp(LEFT))
+        return self
+
+    def double_click(self, on_element: Optional[WebElement] = None) -> "ActionChains":
+        """Two zero-dwell clicks in immediate succession."""
+        if on_element is not None:
+            self.move_to_element(on_element)
+        for _ in range(2):
+            self._actions.append(PointerDown(LEFT))
+            self._actions.append(PointerUp(LEFT))
+        return self
+
+    def context_click(self, on_element: Optional[WebElement] = None) -> "ActionChains":
+        if on_element is not None:
+            self.move_to_element(on_element)
+        self._actions.append(PointerDown(RIGHT))
+        self._actions.append(PointerUp(RIGHT))
+        return self
+
+    # -- drag and drop -------------------------------------------------------------------
+
+    def drag_and_drop(self, source: WebElement, target: WebElement) -> "ActionChains":
+        self.click_and_hold(source)
+        self.move_to_element(target)
+        self.release()
+        return self
+
+    def drag_and_drop_by_offset(
+        self, source: WebElement, xoffset: float, yoffset: float
+    ) -> "ActionChains":
+        self.click_and_hold(source)
+        self.move_by_offset(xoffset, yoffset)
+        self.release()
+        return self
+
+    # -- keyboard ---------------------------------------------------------------------------
+
+    def key_down(self, value: str, element: Optional[WebElement] = None) -> "ActionChains":
+        if element is not None:
+            self.click(element)
+        self._actions.append(KeyDown(value))
+        return self
+
+    def key_up(self, value: str, element: Optional[WebElement] = None) -> "ActionChains":
+        if element is not None:
+            self.click(element)
+        self._actions.append(KeyUp(value))
+        return self
+
+    def send_keys(self, *keys_to_send: str) -> "ActionChains":
+        """Type text at Selenium speed: zero dwell, no Shift for capitals.
+
+        Special keys use Selenium's ``Keys`` codepoints (decoded to the
+        browser's logical key names at the pipeline boundary).
+        """
+        from repro.webdriver.keys import decode_keys
+
+        text = "".join(keys_to_send)
+        for key in decode_keys(text):
+            self._actions.append(KeyDown(key))
+            self._actions.append(KeyUp(key))
+            self._actions.append(Pause(SELENIUM_INTER_KEY_MS))
+        return self
+
+    def send_keys_to_element(
+        self, element: WebElement, *keys_to_send: str
+    ) -> "ActionChains":
+        """Click the element, then :meth:`send_keys`."""
+        self.click(element)
+        return self.send_keys(*keys_to_send)
+
+    # -- scrolling (Selenium's programmatic style) ----------------------------------------------
+
+    def scroll_to_location(self, x: float, y: float) -> "ActionChains":
+        """Programmatic scroll: no wheel events, any distance at once."""
+        self._actions.append(ScrollTo(float(x), float(y)))
+        return self
+
+    def __len__(self) -> int:
+        return len(self._actions)

@@ -1,0 +1,27 @@
+"""WebDriver error hierarchy (the subset Selenium users meet daily)."""
+
+from __future__ import annotations
+
+
+class WebDriverException(Exception):
+    """Base class for all WebDriver errors."""
+
+
+class NoSuchElementException(WebDriverException):
+    """``find_element`` found nothing for the given locator."""
+
+
+class ElementNotInteractableException(WebDriverException):
+    """The element exists but cannot receive interaction (e.g. hidden)."""
+
+
+class MoveTargetOutOfBoundsException(WebDriverException):
+    """A pointer move targets coordinates outside the viewport."""
+
+
+class InvalidArgumentException(WebDriverException):
+    """An argument was malformed (wrong type, negative duration, ...)."""
+
+
+class StaleElementReferenceException(WebDriverException):
+    """The element is no longer attached to the document."""

@@ -1,0 +1,80 @@
+"""Selenium's ``Keys``: named special keys for ``send_keys``.
+
+Real Selenium encodes special keys as private-use Unicode codepoints
+(U+E000...).  We keep that wire format so code written against Selenium
+ports over unchanged, and decode to the browser's logical key names at
+the pipeline boundary.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class Keys:
+    """Special-key constants (the subset measurement code uses)."""
+
+    NULL = "\ue000"
+    CANCEL = "\ue001"
+    HELP = "\ue002"
+    BACKSPACE = "\ue003"
+    TAB = "\ue004"
+    CLEAR = "\ue005"
+    RETURN = "\ue006"
+    ENTER = "\ue007"
+    SHIFT = "\ue008"
+    CONTROL = "\ue009"
+    ALT = "\ue00a"
+    PAUSE = "\ue00b"
+    ESCAPE = "\ue00c"
+    SPACE = "\ue00d"
+    PAGE_UP = "\ue00e"
+    PAGE_DOWN = "\ue00f"
+    END = "\ue010"
+    HOME = "\ue011"
+    ARROW_LEFT = "\ue012"
+    ARROW_UP = "\ue013"
+    ARROW_RIGHT = "\ue014"
+    ARROW_DOWN = "\ue015"
+    DELETE = "\ue017"
+    META = "\ue03d"
+
+
+#: Wire codepoint -> logical key name (as the browser reports it).
+_CODEPOINT_TO_KEY = {
+    Keys.BACKSPACE: "Backspace",
+    Keys.TAB: "Tab",
+    Keys.CLEAR: "Clear",
+    Keys.RETURN: "Enter",
+    Keys.ENTER: "Enter",
+    Keys.SHIFT: "Shift",
+    Keys.CONTROL: "Control",
+    Keys.ALT: "Alt",
+    Keys.PAUSE: "Pause",
+    Keys.ESCAPE: "Escape",
+    Keys.SPACE: " ",
+    Keys.PAGE_UP: "PageUp",
+    Keys.PAGE_DOWN: "PageDown",
+    Keys.END: "End",
+    Keys.HOME: "Home",
+    Keys.ARROW_LEFT: "ArrowLeft",
+    Keys.ARROW_UP: "ArrowUp",
+    Keys.ARROW_RIGHT: "ArrowRight",
+    Keys.ARROW_DOWN: "ArrowDown",
+    Keys.DELETE: "Delete",
+    Keys.META: "Meta",
+}
+
+
+def decode_keys(text: str) -> List[str]:
+    """Split a ``send_keys`` argument into logical key values.
+
+    Ordinary characters map to themselves; Selenium's private-use
+    codepoints map to their key names.
+    """
+    return [_CODEPOINT_TO_KEY.get(char, char) for char in text]
+
+
+def is_special(key: str) -> bool:
+    """Whether a logical key is a non-printing special key."""
+    return len(key) > 1

@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.browser.navigator import NavigatorProfile
+from repro.browser.window import Window
+from repro.core import patching
+from repro.webdriver.driver import make_browser_driver
+
+
+@pytest.fixture
+def driver():
+    """A fresh WebDriver over the demo page."""
+    return make_browser_driver()
+
+@pytest.fixture
+def automated_window():
+    """A WebDriver-controlled browser window (webdriver flag set)."""
+    return Window(profile=NavigatorProfile(webdriver=True))
+
+
+@pytest.fixture
+def human_window():
+    """A regular (non-automated) browser window."""
+    return Window(profile=NavigatorProfile(webdriver=False))
+
+
+@pytest.fixture(autouse=True)
+def _restore_selenium_patch():
+    """Keep HLISA's Selenium monkey-patch from leaking between tests."""
+    yield
+    patching.unpatch_pointer_move_duration()

@@ -1,0 +1,139 @@
+"""The W3C ActionBuilder (Selenium 4 API parity)."""
+
+import pytest
+
+from repro.events.recorder import EventRecorder
+from repro.events.taxonomy import ALL_INTERACTION_EVENTS
+from repro.geometry import Box
+from repro.webdriver.action_builder import ActionBuilder
+from repro.webdriver.driver import make_browser_driver
+from repro.webdriver.errors import InvalidArgumentException
+from repro.webdriver.keys import Keys
+
+
+@pytest.fixture
+def rig():
+    driver = make_browser_driver(page_height=5000)
+    recorder = EventRecorder(ALL_INTERACTION_EVENTS).attach(driver.window)
+    return driver, recorder
+
+
+class TestPointerSource:
+    def test_click_element(self, rig):
+        driver, recorder = rig
+        builder = ActionBuilder(driver)
+        builder.pointer_action.click(driver.find_element_by_id("submit"))
+        builder.perform()
+        clicks = recorder.clicks()
+        assert len(clicks) == 1
+        center = driver.find_element_by_id("submit").dom_element.center
+        assert clicks[0].position == (center.x, center.y)
+
+    def test_move_with_offset(self, rig):
+        driver, recorder = rig
+        element = driver.find_element_by_id("submit")
+        builder = ActionBuilder(driver)
+        builder.pointer_action.move_to(element, 10, -5)
+        builder.perform()
+        t, x, y = recorder.mouse_path()[-1]
+        center = element.dom_element.center
+        assert (x, y) == (center.x + 10, center.y - 5)
+
+    def test_move_respects_duration_lower_bound(self, rig):
+        """The builder uses the same patched factory HLISA overrides."""
+        driver, _ = rig
+        from repro.core import patching
+        from repro.webdriver import actions
+
+        builder = ActionBuilder(driver)
+        builder.pointer_action.move_to_location(100, 100)
+        move = builder.pointer_action._queue[0]
+        assert move.duration_ms == actions.MIN_POINTER_MOVE_DURATION_MS
+        patching.patch_pointer_move_duration()
+        builder.pointer_action.move_by(10, 10)
+        # New moves pick up the patched factory at call time.
+        assert builder.pointer_action._queue[1].duration_ms >= 50.0
+
+    def test_double_and_context_click(self, rig):
+        driver, recorder = rig
+        element = driver.find_element_by_id("submit")
+        builder = ActionBuilder(driver)
+        builder.pointer_action.double_click(element)
+        builder.perform()
+        assert len(recorder.of_type("dblclick")) == 1
+        builder.pointer_action.context_click(element)
+        builder.perform()
+        assert len(recorder.of_type("contextmenu")) == 1
+
+    def test_click_and_hold_release(self, rig):
+        driver, recorder = rig
+        builder = ActionBuilder(driver)
+        builder.pointer_action.click_and_hold(driver.find_element_by_id("submit"))
+        builder.pointer_action.pause(0.25)
+        builder.pointer_action.release()
+        builder.perform()
+        assert recorder.clicks()[0].dwell_ms == pytest.approx(250.0, abs=2)
+
+
+class TestKeySource:
+    def test_send_keys_with_specials(self, rig):
+        driver, _ = rig
+        area = driver.find_element_by_id("text_area")
+        driver.window.document.set_focus(area.dom_element)
+        builder = ActionBuilder(driver)
+        builder.key_action.send_keys("ab" + Keys.BACKSPACE + "c")
+        builder.perform()
+        assert area.get_attribute("value") == "ac"
+
+    def test_key_down_up_modifiers(self, rig):
+        driver, recorder = rig
+        builder = ActionBuilder(driver)
+        builder.key_action.key_down("Shift").send_keys("a").key_up("Shift")
+        builder.perform()
+        a_down = [e for e in recorder.of_type("keydown") if e.key == "a"][0]
+        assert a_down.shift_key
+
+
+class TestWheelSource:
+    def test_scroll_by_amount(self, rig):
+        driver, recorder = rig
+        builder = ActionBuilder(driver)
+        builder.wheel_action.scroll_by_amount(0, 900)
+        builder.perform()
+        assert driver.window.scroll_y == 900
+        assert recorder.of_type("wheel") == []  # programmatic, as in real WD
+
+    def test_scroll_to_element(self, rig):
+        driver, _ = rig
+        deep = driver.window.document.create_element(
+            "button", Box(200, 4200, 100, 40), id="deep"
+        )
+        builder = ActionBuilder(driver)
+        builder.wheel_action.scroll_to_element(driver.find_element_by_id("deep"))
+        builder.perform()
+        assert driver.window.is_in_viewport(deep.center)
+
+
+class TestTickMerging:
+    def test_devices_interleave_per_tick(self, rig):
+        """Pointer and key actions queued together alternate tick-wise."""
+        driver, recorder = rig
+        builder = ActionBuilder(driver)
+        builder.pointer_action.pointer_down().pointer_up()
+        builder.key_action.key_down("x").key_up("x")
+        builder.perform()
+        types = [e.type for e in recorder.events if e.type in ("mousedown", "keydown")]
+        assert types == ["mousedown", "keydown"]
+
+    def test_clear_actions(self, rig):
+        driver, recorder = rig
+        builder = ActionBuilder(driver)
+        builder.pointer_action.click(driver.find_element_by_id("submit"))
+        builder.clear_actions()
+        builder.perform()
+        assert recorder.clicks() == []
+
+    def test_negative_pause_rejected(self, rig):
+        driver, _ = rig
+        with pytest.raises(InvalidArgumentException):
+            ActionBuilder(driver).pointer_action.pause(-1)

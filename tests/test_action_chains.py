@@ -1,0 +1,186 @@
+"""Selenium ActionChains semantics: the artefacts the paper measures."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.trajectory import per_movement_metrics, trajectory_metrics
+from repro.events.recorder import EventRecorder
+from repro.events.taxonomy import ALL_INTERACTION_EVENTS
+from repro.geometry import Box
+from repro.webdriver import ActionChains, MoveTargetOutOfBoundsException, actions
+from repro.webdriver.action_chains import SELENIUM_INTER_KEY_MS
+from repro.webdriver.driver import make_browser_driver
+from repro.webdriver.errors import InvalidArgumentException
+
+
+@pytest.fixture
+def rig():
+    driver = make_browser_driver()
+    recorder = EventRecorder(ALL_INTERACTION_EVENTS).attach(driver.window)
+    return driver, recorder
+
+
+class TestPointerMoves:
+    def test_move_is_straight_line(self, rig):
+        """Fig. 1 A: Selenium moves in a perfectly straight line."""
+        driver, recorder = rig
+        ActionChains(driver).move_to_element(
+            driver.find_element_by_id("submit")
+        ).perform()
+        metrics = trajectory_metrics(recorder.mouse_path())
+        assert metrics.straightness > 0.999
+
+    def test_move_is_uniform_speed(self, rig):
+        driver, recorder = rig
+        ActionChains(driver).move_to_location(1000, 600).perform()
+        metrics = trajectory_metrics(recorder.mouse_path())
+        assert metrics.speed_cv < 0.1
+
+    def test_move_lands_on_exact_center(self, rig):
+        driver, recorder = rig
+        element = driver.find_element_by_id("submit")
+        ActionChains(driver).move_to_element(element).perform()
+        last = recorder.mouse_path()[-1]
+        center = element.dom_element.center
+        assert (last[1], last[2]) == (center.x, center.y)
+
+    def test_move_duration_has_lower_bound(self, rig):
+        """Selenium clamps pointer-move durations (the bound HLISA
+        patches away)."""
+        driver, recorder = rig
+        move = actions.create_pointer_move(10, 10, duration_ms=5.0)
+        assert move.duration_ms == actions.MIN_POINTER_MOVE_DURATION_MS
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(InvalidArgumentException):
+            actions.create_pointer_move(0, 0, duration_ms=-1)
+
+    def test_move_by_offset(self, rig):
+        driver, recorder = rig
+        ActionChains(driver).move_to_location(100, 100).move_by_offset(50, -20).perform()
+        last = recorder.mouse_path()[-1]
+        assert (last[1], last[2]) == (150.0, 80.0)
+
+    def test_move_with_offset_from_center(self, rig):
+        driver, recorder = rig
+        element = driver.find_element_by_id("submit")
+        ActionChains(driver).move_to_element_with_offset(element, 10, 5).perform()
+        last = recorder.mouse_path()[-1]
+        center = element.dom_element.center
+        assert (last[1], last[2]) == (center.x + 10, center.y + 5)
+
+    def test_out_of_viewport_move_raises(self, rig):
+        driver, _ = rig
+        with pytest.raises(MoveTargetOutOfBoundsException):
+            ActionChains(driver).move_to_location(99999, 10).perform()
+
+    def test_move_to_offscreen_element_scrolls_first(self):
+        driver = make_browser_driver(page_height=6000)
+        driver.window.document.create_element("button", Box(300, 5000, 80, 40), id="deep")
+        element = driver.find_element_by_id("deep")
+        ActionChains(driver).move_to_element(element).perform()
+        assert driver.window.is_in_viewport(element.dom_element.center)
+
+
+class TestClicks:
+    def test_click_zero_dwell(self, rig):
+        driver, recorder = rig
+        ActionChains(driver).click(driver.find_element_by_id("submit")).perform()
+        clicks = recorder.clicks()
+        assert len(clicks) == 1
+        assert clicks[0].dwell_ms == 0.0
+
+    def test_double_click_fires_dblclick(self, rig):
+        driver, recorder = rig
+        ActionChains(driver).double_click(driver.find_element_by_id("submit")).perform()
+        assert len(recorder.of_type("dblclick")) == 1
+
+    def test_context_click(self, rig):
+        driver, recorder = rig
+        ActionChains(driver).context_click(driver.find_element_by_id("submit")).perform()
+        assert len(recorder.of_type("contextmenu")) == 1
+
+    def test_click_and_hold_release(self, rig):
+        driver, recorder = rig
+        element = driver.find_element_by_id("submit")
+        chain = ActionChains(driver).click_and_hold(element).pause(0.2).release()
+        chain.perform()
+        clicks = recorder.clicks()
+        assert len(clicks) == 1
+        assert clicks[0].dwell_ms == pytest.approx(200.0, abs=2)
+
+    def test_drag_and_drop(self, rig):
+        driver, recorder = rig
+        source = driver.find_element_by_id("submit")
+        target = driver.find_element_by_id("cancel")
+        ActionChains(driver).drag_and_drop(source, target).perform()
+        downs = recorder.of_type("mousedown")
+        ups = recorder.of_type("mouseup")
+        assert len(downs) == 1 and len(ups) == 1
+        assert ups[0].client_x > downs[0].client_x  # released over 'cancel'
+
+
+class TestKeyboard:
+    def test_send_keys_zero_dwell(self, rig):
+        driver, recorder = rig
+        driver.find_element_by_id("text_area").send_keys("")  # focus
+        ActionChains(driver).send_keys("hello").perform()
+        strokes = recorder.key_strokes()
+        assert len(strokes) == 5
+        assert all(s.dwell_ms == 0.0 for s in strokes)
+
+    def test_send_keys_no_shift_for_capitals(self, rig):
+        driver, recorder = rig
+        ActionChains(driver).send_keys("Hi").perform()
+        keys = [e.key for e in recorder.of_type("keydown")]
+        assert "Shift" not in keys
+        assert "H" in keys
+
+    def test_inter_key_interval_matches_cpm(self):
+        assert SELENIUM_INTER_KEY_MS == pytest.approx(4.5, abs=0.01)
+
+    def test_send_keys_to_element_clicks_first(self, rig):
+        driver, recorder = rig
+        area = driver.find_element_by_id("text_area")
+        ActionChains(driver).send_keys_to_element(area, "x").perform()
+        assert recorder.clicks()  # a click happened
+        assert area.get_attribute("value") == "x"
+
+    def test_key_down_up_explicit(self, rig):
+        driver, recorder = rig
+        ActionChains(driver).key_down("Shift").send_keys("a").key_up("Shift").perform()
+        a_event = [e for e in recorder.of_type("keydown") if e.key == "a"][0]
+        assert a_event.shift_key is True
+
+
+class TestChainPlumbing:
+    def test_perform_clears_queue(self, rig):
+        driver, _ = rig
+        chain = ActionChains(driver).move_to_location(10, 10)
+        assert len(chain) == 1
+        chain.perform()
+        assert len(chain) == 0
+
+    def test_reset_actions(self, rig):
+        driver, recorder = rig
+        chain = ActionChains(driver).move_to_location(10, 10).reset_actions()
+        chain.perform()
+        assert recorder.mouse_path() == []
+
+    def test_negative_pause_rejected(self, rig):
+        driver, _ = rig
+        with pytest.raises(InvalidArgumentException):
+            ActionChains(driver).pause(-1)
+
+    def test_pause_advances_clock(self, rig):
+        driver, _ = rig
+        before = driver.window.clock.now()
+        ActionChains(driver).pause(0.5).perform()
+        assert driver.window.clock.now() - before == pytest.approx(500.0)
+
+    def test_scroll_to_location_no_wheel(self, rig):
+        driver, recorder = rig
+        driver.window.document.height = 4000
+        ActionChains(driver).scroll_to_location(0, 1500).perform()
+        assert recorder.of_type("wheel") == []
+        assert driver.window.scroll_y == 1500

@@ -1,0 +1,238 @@
+"""Metric extraction: trajectories, clicks, typing, scrolling."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import click_metrics, scroll_metrics, trajectory_metrics, typing_metrics
+from repro.analysis.trajectory import per_movement_metrics, split_movements
+from repro.events.event import Event
+from repro.events.recorder import ClickRecord, KeyStroke
+from repro.geometry import Box
+
+
+def straight_path(n=30, speed_px_per_sample=10.0, dt=8.0):
+    return [(i * dt, i * speed_px_per_sample, 100.0) for i in range(n)]
+
+
+def key_stroke(key, t_down, dwell, shift=False):
+    return KeyStroke(
+        down=Event("keydown", timestamp=t_down, key=key, shift_key=shift),
+        up=Event("keyup", timestamp=t_down + dwell, key=key),
+    )
+
+
+class TestTrajectoryMetrics:
+    def test_straight_line_measured_straight(self):
+        m = trajectory_metrics(straight_path())
+        assert m.straightness == pytest.approx(1.0)
+        assert m.is_straight
+        assert m.speed_cv < 0.01
+        assert m.is_uniform_speed
+        assert m.jitter_rms_px < 0.1
+
+    def test_speed_computation(self):
+        m = trajectory_metrics(straight_path(speed_px_per_sample=8.0, dt=8.0))
+        assert m.mean_speed_px_s == pytest.approx(1000.0)
+
+    def test_jitter_detected(self):
+        rng = np.random.default_rng(0)
+        path = [
+            (i * 8.0, i * 10.0 + rng.normal(0, 2.0), 100.0 + rng.normal(0, 2.0))
+            for i in range(60)
+        ]
+        m = trajectory_metrics(path)
+        assert m.jitter_rms_px > 1.0
+
+    def test_smooth_curve_has_no_jitter(self):
+        path = [
+            (i * 8.0, i * 10.0, 100.0 + 50 * math.sin(i / 60 * math.pi))
+            for i in range(60)
+        ]
+        m = trajectory_metrics(path)
+        assert m.jitter_rms_px < 0.2
+        assert m.straightness < 0.99
+
+    def test_bell_profile_detected(self):
+        # Minimum-jerk positions: slow ends, fast middle.
+        n = 60
+        s = [10 * (i / (n - 1)) ** 3 - 15 * (i / (n - 1)) ** 4 + 6 * (i / (n - 1)) ** 5 for i in range(n)]
+        path = [(i * 8.0, 800 * s[i], 100.0) for i in range(n)]
+        m = trajectory_metrics(path)
+        assert m.edge_to_middle_speed_ratio < 0.5
+        assert m.has_bell_speed_profile
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            trajectory_metrics([(0.0, 1.0, 1.0)])
+
+    def test_split_movements_on_gaps(self):
+        path = straight_path(20)
+        resumed = [(t + 1000.0, x + 500, y) for t, x, y in straight_path(20)]
+        movements = split_movements(path + resumed)
+        assert len(movements) == 2
+
+    def test_split_drops_twitches(self):
+        movements = split_movements([(0.0, 1, 1), (5.0, 2, 2)], min_samples=4)
+        assert movements == []
+
+    def test_per_movement_metrics(self):
+        path = straight_path(20)
+        resumed = [(t + 1000.0, x, y + 300) for t, x, y in straight_path(20)]
+        metrics = per_movement_metrics(path + resumed)
+        assert len(metrics) == 2
+        assert all(m.is_straight for m in metrics)
+
+
+class TestClickMetrics:
+    BOX = Box(0, 0, 100, 100)
+
+    def test_all_center_clicks(self):
+        positions = [(50.0, 50.0)] * 10
+        m = click_metrics(positions, [self.BOX] * 10)
+        assert m.exact_center_rate == 1.0
+        assert m.mean_radial_offset == pytest.approx(0.0)
+
+    def test_corner_rate(self):
+        positions = [(95.0, 95.0), (5.0, 5.0), (50.0, 50.0), (50.0, 60.0)]
+        m = click_metrics(positions, [self.BOX] * 4)
+        assert m.corner_rate == 0.5
+
+    def test_outside_rate(self):
+        positions = [(150.0, 50.0), (50.0, 50.0)]
+        m = click_metrics(positions, [self.BOX] * 2)
+        assert m.outside_rate == 0.5
+
+    def test_normalisation_uses_each_box(self):
+        positions = [(10.0, 10.0), (100.0, 100.0)]
+        boxes = [Box(0, 0, 20, 20), Box(80, 80, 40, 40)]
+        m = click_metrics(positions, boxes)
+        assert m.exact_center_rate == 1.0
+
+    def test_mismatched_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            click_metrics([(1.0, 1.0)], [])
+
+    def test_gaussian_cloud_ks_low(self):
+        rng = np.random.default_rng(0)
+        positions = [
+            (50 + rng.normal(0, 10), 50 + rng.normal(0, 10)) for _ in range(200)
+        ]
+        m = click_metrics(positions, [self.BOX] * 200)
+        assert m.normal_ks_x < 0.08
+        assert m.uniform_p_x < 0.05
+
+    def test_uniform_cloud_flagged(self):
+        rng = np.random.default_rng(1)
+        positions = [
+            (rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(300)
+        ]
+        m = click_metrics(positions, [self.BOX] * 300)
+        assert m.uniform_p_x > 0.01
+        assert m.corner_rate > 0.0
+
+
+class TestTypingMetrics:
+    def test_basic_stats(self):
+        strokes = [
+            key_stroke("a", 0, 90),
+            key_stroke("b", 200, 110),
+            key_stroke("c", 420, 95),
+        ]
+        m = typing_metrics(strokes)
+        assert m.n_strokes == 3
+        assert m.dwell_mean_ms == pytest.approx((90 + 110 + 95) / 3)
+        assert m.rollover_count == 0
+
+    def test_rollover_counted(self):
+        strokes = [key_stroke("a", 0, 150), key_stroke("b", 100, 80)]
+        m = typing_metrics(strokes)
+        assert m.rollover_count == 1
+
+    def test_cpm(self):
+        strokes = [key_stroke(c, i * 100.0, 50) for i, c in enumerate("abcdefghijk")]
+        m = typing_metrics(strokes)
+        span_minutes = (10 * 100.0 + 50) / 60000.0
+        assert m.chars_per_minute == pytest.approx(11 / span_minutes)
+
+    def test_selenium_signatures(self):
+        strokes = [key_stroke(c, i * 4.5, 0.0) for i, c in enumerate("abcdef" * 3)]
+        m = typing_metrics(strokes)
+        assert m.has_negligible_dwell
+        assert m.is_inhumanly_fast
+
+    def test_shift_accounting_via_flag(self):
+        strokes = [key_stroke("A", 0, 90, shift=True), key_stroke("B", 300, 90)]
+        m = typing_metrics(strokes)
+        assert m.shifted_with_modifier == 1
+        assert m.shifted_without_modifier == 1
+
+    def test_shift_accounting_via_interval(self):
+        strokes = [
+            key_stroke("Shift", 0, 200),
+            key_stroke("A", 50, 80),
+        ]
+        m = typing_metrics(strokes)
+        assert m.shifted_with_modifier == 1
+        assert m.shifted_without_modifier == 0
+
+    def test_modifier_only_rejected(self):
+        with pytest.raises(ValueError):
+            typing_metrics([key_stroke("Shift", 0, 100)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            typing_metrics([])
+
+
+class TestScrollMetrics:
+    def _scroll(self, t, y):
+        return Event("scroll", timestamp=t, page_y=y)
+
+    def _wheel(self, t, dy=57.0):
+        return Event("wheel", timestamp=t, delta_y=dy)
+
+    def test_wheelless_detection(self):
+        m = scroll_metrics([self._scroll(0, 5000)], [])
+        assert m.wheelless
+        assert m.has_teleport_scrolls
+        assert m.max_single_scroll_px == 5000
+
+    def test_tick_scrolling(self):
+        scrolls = [self._scroll(i * 100.0, (i + 1) * 57.0) for i in range(20)]
+        wheels = [self._wheel(i * 100.0) for i in range(20)]
+        m = scroll_metrics(scrolls, wheels)
+        assert not m.wheelless
+        assert m.wheel_tick_px == 57.0
+        assert m.median_scroll_step_px == 57.0
+        assert not m.has_teleport_scrolls
+
+    def test_sweep_structure(self):
+        times = []
+        t = 0.0
+        for i in range(30):
+            t += 400.0 if i % 7 == 6 else 90.0
+            times.append(t)
+        wheels = [self._wheel(t) for t in times]
+        scrolls = [self._scroll(t, (i + 1) * 57.0) for i, t in enumerate(times)]
+        m = scroll_metrics(scrolls, wheels)
+        assert m.has_sweep_structure
+
+    def test_metronome_has_no_sweeps(self):
+        wheels = [self._wheel(i * 100.0) for i in range(30)]
+        scrolls = [self._scroll(i * 100.0, (i + 1) * 57.0) for i in range(30)]
+        m = scroll_metrics(scrolls, wheels)
+        assert not m.has_sweep_structure
+
+    def test_cadence_from_scroll_events_when_wheelless(self):
+        """HLISA's scrollBy ticks still expose their cadence."""
+        times = []
+        t = 0.0
+        for i in range(30):
+            t += 400.0 if i % 7 == 6 else 90.0
+            times.append(t)
+        scrolls = [self._scroll(t, (i + 1) * 57.0) for i, t in enumerate(times)]
+        m = scroll_metrics(scrolls, [])
+        assert m.wheelless
+        assert m.has_sweep_structure

@@ -1,0 +1,110 @@
+"""The arms-race model (Fig. 3) and its empirical tournament."""
+
+import pytest
+
+from repro.armsrace import (
+    GENERIC_SIMULATION_PROFILE,
+    SimulatorLevel,
+    Tournament,
+    expected_detection,
+    simulator_for_level,
+)
+from repro.armsrace.levels import HLISA_LEVEL
+from repro.armsrace.simulators import ConsistentSimulatorAgent, ProfileSimulatorAgent
+from repro.detection.base import DetectionLevel
+from repro.humans.profile import HumanProfile
+
+
+class TestModel:
+    def test_hlisa_sits_at_human_distribution(self):
+        """'HLISA ... is situated at the third level in the hierarchy.'"""
+        assert HLISA_LEVEL is SimulatorLevel.HUMAN_DISTRIBUTION
+
+    def test_expected_matrix_is_lower_triangular(self):
+        for sim in SimulatorLevel:
+            for det in DetectionLevel:
+                assert expected_detection(sim, det) == (int(det) > int(sim))
+
+    def test_hlisa_requires_consistency_tracking(self):
+        """'consistently defeating HLISA requires tracking consistency of
+        behaviour.'"""
+        assert not expected_detection(HLISA_LEVEL, DetectionLevel.ARTIFICIAL)
+        assert not expected_detection(HLISA_LEVEL, DetectionLevel.DEVIATION)
+        assert expected_detection(HLISA_LEVEL, DetectionLevel.CONSISTENCY)
+
+    def test_top_simulator_beats_all_interaction_detectors(self):
+        for det in DetectionLevel:
+            assert not expected_detection(SimulatorLevel.SPECIFIC_PROFILE, det)
+
+
+class TestSimulators:
+    def test_each_level_instantiates(self):
+        subject = HumanProfile()
+        for level in SimulatorLevel:
+            agent = simulator_for_level(level, target_profile=subject)
+            assert agent.automated or level is SimulatorLevel.UNLIMITED or True
+            assert hasattr(agent, "click_element")
+
+    def test_profile_level_requires_target(self):
+        with pytest.raises(ValueError):
+            simulator_for_level(SimulatorLevel.SPECIFIC_PROFILE)
+
+    def test_impersonator_copies_parameters_not_seed(self):
+        subject = HumanProfile()
+        agent = ProfileSimulatorAgent(subject)
+        assert agent.profile.fitts_b_ms == subject.fitts_b_ms
+        assert agent.profile.seed != subject.seed
+
+    def test_consistent_simulator_uses_generic_profile(self):
+        agent = ConsistentSimulatorAgent()
+        assert agent.profile is GENERIC_SIMULATION_PROFILE
+        assert agent.automated is True
+
+    def test_generic_profile_differs_from_default_subject(self):
+        subject = HumanProfile()
+        assert GENERIC_SIMULATION_PROFILE.fitts_b_ms != subject.fitts_b_ms
+        assert GENERIC_SIMULATION_PROFILE.click_sigma_frac != subject.click_sigma_frac
+
+
+class TestTournament:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return Tournament().run()
+
+    def test_matrix_matches_fig3(self, result):
+        """The headline claim: the empirical matrix equals the model's
+        lower triangle and the human control is never flagged."""
+        assert result.matches_model(), result.mismatches()
+
+    def test_selenium_caught_at_level1(self, result):
+        assert result.matrix[SimulatorLevel.UNLIMITED][DetectionLevel.ARTIFICIAL]
+
+    def test_hlisa_evades_levels_1_and_2(self, result):
+        row = result.matrix[SimulatorLevel.HUMAN_DISTRIBUTION]
+        assert not row[DetectionLevel.ARTIFICIAL]
+        assert not row[DetectionLevel.DEVIATION]
+
+    def test_hlisa_caught_by_consistency(self, result):
+        row = result.matrix[SimulatorLevel.HUMAN_DISTRIBUTION]
+        assert row[DetectionLevel.CONSISTENCY]
+        evidence = result.evidence[
+            (SimulatorLevel.HUMAN_DISTRIBUTION, DetectionLevel.CONSISTENCY)
+        ]
+        assert any("coupling" in name for name in evidence)
+
+    def test_consistent_simulator_needs_profile_detector(self, result):
+        row = result.matrix[SimulatorLevel.CONSISTENT]
+        assert not row[DetectionLevel.CONSISTENCY]
+        assert row[DetectionLevel.PROFILE]
+
+    def test_impersonator_beats_everything(self, result):
+        row = result.matrix[SimulatorLevel.SPECIFIC_PROFILE]
+        assert not any(row.values())
+
+    def test_human_never_flagged(self, result):
+        assert not any(result.human_flags.values())
+
+    def test_format_matrix_renders(self, result):
+        rendering = result.format_matrix()
+        assert "HUMAN_DISTRIBUTION" in rendering
+        assert "CONTROL" in rendering

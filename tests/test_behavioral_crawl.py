@@ -1,0 +1,52 @@
+"""The behavioural-detector crawl (the paper's future-work evaluation)."""
+
+import pytest
+
+from repro.crawl.behavioral import (
+    BehavioralSite,
+    make_behavioral_population,
+    run_behavioral_crawl,
+)
+from repro.detection.base import DetectionLevel
+from repro.experiment import BrowsingScenario
+from repro.experiment.agents import HLISAAgent, SeleniumAgent
+
+
+class TestPopulation:
+    def test_sites_per_level(self):
+        population = make_behavioral_population(sites_per_level=2)
+        assert len(population) == 6
+        levels = [site.detector_level for site in population]
+        assert levels.count(DetectionLevel.ARTIFICIAL) == 2
+        assert levels.count(DetectionLevel.CONSISTENCY) == 2
+
+    def test_site_judges_with_its_battery(self):
+        site = BehavioralSite("x.example", DetectionLevel.ARTIFICIAL)
+        recorder = BrowsingScenario(clicks=10).run(SeleniumAgent()).recorder
+        assert site.judges(recorder)
+
+
+class TestCrawl:
+    @pytest.fixture(scope="class")
+    def result(self):
+        agents = {"selenium": SeleniumAgent(), "hlisa": HLISAAgent()}
+        population = make_behavioral_population(sites_per_level=1)
+        return run_behavioral_crawl(agents, population, visits_per_site=1)
+
+    def test_selenium_blocked_everywhere(self, result):
+        for level in (
+            DetectionLevel.ARTIFICIAL,
+            DetectionLevel.DEVIATION,
+            DetectionLevel.CONSISTENCY,
+        ):
+            assert result.blocked_rate("selenium", level) == 1.0
+
+    def test_hlisa_blocked_only_at_consistency(self, result):
+        assert result.blocked_rate("hlisa", DetectionLevel.ARTIFICIAL) == 0.0
+        assert result.blocked_rate("hlisa", DetectionLevel.DEVIATION) == 0.0
+        assert result.blocked_rate("hlisa", DetectionLevel.CONSISTENCY) == 1.0
+
+    def test_format_table(self, result):
+        rendering = result.format_table()
+        assert "selenium" in rendering
+        assert "L1 sites" in rendering

@@ -1,0 +1,173 @@
+"""Experiment-level behaviours (Appendix F) and the origin detector."""
+
+import numpy as np
+import pytest
+
+from repro.behaviors import (
+    OriginStartDetector,
+    SpontaneousMovements,
+    TypoGenerator,
+    idle_select_deselect,
+    misclick_then_correct,
+    warm_up_cursor,
+)
+from repro.behaviors.typing_errors import BACKSPACE
+from repro.events.recorder import EventRecorder
+from repro.events.taxonomy import ALL_INTERACTION_EVENTS
+from repro.webdriver.driver import make_browser_driver
+
+
+@pytest.fixture
+def rig():
+    driver = make_browser_driver()
+    recorder = EventRecorder(ALL_INTERACTION_EVENTS).attach(driver.window)
+    return driver, recorder
+
+
+class TestWarmUp:
+    def test_moves_cursor_off_origin(self, rig):
+        driver, recorder = rig
+        assert driver.pipeline.pointer.as_tuple() == (0.0, 0.0)
+        target = warm_up_cursor(driver, np.random.default_rng(1))
+        assert driver.pipeline.pointer.distance_to(target) < 1.0
+        assert driver.pipeline.pointer.x > 100
+
+    def test_defeats_origin_detector(self, rig):
+        """The Appendix F point: warm up, then interact -> no origin tell."""
+        driver, recorder = rig
+        detector = OriginStartDetector()
+        # Without warm-up, the first movement starts at the origin.
+        driver.find_element_by_id("submit")  # no interaction yet
+        from repro.core.hlisa_action_chains import HLISA_ActionChains
+
+        chain = HLISA_ActionChains(driver, seed=2)
+        chain.move_to(400, 300)
+        chain.perform()
+        assert detector.observe(recorder).is_bot
+        # A fresh session with warm-up before "page load" passes.
+        driver2 = make_browser_driver()
+        warm_up_cursor(driver2, np.random.default_rng(3))
+        recorder2 = EventRecorder(ALL_INTERACTION_EVENTS).attach(driver2.window)
+        chain2 = HLISA_ActionChains(driver2, seed=2)
+        chain2.move_to(400, 300)
+        chain2.perform()
+        assert not detector.observe(recorder2).is_bot
+
+    def test_origin_detector_ignores_empty_recordings(self):
+        assert not OriginStartDetector().observe(EventRecorder()).is_bot
+
+
+class TestSpontaneousMovements:
+    def test_wanders_with_probability_one(self, rig):
+        driver, recorder = rig
+        warm_up_cursor(driver, np.random.default_rng(1))
+        before = driver.pipeline.pointer
+        wander = SpontaneousMovements(driver, probability=1.0, seed=4)
+        assert wander.maybe_wander()
+        assert driver.pipeline.pointer.distance_to(before) > 1.0
+
+    def test_never_wanders_with_probability_zero(self, rig):
+        driver, _ = rig
+        wander = SpontaneousMovements(driver, probability=0.0, seed=4)
+        assert not wander.maybe_wander()
+
+    def test_stays_in_viewport(self, rig):
+        driver, _ = rig
+        wander = SpontaneousMovements(driver, probability=1.0, seed=5)
+        for _ in range(20):
+            wander.maybe_wander()
+            p = driver.pipeline.pointer
+            assert 0 <= p.x <= driver.window.viewport_width
+            assert 0 <= p.y <= driver.window.viewport_height
+
+
+class TestMisclick:
+    def test_misclick_then_correct(self, rig):
+        driver, recorder = rig
+        element = driver.find_element_by_id("submit")
+        misclick_then_correct(driver, element, np.random.default_rng(6))
+        clicks = recorder.clicks()
+        assert len(clicks) == 2
+        box = element.dom_element.box
+        first, second = clicks
+        from repro.geometry import Point
+
+        first_page = driver.window.client_to_page(Point(*first.position))
+        second_page = driver.window.client_to_page(Point(*second.position))
+        assert not box.contains(first_page)  # the miss
+        assert box.contains(second_page)  # the correction
+
+    def test_correction_comes_after_pause(self, rig):
+        driver, recorder = rig
+        element = driver.find_element_by_id("submit")
+        misclick_then_correct(driver, element, np.random.default_rng(7))
+        clicks = recorder.clicks()
+        assert clicks[1].down.timestamp - clicks[0].up.timestamp > 200.0
+
+
+class TestIdleSelection:
+    def test_drag_select_then_click(self, rig):
+        driver, recorder = rig
+        warm_up_cursor(driver, np.random.default_rng(8))
+        recorder.clear()
+        idle_select_deselect(driver, np.random.default_rng(9))
+        downs = recorder.of_type("mousedown")
+        ups = recorder.of_type("mouseup")
+        assert len(downs) == 2 and len(ups) == 2
+        # The selection drag moved the cursor while the button was down.
+        moves_during_drag = [
+            e
+            for e in recorder.of_type("mousemove")
+            if downs[0].timestamp < e.timestamp < ups[0].timestamp
+        ]
+        assert len(moves_during_drag) >= 3
+
+
+class TestTypoGenerator:
+    def test_replay_recovers_text(self):
+        generator = TypoGenerator(error_rate=0.3, seed=1)
+        text = "the quick brown fox jumps over the lazy dog"
+        sequence = generator.keystrokes(text)
+        assert TypoGenerator.replay(sequence) == text
+
+    def test_errors_actually_occur(self):
+        generator = TypoGenerator(error_rate=0.3, seed=2)
+        sequence = generator.keystrokes("abcdefghij" * 5)
+        assert generator.error_count(sequence) > 0
+        assert BACKSPACE in sequence
+
+    def test_zero_error_rate_is_clean(self):
+        generator = TypoGenerator(error_rate=0.0, seed=3)
+        text = "clean typing"
+        assert generator.keystrokes(text) == list(text)
+
+    def test_invalid_error_rate_rejected(self):
+        with pytest.raises(ValueError):
+            TypoGenerator(error_rate=1.5)
+
+    def test_wrong_key_is_qwerty_neighbour(self):
+        from repro.behaviors.typing_errors import QWERTY_NEIGHBOURS
+
+        generator = TypoGenerator(seed=4)
+        for char in "qwertyasdf":
+            wrong = generator._wrong_key_for(char)
+            assert wrong in QWERTY_NEIGHBOURS[char]
+
+    def test_case_preserved_in_errors(self):
+        generator = TypoGenerator(seed=5)
+        wrong = generator._wrong_key_for("A")
+        assert wrong.isupper()
+
+    def test_typed_through_pipeline_yields_text(self):
+        """End to end: replay the sequence through the browser."""
+        driver = make_browser_driver()
+        area = driver.find_element_by_id("text_area")
+        driver.window.document.set_focus(area.dom_element)
+        generator = TypoGenerator(error_rate=0.2, seed=6)
+        text = "hello wonderful world"
+        for token in generator.keystrokes(text):
+            driver.pipeline.key_down(token)
+            driver.window.clock.advance(40)
+            driver.pipeline.key_up(token)
+            driver.window.clock.advance(60)
+        assert area.get_attribute("value") == text

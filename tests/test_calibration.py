@@ -1,0 +1,106 @@
+"""Closing the Appendix E loop: fit HLISA parameters from human data."""
+
+import numpy as np
+import pytest
+
+from repro.experiment import HumanAgent, MovingClickTask, ScrollTask, TypingTask
+from repro.humans.profile import HumanProfile
+from repro.models.calibration import (
+    calibrate_click_params,
+    calibrate_scroll_params,
+    calibrate_typing_params,
+)
+
+
+@pytest.fixture(scope="module")
+def human():
+    return HumanProfile(seed=1234)
+
+
+class TestClickCalibration:
+    def test_recovers_scatter_and_dwell(self, human):
+        result = MovingClickTask(clicks=80).run(HumanAgent(human))
+        params = calibrate_click_params(result.recorder.clicks())
+        # Recovered magnitudes track the generator's parameters.
+        assert 0.1 <= params.sigma_frac <= 0.7
+        assert 50.0 <= params.dwell_mean_ms <= 150.0
+        assert params.dwell_sd_ms > 5.0
+
+    def test_explicit_target_override(self, human):
+        from repro.geometry import Box
+
+        result = MovingClickTask(clicks=20, element_size=90).run(HumanAgent(human))
+        clicks = result.recorder.clicks()
+        implicit = calibrate_click_params(clicks)
+        explicit = calibrate_click_params([clicks[0]], result.target_boxes[0])
+        assert implicit.sigma_frac > 0
+        assert explicit.dwell_mean_ms == clicks[0].dwell_ms
+
+    def test_empty_clicks_rejected(self):
+        from repro.geometry import Box
+
+        with pytest.raises(ValueError):
+            calibrate_click_params([], Box(0, 0, 10, 10))
+
+
+class TestTypingCalibration:
+    def test_recovers_dwell_flight(self, human):
+        result = TypingTask().run(HumanAgent(human))
+        params = calibrate_typing_params(result.recorder.key_strokes())
+        assert 60.0 <= params.dwell_mean_ms <= 140.0
+        assert 60.0 <= params.flight_mean_ms <= 260.0
+        assert params.dwell_sd_ms > 5.0
+
+    def test_too_few_strokes_rejected(self):
+        with pytest.raises(ValueError):
+            calibrate_typing_params([])
+
+
+class TestScrollCalibration:
+    def test_recovers_tick_and_cadence(self, human):
+        result = ScrollTask(page_height=6000).run(HumanAgent(human))
+        params = calibrate_scroll_params(result.recorder)
+        assert params.wheel_tick_px == pytest.approx(57.0, abs=1.0)
+        assert 30.0 <= params.tick_pause_mean_ms <= 200.0
+        assert params.finger_pause_mean_ms > params.tick_pause_mean_ms
+
+    def test_too_few_ticks_rejected(self, human):
+        from repro.events.recorder import EventRecorder
+
+        with pytest.raises(ValueError):
+            calibrate_scroll_params(EventRecorder())
+
+
+class TestRoundTrip:
+    def test_calibrated_hlisa_resembles_subject(self, human):
+        """Fit typing params from the human, drive HLISA with them, and
+        check the regenerated rhythm is close -- the workflow the paper
+        describes for building HLISA's models."""
+        from repro.analysis.typing_metrics import typing_metrics
+        from repro.experiment import HLISAAgent
+
+        human_result = TypingTask().run(HumanAgent(human))
+        params = calibrate_typing_params(human_result.recorder.key_strokes())
+
+        agent = HLISAAgent(seed=5)
+        # Inject the calibrated parameters into the agent's next chain.
+        from repro.models.typing_rhythm import TypingRhythm
+
+        original_chain_factory = agent._chain_for
+
+        def patched(session):
+            chain = original_chain_factory(session)
+            chain._typing = TypingRhythm(chain._rng, params)
+            return chain
+
+        agent._chain_for = patched
+        hlisa_result = TypingTask().run(agent)
+
+        human_metrics = typing_metrics(human_result.recorder.key_strokes())
+        hlisa_metrics = typing_metrics(hlisa_result.recorder.key_strokes())
+        assert hlisa_metrics.dwell_mean_ms == pytest.approx(
+            human_metrics.dwell_mean_ms, rel=0.35
+        )
+        assert hlisa_metrics.chars_per_minute == pytest.approx(
+            human_metrics.chars_per_minute, rel=0.5
+        )

@@ -1,0 +1,51 @@
+"""Virtual clock semantics."""
+
+import pytest
+
+from repro.clock import VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_given_time(self):
+        assert VirtualClock(100.0).now() == 100.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock(-1.0)
+
+    def test_advance(self):
+        clock = VirtualClock()
+        clock.advance(12.5)
+        clock.advance(0.5)
+        assert clock.now() == 13.0
+
+    def test_advance_returns_new_time(self):
+        clock = VirtualClock()
+        assert clock.advance(7.0) == 7.0
+
+    def test_negative_advance_rejected(self):
+        clock = VirtualClock()
+        with pytest.raises(ValueError):
+            clock.advance(-0.001)
+
+    def test_sleep_is_seconds(self):
+        clock = VirtualClock()
+        clock.sleep(0.25)
+        assert clock.now() == 250.0
+
+    def test_event_timestamp_quantised_to_1ms(self):
+        """Appendix D: keyboard event granularity is 1 ms."""
+        clock = VirtualClock()
+        clock.advance(12.7)
+        assert clock.event_timestamp() == 12.0
+        clock.advance(0.4)  # 13.1
+        assert clock.event_timestamp() == 13.0
+
+    def test_event_timestamp_monotone(self):
+        clock = VirtualClock()
+        previous = clock.event_timestamp()
+        for _ in range(100):
+            clock.advance(0.3)
+            current = clock.event_timestamp()
+            assert current >= previous
+            previous = current

@@ -1,0 +1,223 @@
+"""The field-study simulation: population, visits, Table 2 / Fig. 4."""
+
+import numpy as np
+import pytest
+
+from repro.crawl import (
+    DetectionSignal,
+    DetectorDeployment,
+    OpenWPMCrawler,
+    PopulationConfig,
+    Reaction,
+    SiteConfig,
+    evaluate_breakage,
+    evaluate_http_errors,
+    evaluate_screenshots,
+    generate_population,
+    simulate_visit,
+)
+from repro.spoofing import SpoofingExtension, SpoofingMethod
+
+
+def small_population(n=120, seed=3):
+    config = PopulationConfig(
+        n_sites=n,
+        seed=seed,
+        n_no_ads_detectors=2,
+        n_less_ads_detectors=1,
+        n_block_detectors=2,
+        n_captcha_detectors=1,
+        n_freeze_video_detectors=1,
+        n_other_signal_ad_detectors=1,
+        n_side_effect_blockers=1,
+        n_http_only_detectors=8,
+        n_layout_breakage=1,
+        n_video_breakage=1,
+    )
+    return generate_population(config)
+
+
+class TestPopulation:
+    def test_deterministic_for_seed(self):
+        a = generate_population(PopulationConfig(n_sites=50, seed=9,
+                                                 n_http_only_detectors=2,
+                                                 n_block_detectors=1,
+                                                 n_captcha_detectors=1,
+                                                 n_no_ads_detectors=1,
+                                                 n_less_ads_detectors=1,
+                                                 n_freeze_video_detectors=1,
+                                                 n_other_signal_ad_detectors=1,
+                                                 n_side_effect_blockers=1,
+                                                 n_layout_breakage=1,
+                                                 n_video_breakage=1))
+        b = generate_population(PopulationConfig(n_sites=50, seed=9,
+                                                 n_http_only_detectors=2,
+                                                 n_block_detectors=1,
+                                                 n_captcha_detectors=1,
+                                                 n_no_ads_detectors=1,
+                                                 n_less_ads_detectors=1,
+                                                 n_freeze_video_detectors=1,
+                                                 n_other_signal_ad_detectors=1,
+                                                 n_side_effect_blockers=1,
+                                                 n_layout_breakage=1,
+                                                 n_video_breakage=1))
+        assert [s.domain for s in a] == [s.domain for s in b]
+        assert [s.unreachable for s in a] == [s.unreachable for s in b]
+
+    def test_default_scale_matches_paper(self):
+        population = generate_population()
+        assert len(population) == 1000
+        detectors = [s for s in population if s.detector is not None]
+        visible = [
+            s
+            for s in detectors
+            if s.detector.reaction is not Reaction.HTTP_ONLY
+        ]
+        assert 10 <= len(visible) <= 25  # ~1.7% of reachable sites
+        assert sum(1 for s in population if s.breakage) == 2
+
+    def test_special_roles_distinct_sites(self):
+        population = small_population()
+        special = [s for s in population if s.detector or s.breakage]
+        assert len({s.domain for s in special}) == len(special)
+
+
+class TestVisit:
+    def _site(self, **kwargs):
+        return SiteConfig(rank=1, domain="test.example", **kwargs)
+
+    def test_unreachable_site(self):
+        site = self._site(unreachable=True)
+        record = simulate_visit(site, extension=None, visit_index=0, rng=np.random.default_rng(0))
+        assert not record.reached
+        assert record.responses == []
+
+    def test_plain_site_returns_200(self):
+        record = simulate_visit(
+            self._site(), extension=None, visit_index=0, rng=np.random.default_rng(0)
+        )
+        assert record.reached
+        assert record.responses[0].status == 200
+        assert not record.detected_as_bot
+
+    def test_webdriver_detector_blocks_bare_crawler(self):
+        site = self._site(
+            detector=DetectorDeployment(DetectionSignal.WEBDRIVER_FLAG, Reaction.BLOCK_PAGE)
+        )
+        record = simulate_visit(site, extension=None, visit_index=0, rng=np.random.default_rng(0))
+        assert record.detected_as_bot
+        assert record.screenshot.blocked
+        assert record.responses[0].status == 403
+
+    def test_webdriver_detector_misses_extension(self):
+        site = self._site(
+            detector=DetectorDeployment(DetectionSignal.WEBDRIVER_FLAG, Reaction.BLOCK_PAGE)
+        )
+        record = simulate_visit(
+            site, extension=SpoofingExtension(), visit_index=0, rng=np.random.default_rng(0)
+        )
+        assert not record.detected_as_bot
+        assert not record.screenshot.blocked
+
+    def test_side_effect_detector_catches_extension(self):
+        site = self._site(
+            detector=DetectorDeployment(DetectionSignal.SIDE_EFFECTS, Reaction.BLOCK_PAGE)
+        )
+        record = simulate_visit(
+            site, extension=SpoofingExtension(), visit_index=0, rng=np.random.default_rng(0)
+        )
+        assert record.detected_as_bot  # unnamed-function side effect
+
+    def test_captcha_reaction(self):
+        site = self._site(
+            detector=DetectorDeployment(DetectionSignal.WEBDRIVER_FLAG, Reaction.CAPTCHA)
+        )
+        record = simulate_visit(site, extension=None, visit_index=0, rng=np.random.default_rng(0))
+        assert record.screenshot.captcha
+        assert record.responses[0].status == 503
+
+    def test_no_ads_reaction(self):
+        site = self._site(
+            ad_slots=4,
+            detector=DetectorDeployment(DetectionSignal.WEBDRIVER_FLAG, Reaction.NO_ADS),
+        )
+        record = simulate_visit(site, extension=None, visit_index=0, rng=np.random.default_rng(0))
+        assert record.screenshot.missing_all_ads
+
+    def test_breakage_only_with_extension(self):
+        site = self._site(breakage="layout")
+        plain = simulate_visit(site, extension=None, visit_index=0, rng=np.random.default_rng(0))
+        spoofed = simulate_visit(
+            site, extension=SpoofingExtension(), visit_index=0, rng=np.random.default_rng(0)
+        )
+        assert not plain.screenshot.layout_deformed
+        assert spoofed.screenshot.layout_deformed
+
+    def test_http_only_detector_no_visible_change(self):
+        site = self._site(
+            detector=DetectorDeployment(DetectionSignal.WEBDRIVER_FLAG, Reaction.HTTP_ONLY)
+        )
+        record = simulate_visit(site, extension=None, visit_index=0, rng=np.random.default_rng(0))
+        assert not record.screenshot.blocked
+        assert record.first_party_errors() >= 1
+
+
+class TestCrawlAndEvaluation:
+    @pytest.fixture(scope="class")
+    def crawls(self):
+        population = small_population()
+        baseline = OpenWPMCrawler("base", extension=None, instances=4, seed=5).crawl(population)
+        extended = OpenWPMCrawler(
+            "ext", extension=SpoofingExtension(), instances=4, seed=6
+        ).crawl(population)
+        return population, baseline, extended
+
+    def test_visit_counts(self, crawls):
+        population, baseline, _ = crawls
+        assert len(baseline.records) == len(population) * 4
+        reachable = sum(1 for s in population if not s.unreachable)
+        assert len(baseline.successful_visits) <= reachable * 4
+
+    def test_screenshot_eval_baseline_sees_detection(self, crawls):
+        _, baseline, extended = crawls
+        base_eval = evaluate_screenshots(baseline)
+        ext_eval = evaluate_screenshots(extended)
+        assert base_eval.blocking_captchas.sites >= 3
+        assert ext_eval.blocking_captchas.sites <= 1  # side-effect blocker only
+        assert base_eval.missing_ads.visits > ext_eval.missing_ads.visits
+
+    def test_screenshot_rows_structure(self, crawls):
+        _, baseline, _ = crawls
+        rows = evaluate_screenshots(baseline).rows()
+        assert rows[0][0] == "total"
+        assert len(rows) == 6
+
+    def test_breakage_report(self, crawls):
+        _, baseline, extended = crawls
+        report = evaluate_breakage(baseline, extended)
+        assert len(report.deformed_layout_sites) == 1
+        assert len(report.frozen_video_sites) == 1
+
+    def test_http_errors_first_party_significant(self, crawls):
+        _, baseline, extended = crawls
+        evaluation = evaluate_http_errors(baseline, extended)
+        assert evaluation.baseline_first_party_errors > evaluation.extended_first_party_errors
+        assert evaluation.first_party_wilcoxon is not None
+        assert evaluation.first_party_wilcoxon.significant(0.05)
+
+    def test_http_errors_third_party_not_significant(self, crawls):
+        _, baseline, extended = crawls
+        evaluation = evaluate_http_errors(baseline, extended)
+        assert evaluation.third_party_wilcoxon.p_value > 0.05
+
+    def test_fig4_rows_dominated_by_403_503(self, crawls):
+        _, baseline, extended = crawls
+        evaluation = evaluate_http_errors(baseline, extended)
+        deltas = {
+            status: base - ext
+            for status, (base, ext) in evaluation.status_counts.items()
+            if status >= 400
+        }
+        assert deltas.get(403, 0) > 0
+        biggest = sorted(deltas, key=lambda s: deltas[s], reverse=True)[:2]
+        assert set(biggest) <= {403, 503}

@@ -1,0 +1,95 @@
+"""Cross-layer (fingerprint x interaction) consistency detectors."""
+
+import pytest
+
+from repro.browser.input_pipeline import InputPipeline
+from repro.browser.navigator import NavigatorProfile
+from repro.browser.window import Window
+from repro.detection.crosscheck import (
+    SmoothScrollMismatchDetector,
+    TouchClaimDetector,
+    cross_check,
+)
+from repro.dom.document import Document
+from repro.events.recorder import EventRecorder
+from repro.events.taxonomy import COVERING_SET_EVENTS
+
+
+def make_rig(max_touch_points=0, smooth=False, page_height=6000.0):
+    profile = NavigatorProfile(webdriver=True, max_touch_points=max_touch_points)
+    window = Window(Document(1366, page_height), profile=profile, smooth_scroll=smooth)
+    pipeline = InputPipeline(window)
+    recorder = EventRecorder(COVERING_SET_EVENTS).attach(window)
+    return window, pipeline, recorder
+
+
+def mouse_session(pipeline, window, moves=50):
+    for i in range(moves):
+        pipeline.move_mouse_to(10 + i * 5.0, 100.0, force_event=True)
+        window.clock.advance(16)
+    pipeline.mouse_down()
+    window.clock.advance(60)
+    pipeline.mouse_up()
+
+
+class TestTouchClaim:
+    def test_mobile_profile_with_mouse_only_flagged(self):
+        window, pipeline, recorder = make_rig(max_touch_points=5)
+        mouse_session(pipeline, window)
+        assert TouchClaimDetector(window).observe(recorder).is_bot
+
+    def test_desktop_profile_passes(self):
+        window, pipeline, recorder = make_rig(max_touch_points=0)
+        mouse_session(pipeline, window)
+        assert not TouchClaimDetector(window).observe(recorder).is_bot
+
+    def test_mobile_with_actual_touch_passes(self):
+        window, pipeline, recorder = make_rig(max_touch_points=5)
+        mouse_session(pipeline, window)
+        pipeline.touch_start(200, 300)
+        window.clock.advance(90)
+        pipeline.touch_end()
+        assert not TouchClaimDetector(window).observe(recorder).is_bot
+
+    def test_short_sessions_yield_no_verdict(self):
+        window, pipeline, recorder = make_rig(max_touch_points=5)
+        mouse_session(pipeline, window, moves=5)
+        assert not TouchClaimDetector(window).observe(recorder).is_bot
+
+
+class TestSmoothScrollMismatch:
+    def _tick_scroll(self, window, ticks=20):
+        for _ in range(ticks):
+            window.scroll_by(0, 57.0)  # scripted jump, full tick at once
+            window.clock.advance(100)
+
+    def test_tick_jumps_on_smooth_profile_flagged(self):
+        window, pipeline, recorder = make_rig(smooth=True)
+        self._tick_scroll(window)
+        assert SmoothScrollMismatchDetector(window).observe(recorder).is_bot
+
+    def test_wheel_on_smooth_profile_passes(self):
+        window, pipeline, recorder = make_rig(smooth=True)
+        for _ in range(20):
+            pipeline.wheel()
+            window.clock.advance(100)
+        assert not SmoothScrollMismatchDetector(window).observe(recorder).is_bot
+
+    def test_non_smooth_profile_never_flagged(self):
+        window, pipeline, recorder = make_rig(smooth=False)
+        self._tick_scroll(window)
+        assert not SmoothScrollMismatchDetector(window).observe(recorder).is_bot
+
+
+class TestCrossCheckBattery:
+    def test_report_aggregates(self):
+        window, pipeline, recorder = make_rig(max_touch_points=5)
+        mouse_session(pipeline, window)
+        report = cross_check(window, recorder)
+        assert report.is_bot
+        assert any(v.detector == "touch-claim-mismatch" for v in report.verdicts)
+
+    def test_clean_session_passes(self):
+        window, pipeline, recorder = make_rig()
+        mouse_session(pipeline, window)
+        assert not cross_check(window, recorder).is_bot

@@ -1,0 +1,234 @@
+"""Interaction detectors: each level catches its prey, spares the human."""
+
+import pytest
+
+from repro.detection import DetectorBattery, DetectionLevel
+from repro.detection.artificial import (
+    InhumanTypingSpeedDetector,
+    MissingModifierDetector,
+    NoMovementClickDetector,
+    PerfectCenterClickDetector,
+    StraightLineDetector,
+    SuperhumanSpeedDetector,
+    TeleportScrollDetector,
+    ZeroDwellClickDetector,
+    ZeroKeyDwellDetector,
+)
+from repro.detection.consistency import (
+    DistanceSpeedCouplingDetector,
+    SpeedAccuracyCouplingDetector,
+)
+from repro.detection.deviation import (
+    ClickScatterDetector,
+    MetronomeScrollDetector,
+    PauselessTypingDetector,
+    RhythmlessTypingDetector,
+    TrajectoryShapeDetector,
+    UniformSpeedDetector,
+)
+from repro.detection.profile_match import EnrolledProfileDetector
+from repro.experiment import (
+    BrowsingScenario,
+    HLISAAgent,
+    HumanAgent,
+    MovingClickTask,
+    NaiveAgent,
+    PointingTask,
+    ScrollTask,
+    SeleniumAgent,
+    TypingTask,
+)
+from repro.humans.profile import SUBJECT_POOL, HumanProfile
+
+
+# Recordings are expensive enough to share per test module.
+@pytest.fixture(scope="module")
+def recordings():
+    result = {}
+    for name, agent in (
+        ("selenium", SeleniumAgent()),
+        ("naive", NaiveAgent()),
+        ("hlisa", HLISAAgent()),
+        ("human", HumanAgent()),
+    ):
+        result[name] = BrowsingScenario(clicks=40).run(agent).recorder
+    return result
+
+
+class TestLevel1:
+    def test_superhuman_speed_catches_selenium(self, recordings):
+        assert SuperhumanSpeedDetector().observe(recordings["selenium"]).is_bot
+
+    def test_straight_line_catches_selenium(self, recordings):
+        assert StraightLineDetector().observe(recordings["selenium"]).is_bot
+
+    def test_center_clicks_catch_selenium(self, recordings):
+        assert PerfectCenterClickDetector().observe(recordings["selenium"]).is_bot
+
+    def test_zero_dwell_catches_selenium(self, recordings):
+        assert ZeroDwellClickDetector().observe(recordings["selenium"]).is_bot
+
+    def test_typing_speed_catches_selenium(self, recordings):
+        assert InhumanTypingSpeedDetector().observe(recordings["selenium"]).is_bot
+
+    def test_key_dwell_catches_selenium(self, recordings):
+        assert ZeroKeyDwellDetector().observe(recordings["selenium"]).is_bot
+
+    def test_modifiers_catch_selenium(self, recordings):
+        assert MissingModifierDetector().observe(recordings["selenium"]).is_bot
+
+    def test_teleport_scroll_catches_selenium(self, recordings):
+        assert TeleportScrollDetector().observe(recordings["selenium"]).is_bot
+
+    @pytest.mark.parametrize(
+        "detector_cls",
+        [
+            SuperhumanSpeedDetector,
+            StraightLineDetector,
+            PerfectCenterClickDetector,
+            ZeroDwellClickDetector,
+            InhumanTypingSpeedDetector,
+            ZeroKeyDwellDetector,
+            MissingModifierDetector,
+            TeleportScrollDetector,
+            NoMovementClickDetector,
+        ],
+    )
+    @pytest.mark.parametrize("agent", ["naive", "hlisa", "human"])
+    def test_level1_spares_everyone_else(self, recordings, detector_cls, agent):
+        verdict = detector_cls().observe(recordings[agent])
+        assert not verdict.is_bot, f"{detector_cls.__name__} flagged {agent}: {verdict.reasons}"
+
+    def test_no_movement_click_catches_webelement_click(self):
+        """WebElement.click teleports the cursor -- no approach at all."""
+        from repro.events.recorder import EventRecorder
+        from repro.events.taxonomy import ALL_INTERACTION_EVENTS
+        from repro.webdriver.driver import make_browser_driver
+
+        driver = make_browser_driver()
+        recorder = EventRecorder(ALL_INTERACTION_EVENTS).attach(driver.window)
+        driver.find_element_by_id("submit").click()
+        assert NoMovementClickDetector().observe(recorder).is_bot
+
+
+class TestLevel2:
+    def test_click_scatter_catches_naive(self, recordings):
+        assert ClickScatterDetector().observe(recordings["naive"]).is_bot
+
+    def test_trajectory_shape_catches_naive(self, recordings):
+        assert TrajectoryShapeDetector().observe(recordings["naive"]).is_bot
+
+    def test_rhythmless_typing_catches_naive(self, recordings):
+        assert RhythmlessTypingDetector().observe(recordings["naive"]).is_bot
+
+    def test_pauseless_typing_catches_naive(self, recordings):
+        assert PauselessTypingDetector().observe(recordings["naive"]).is_bot
+
+    def test_metronome_scroll_catches_naive(self, recordings):
+        assert MetronomeScrollDetector().observe(recordings["naive"]).is_bot
+
+    def test_uniform_speed_catches_naive(self, recordings):
+        assert UniformSpeedDetector().observe(recordings["naive"]).is_bot
+
+    @pytest.mark.parametrize(
+        "detector_cls",
+        [
+            ClickScatterDetector,
+            TrajectoryShapeDetector,
+            RhythmlessTypingDetector,
+            PauselessTypingDetector,
+            MetronomeScrollDetector,
+            UniformSpeedDetector,
+        ],
+    )
+    @pytest.mark.parametrize("agent", ["hlisa", "human"])
+    def test_level2_spares_hlisa_and_human(self, recordings, detector_cls, agent):
+        verdict = detector_cls().observe(recordings[agent])
+        assert not verdict.is_bot, f"{detector_cls.__name__} flagged {agent}: {verdict.reasons}"
+
+
+class TestLevel3:
+    def test_distance_speed_coupling_catches_hlisa(self, recordings):
+        assert DistanceSpeedCouplingDetector().observe(recordings["hlisa"]).is_bot
+
+    def test_speed_accuracy_coupling_catches_hlisa(self, recordings):
+        assert SpeedAccuracyCouplingDetector().observe(recordings["hlisa"]).is_bot
+
+    @pytest.mark.parametrize(
+        "detector_cls", [DistanceSpeedCouplingDetector, SpeedAccuracyCouplingDetector]
+    )
+    def test_level3_spares_human(self, recordings, detector_cls):
+        verdict = detector_cls().observe(recordings["human"])
+        assert not verdict.is_bot, verdict.reasons
+
+    def test_insufficient_data_yields_human(self):
+        """Consistency detectors need many samples; short sessions pass."""
+        recorder = MovingClickTask(clicks=5).run(HLISAAgent()).recorder
+        assert not DistanceSpeedCouplingDetector().observe(recorder).is_bot
+
+
+class TestLevel4:
+    @pytest.fixture(scope="class")
+    def enrolled(self):
+        detector = EnrolledProfileDetector(z_threshold=2.0)
+        subject = HumanProfile()
+        recordings = [
+            BrowsingScenario(clicks=40).run(HumanAgent(subject.with_seed(100 + i))).recorder
+            for i in range(3)
+        ]
+        detector.enroll(recordings)
+        return detector
+
+    def test_same_user_passes(self, enrolled):
+        probe = BrowsingScenario(clicks=40).run(
+            HumanAgent(HumanProfile().with_seed(777))
+        ).recorder
+        assert not enrolled.observe(probe).is_bot
+
+    def test_different_user_flagged(self, enrolled):
+        """A *different human* is not the enrolled individual -- the level
+        the paper notes may collide with privacy regulation."""
+        other = SUBJECT_POOL["subject-b"]
+        probe = BrowsingScenario(clicks=40).run(HumanAgent(other)).recorder
+        assert enrolled.observe(probe).is_bot
+
+    def test_generic_simulation_flagged(self, enrolled):
+        from repro.armsrace.simulators import ConsistentSimulatorAgent
+
+        probe = BrowsingScenario(clicks=40).run(ConsistentSimulatorAgent()).recorder
+        assert enrolled.observe(probe).is_bot
+
+    def test_unenrolled_observe_raises(self):
+        with pytest.raises(RuntimeError):
+            EnrolledProfileDetector().z_scores(None)
+
+    def test_enroll_requires_two_recordings(self):
+        with pytest.raises(ValueError):
+            EnrolledProfileDetector().enroll([])
+
+
+class TestBattery:
+    def test_cumulative_detector_counts(self):
+        b1 = DetectorBattery(DetectionLevel.ARTIFICIAL)
+        b2 = DetectorBattery(DetectionLevel.DEVIATION)
+        b3 = DetectorBattery(DetectionLevel.CONSISTENCY)
+        assert len(b1.detectors) < len(b2.detectors) < len(b3.detectors)
+
+    def test_report_lists_triggers(self, recordings):
+        report = DetectorBattery(DetectionLevel.ARTIFICIAL).evaluate(
+            recordings["selenium"]
+        )
+        assert report.is_bot
+        assert "straight-line" in report.triggered_names()
+
+    def test_human_passes_full_battery(self, recordings):
+        report = DetectorBattery(DetectionLevel.CONSISTENCY).evaluate(
+            recordings["human"]
+        )
+        assert not report.is_bot, report.triggered_names()
+
+    def test_profile_battery_requires_enrolment(self):
+        with pytest.raises(ValueError):
+            DetectorBattery(
+                DetectionLevel.PROFILE, profile_detector=EnrolledProfileDetector()
+            )

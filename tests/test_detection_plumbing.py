@@ -1,0 +1,77 @@
+"""Detection-framework plumbing: verdicts, batteries, base classes."""
+
+import pytest
+
+from repro.detection import DetectorBattery, DetectionLevel
+from repro.detection.base import Detector, Verdict
+from repro.events.recorder import EventRecorder
+from repro.experiment import BrowsingScenario, SeleniumAgent
+
+
+class TestVerdict:
+    def test_truthiness_follows_is_bot(self):
+        assert Verdict("d", is_bot=True)
+        assert not Verdict("d", is_bot=False)
+
+    def test_bot_helper_clamps_score(self):
+        class Dummy(Detector):
+            name = "dummy"
+
+            def observe(self, recorder):
+                return self._bot(7.5, "reason")
+
+        verdict = Dummy().observe(EventRecorder())
+        assert verdict.score == 1.0
+        assert verdict.reasons == ["reason"]
+
+    def test_human_helper(self):
+        class Dummy(Detector):
+            def observe(self, recorder):
+                return self._human()
+
+        verdict = Dummy().observe(EventRecorder())
+        assert not verdict.is_bot
+        assert verdict.score == 0.0
+
+    def test_base_observe_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Detector().observe(EventRecorder())
+
+
+class TestBatteryLevels:
+    def test_levels_ordered(self):
+        assert (
+            DetectionLevel.ARTIFICIAL
+            < DetectionLevel.DEVIATION
+            < DetectionLevel.CONSISTENCY
+            < DetectionLevel.PROFILE
+        )
+
+    def test_profile_battery_without_detector_skips_level4(self):
+        battery = DetectorBattery(DetectionLevel.PROFILE, profile_detector=None)
+        levels = {d.level for d in battery.detectors}
+        assert DetectionLevel.PROFILE not in levels
+        assert DetectionLevel.CONSISTENCY in levels
+
+    def test_evaluate_only_level_restricts(self):
+        recorder = BrowsingScenario(clicks=5).run(SeleniumAgent()).recorder
+        battery = DetectorBattery(DetectionLevel.DEVIATION)
+        report = battery.evaluate_only_level(recorder)
+        assert all(
+            v.detector
+            in {d.name for d in battery.detectors if d.level == DetectionLevel.DEVIATION}
+            for v in report.verdicts
+        )
+
+    def test_report_str_renders(self):
+        recorder = BrowsingScenario(clicks=5).run(SeleniumAgent()).recorder
+        report = DetectorBattery(DetectionLevel.ARTIFICIAL).evaluate(recorder)
+        rendering = str(report)
+        assert "level 1" in rendering
+        assert "BOT" in rendering
+
+    def test_empty_recording_is_human_everywhere(self):
+        """No interaction, no verdict -- a page with nothing recorded
+        cannot condemn anyone."""
+        report = DetectorBattery(DetectionLevel.CONSISTENCY).evaluate(EventRecorder())
+        assert not report.is_bot

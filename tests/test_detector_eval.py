@@ -1,0 +1,52 @@
+"""The operating-point harness."""
+
+import pytest
+
+from repro.analysis.detector_eval import (
+    OperatingPoints,
+    default_agent_factories,
+    evaluate_operating_points,
+)
+from repro.detection.base import DetectionLevel
+from repro.experiment.tasks import BrowsingScenario
+
+
+@pytest.fixture(scope="module")
+def points():
+    return evaluate_operating_points(
+        DetectionLevel.CONSISTENCY,
+        runs_per_agent=3,
+        scenario=BrowsingScenario(clicks=35),
+    )
+
+
+class TestOperatingPoints:
+    def test_human_false_positive_rate_zero(self, points):
+        """'detectors must not be too strict or risk barring human
+        visitors entry' -- the whole battery must have 0 FPR."""
+        assert points.false_positive_rate() == 0.0
+
+    def test_all_bots_caught_overall(self, points):
+        for agent in ("selenium", "naive", "hlisa"):
+            assert points.detection_rate(agent) == 1.0, agent
+
+    def test_selenium_caught_by_many_detectors(self, points):
+        flagged = [
+            name for name, rate in points.rates["selenium"].items() if rate == 1.0
+        ]
+        assert len(flagged) >= 8
+
+    def test_hlisa_caught_only_by_consistency(self, points):
+        flagged = {
+            name for name, rate in points.rates["hlisa"].items() if rate > 0
+        }
+        assert flagged <= {"distance-speed-coupling", "speed-accuracy-coupling"}
+        assert flagged  # at least one fires
+
+    def test_format_table(self, points):
+        rendering = points.format_table()
+        assert "ANY" in rendering
+        assert "selenium" in rendering
+
+    def test_default_factories_cover_standard_agents(self):
+        assert set(default_agent_factories()) == {"selenium", "naive", "hlisa", "human"}

@@ -1,0 +1,119 @@
+"""DOM: element tree, hit testing, selectors, focus."""
+
+import pytest
+
+from repro.dom.document import Document
+from repro.dom.element import Element
+from repro.geometry import Box, Point
+
+
+class TestElement:
+    def test_center_requires_layout(self):
+        with pytest.raises(ValueError):
+            Element("div").center
+
+    def test_center(self):
+        assert Element("div", Box(10, 10, 20, 20)).center == Point(20, 20)
+
+    def test_contains_point_respects_visibility(self):
+        element = Element("div", Box(0, 0, 50, 50))
+        assert element.contains_point(Point(25, 25))
+        element.visible = False
+        assert not element.contains_point(Point(25, 25))
+
+    def test_focusable_tags(self):
+        assert Element("input", Box(0, 0, 1, 1)).focusable
+        assert Element("a", Box(0, 0, 1, 1)).focusable
+        assert not Element("div", Box(0, 0, 1, 1)).focusable
+
+    def test_tabindex_makes_focusable(self):
+        element = Element("div", Box(0, 0, 1, 1), attributes={"tabindex": "0"})
+        assert element.focusable
+
+    def test_matches_selectors(self):
+        element = Element("button", id="go", classes=["primary"])
+        assert element.matches("button")
+        assert element.matches("#go")
+        assert element.matches(".primary")
+        assert not element.matches("#stop")
+
+    def test_iter_subtree_depth_first(self):
+        root = Element("div")
+        a = Element("span")
+        b = Element("em")
+        inner = Element("b")
+        root.append_child(a)
+        a.append_child(inner)
+        root.append_child(b)
+        assert [e.tag for e in root.iter_subtree()] == ["div", "span", "b", "em"]
+
+
+class TestDocument:
+    def test_create_and_lookup_by_id(self):
+        document = Document()
+        element = document.create_element("button", Box(0, 0, 10, 10), id="go")
+        assert document.get_element_by_id("go") is element
+
+    def test_register_indexes_subtree(self):
+        document = Document()
+        parent = Element("div", Box(0, 0, 100, 100))
+        child = Element("span", Box(0, 0, 10, 10), id="nested")
+        parent.append_child(child)
+        document.body.append_child(parent)
+        assert document.get_element_by_id("nested") is child
+
+    def test_query_selector_first_match(self):
+        document = Document()
+        first = document.create_element("p", Box(0, 0, 5, 5), classes=["x"])
+        document.create_element("p", Box(0, 10, 5, 5), classes=["x"])
+        assert document.query_selector(".x") is first
+
+    def test_query_selector_all(self):
+        document = Document()
+        document.create_element("p", Box(0, 0, 5, 5))
+        document.create_element("p", Box(0, 10, 5, 5))
+        assert len(document.query_selector_all("p")) == 2
+
+    def test_element_at_deepest_hit(self):
+        document = Document()
+        outer = document.create_element("div", Box(0, 0, 200, 200))
+        inner = document.create_element("button", Box(50, 50, 50, 50), parent=outer)
+        assert document.element_at(Point(60, 60)) is inner
+        assert document.element_at(Point(10, 10)) is outer
+
+    def test_element_at_falls_back_to_body(self):
+        document = Document()
+        assert document.element_at(Point(999999, 5)) is document.body
+
+    def test_hidden_element_not_hit(self):
+        document = Document()
+        element = document.create_element("div", Box(0, 0, 50, 50))
+        element.visible = False
+        assert document.element_at(Point(25, 25)) is document.body
+
+    def test_focus_transitions(self):
+        document = Document()
+        field = document.create_element("input", Box(0, 0, 50, 20), id="f")
+        events = document.set_focus(field)
+        assert [(t, e.id) for t, e in events] == [("focus", "f"), ("focusin", "f")]
+        assert document.active_element is field
+        assert field.focused
+
+    def test_refocus_same_element_is_noop(self):
+        document = Document()
+        field = document.create_element("input", Box(0, 0, 50, 20))
+        document.set_focus(field)
+        assert document.set_focus(field) == []
+
+    def test_blur_on_focus_change(self):
+        document = Document()
+        a = document.create_element("input", Box(0, 0, 50, 20), id="a")
+        b = document.create_element("input", Box(0, 30, 50, 20), id="b")
+        document.set_focus(a)
+        events = document.set_focus(b)
+        kinds = [t for t, _ in events]
+        assert kinds == ["blur", "focusout", "focus", "focusin"]
+        assert not a.focused and b.focused
+
+    def test_scroll_height(self):
+        assert Document(800, 30000).scroll_height == 30000

@@ -1,0 +1,112 @@
+"""HTML5 drag events (the Appendix C drag family)."""
+
+import pytest
+
+from repro.core.hlisa_action_chains import HLISA_ActionChains
+from repro.events.recorder import EventRecorder
+from repro.events.taxonomy import ALL_INTERACTION_EVENTS
+from repro.geometry import Box
+from repro.webdriver import ActionChains
+from repro.webdriver.driver import make_browser_driver
+
+
+@pytest.fixture
+def rig():
+    driver = make_browser_driver()
+    document = driver.window.document
+    source = document.create_element(
+        "div", Box(150, 400, 90, 90), id="card", attributes={"draggable": "true"}
+    )
+    target = document.create_element("div", Box(900, 420, 160, 120), id="bin")
+    recorder = EventRecorder(ALL_INTERACTION_EVENTS).attach(driver.window)
+    return driver, recorder, source, target
+
+
+def manual_drag(driver, source, destination_client):
+    pipeline = driver.pipeline
+    start = driver.window.page_to_client(source.center)
+    pipeline.move_mouse_to(start.x, start.y, force_event=True)
+    pipeline.mouse_down()
+    steps = 12
+    for i in range(1, steps + 1):
+        driver.window.clock.advance(16)
+        pipeline.move_mouse_to(
+            start.x + (destination_client.x - start.x) * i / steps,
+            start.y + (destination_client.y - start.y) * i / steps,
+            force_event=True,
+        )
+    pipeline.mouse_up()
+
+
+class TestDragFamily:
+    def test_full_event_sequence(self, rig):
+        driver, recorder, source, target = rig
+        manual_drag(driver, source, driver.window.page_to_client(target.center))
+        types = [e.type for e in recorder.events]
+        for expected in ("dragstart", "drag", "dragenter", "dragover", "drop", "dragend"):
+            assert expected in types, expected
+        # Ordering: dragstart before any drag; drop before dragend.
+        assert types.index("dragstart") < types.index("drag")
+        assert types.index("drop") < types.index("dragend")
+
+    def test_drop_targets_the_destination(self, rig):
+        driver, recorder, source, target = rig
+        manual_drag(driver, source, driver.window.page_to_client(target.center))
+        drop = recorder.of_type("drop")[0]
+        assert drop.target is target
+        dragend = recorder.of_type("dragend")[0]
+        assert dragend.target is source
+
+    def test_completed_drag_suppresses_click(self, rig):
+        driver, recorder, source, target = rig
+        manual_drag(driver, source, driver.window.page_to_client(target.center))
+        assert recorder.of_type("click") == []
+
+    def test_small_press_still_clicks(self, rig):
+        """A press that never travels past the threshold is a click."""
+        driver, recorder, source, _ = rig
+        start = driver.window.page_to_client(source.center)
+        driver.pipeline.move_mouse_to(start.x, start.y, force_event=True)
+        driver.pipeline.mouse_down()
+        driver.window.clock.advance(60)
+        driver.pipeline.move_mouse_to(start.x + 2, start.y + 1, force_event=True)
+        driver.pipeline.mouse_up()
+        assert recorder.of_type("dragstart") == []
+        assert len(recorder.of_type("click")) == 1
+
+    def test_non_draggable_never_drags(self, rig):
+        driver, recorder, _, target = rig
+        button = driver.find_element_by_id("submit").dom_element
+        manual_drag(driver, button, driver.window.page_to_client(target.center))
+        assert recorder.of_type("dragstart") == []
+
+    def test_dragleave_on_target_changes(self, rig):
+        driver, recorder, source, target = rig
+        # Drag across the page: body -> bin -> body.
+        manual_drag(driver, source, driver.window.page_to_client(target.center))
+        assert len(recorder.of_type("dragenter")) >= 1
+        assert len(recorder.of_type("dragleave")) >= 1
+
+
+class TestThroughAutomation:
+    def test_selenium_drag_and_drop_fires_family(self, rig):
+        driver, recorder, source, target = rig
+        from repro.webdriver.webelement import WebElement
+
+        chain = ActionChains(driver)
+        chain.drag_and_drop(WebElement(driver, source), WebElement(driver, target))
+        chain.perform()
+        types = {e.type for e in recorder.events}
+        assert {"dragstart", "drop", "dragend"} <= types
+
+    def test_hlisa_drag_and_drop_fires_family(self, rig):
+        driver, recorder, source, target = rig
+        from repro.webdriver.webelement import WebElement
+
+        chain = HLISA_ActionChains(driver, seed=4)
+        chain.drag_and_drop(WebElement(driver, source), WebElement(driver, target))
+        chain.perform()
+        types = {e.type for e in recorder.events}
+        assert {"dragstart", "drag", "dragover", "drop", "dragend"} <= types
+        drop = recorder.of_type("drop")[0]
+        assert drop.target is target

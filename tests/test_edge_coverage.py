@@ -1,0 +1,127 @@
+"""Assorted edge-case coverage across subsystems."""
+
+import numpy as np
+import pytest
+
+from repro.crawl import (
+    CrawlResult,
+    OpenWPMCrawler,
+    SiteConfig,
+    evaluate_breakage,
+    evaluate_http_errors,
+    evaluate_screenshots,
+    simulate_visit,
+)
+from repro.crawl.visit import HTTPResponse, Screenshot
+from repro.spoofing import SpoofingExtension
+
+
+class TestHTTPResponse:
+    def test_is_error_boundary(self):
+        assert not HTTPResponse("u", 399, True).is_error
+        assert HTTPResponse("u", 400, True).is_error
+        assert HTTPResponse("u", 503, False).is_error
+
+
+class TestScreenshot:
+    def test_missing_ads_flags(self):
+        shot = Screenshot(ads_expected=3, ads_shown=0)
+        assert shot.missing_all_ads and not shot.missing_some_ads
+        shot = Screenshot(ads_expected=3, ads_shown=1)
+        assert shot.missing_some_ads and not shot.missing_all_ads
+        shot = Screenshot(ads_expected=0, ads_shown=0)
+        assert not shot.missing_all_ads
+
+
+class TestVisitRecordCounters:
+    def test_error_counters(self):
+        site = SiteConfig(rank=1, domain="a.example", first_party_error_rate=0.0,
+                          third_party_error_rate=0.0)
+        record = simulate_visit(
+            site, extension=None, visit_index=0, rng=np.random.default_rng(0),
+            per_visit_failure=0.0,
+        )
+        assert record.first_party_errors() == 0
+        assert record.third_party_errors() == 0
+
+
+class TestEmptyCrawlEvaluation:
+    def test_empty_crawl_result(self):
+        empty = CrawlResult(crawler_name="empty")
+        evaluation = evaluate_screenshots(empty)
+        assert evaluation.total_sites == 0
+        assert evaluation.affected_sites == 0
+
+    def test_http_eval_with_no_shared_sites(self):
+        a = CrawlResult(crawler_name="a")
+        b = CrawlResult(crawler_name="b")
+        evaluation = evaluate_http_errors(a, b)
+        assert evaluation.first_party_wilcoxon is None
+        assert evaluation.rows() == []
+
+    def test_breakage_on_empty(self):
+        report = evaluate_breakage(CrawlResult("a"), CrawlResult("b"))
+        assert report.total == 0
+
+
+class TestCrawlerStatusCounts:
+    def test_party_split(self):
+        site = SiteConfig(rank=1, domain="b.example")
+        crawler = OpenWPMCrawler("x", None, instances=2, seed=3)
+        result = crawler.crawl([site])
+        first = result.status_code_counts(first_party=True)
+        third = result.status_code_counts(first_party=False)
+        combined = result.status_code_counts()
+        for status in set(first) | set(third):
+            assert combined[status] == first.get(status, 0) + third.get(status, 0)
+
+
+class TestReportsSmoke:
+    def test_table4_report_small(self):
+        from repro.reports import table4_report
+
+        report = table4_report(click_attempts=30)
+        assert "HLISA" in report
+        assert "feature counts" in report
+
+
+class TestTaxonomyDragFamily:
+    def test_drag_events_in_document_list(self):
+        from repro.events.taxonomy import DOCUMENT_EVENTS
+
+        for name in ("dragstart", "drag", "dragend", "dragenter", "dragleave",
+                     "dragover", "drop"):
+            assert name in DOCUMENT_EVENTS
+
+
+class TestNavigatorExtras:
+    def test_languages_tuple(self):
+        from repro.browser.navigator import NavigatorProfile, make_navigator
+
+        nav = make_navigator(NavigatorProfile(languages=("de-DE", "de", "en")))
+        assert nav.get("languages") == ("de-DE", "de", "en")
+
+    def test_property_is_enumerable_method(self):
+        from repro.browser.navigator import make_navigator
+
+        nav = make_navigator()
+        fn = nav.get("propertyIsEnumerable")
+        assert fn.call(nav.proto, "webdriver") is True
+
+    def test_has_own_property_method(self):
+        from repro.browser.navigator import make_navigator
+
+        nav = make_navigator()
+        fn = nav.get("hasOwnProperty")
+        assert fn.call(nav, "webdriver") is False  # lives on the prototype
+        assert fn.call(nav.proto, "webdriver") is True
+
+
+class TestSpoofedCrawlDeterminism:
+    def test_same_seed_same_outcome(self):
+        site = SiteConfig(rank=1, domain="d.example")
+        a = simulate_visit(site, extension=SpoofingExtension(), visit_index=0,
+                           rng=np.random.default_rng(5))
+        b = simulate_visit(site, extension=SpoofingExtension(), visit_index=0,
+                           rng=np.random.default_rng(5))
+        assert [r.status for r in a.responses] == [r.status for r in b.responses]

@@ -1,0 +1,112 @@
+"""Experiment harness: tasks, sessions and agents (Appendices D/E)."""
+
+import pytest
+
+from repro.experiment import (
+    BrowsingScenario,
+    HLISAAgent,
+    HumanAgent,
+    MovingClickTask,
+    NaiveAgent,
+    PointingTask,
+    STANDARD_AGENTS,
+    ScrollTask,
+    Session,
+    SeleniumAgent,
+    TypingTask,
+    TYPING_SAMPLE_TEXT,
+)
+
+
+class TestSession:
+    def test_automated_session_has_driver(self):
+        session = Session(automated=True)
+        assert session.driver is not None
+        assert session.window.navigator.get("webdriver") is True
+
+    def test_human_session_has_no_driver(self):
+        session = Session(automated=False)
+        assert session.driver is None
+        assert session.window.navigator.get("webdriver") is False
+        with pytest.raises(RuntimeError):
+            session.web_element(session.document.body)
+
+    def test_human_environment_double_click(self):
+        assert Session(automated=False).pipeline.double_click_interval_ms == 500.0
+        assert Session(automated=True).pipeline.double_click_interval_ms == 600.0
+
+
+class TestTasks:
+    @pytest.mark.parametrize("agent_name", list(STANDARD_AGENTS))
+    def test_pointing_task_produces_clicks(self, agent_name):
+        result = PointingTask(repetitions=1).run(STANDARD_AGENTS[agent_name]())
+        assert len(result.recorder.clicks()) == 2
+        assert len(result.target_boxes) == 2
+
+    @pytest.mark.parametrize("agent_name", list(STANDARD_AGENTS))
+    def test_moving_click_task(self, agent_name):
+        result = MovingClickTask(clicks=8).run(STANDARD_AGENTS[agent_name]())
+        # ClickBot-style misses don't apply to standard agents: exactly 8.
+        assert len(result.recorder.clicks()) == 8
+        assert len(result.target_boxes) == 8
+
+    def test_moving_click_boxes_differ(self):
+        result = MovingClickTask(clicks=6).run(SeleniumAgent())
+        corners = {(b.x, b.y) for b in result.target_boxes}
+        assert len(corners) >= 5
+
+    @pytest.mark.parametrize("agent_name", list(STANDARD_AGENTS))
+    def test_scroll_task_reaches_bottom(self, agent_name):
+        task = ScrollTask(page_height=3000)
+        result = task.run(STANDARD_AGENTS[agent_name]())
+        scrolls = result.recorder.scroll_events()
+        assert scrolls, f"{agent_name} produced no scrolling"
+        assert scrolls[-1].page_y >= result.scroll_distance - 60
+
+    @pytest.mark.parametrize("agent_name", list(STANDARD_AGENTS))
+    def test_typing_task_delivers_text(self, agent_name):
+        result = TypingTask("Hi there, World.").run(STANDARD_AGENTS[agent_name]())
+        strokes = [s for s in result.recorder.key_strokes() if len(s.key) == 1]
+        assert len(strokes) == len("Hi there, World.")
+
+    def test_typing_sample_text_covers_pause_contexts(self):
+        assert "," in TYPING_SAMPLE_TEXT
+        assert "." in TYPING_SAMPLE_TEXT
+        assert any(c.isupper() for c in TYPING_SAMPLE_TEXT)
+
+    def test_browsing_scenario_all_modalities(self):
+        result = BrowsingScenario(clicks=10, scroll_distance=600).run(HLISAAgent())
+        recorder = result.recorder
+        assert recorder.clicks()
+        assert recorder.key_strokes()
+        assert recorder.scroll_events()
+        assert recorder.mouse_path()
+
+
+class TestAgentIdentity:
+    def test_agent_names(self):
+        assert SeleniumAgent().name == "selenium"
+        assert NaiveAgent().name == "naive"
+        assert HLISAAgent().name == "hlisa"
+        assert HumanAgent().name == "human"
+
+    def test_human_is_not_automated(self):
+        assert HumanAgent().automated is False
+        assert SeleniumAgent().automated is True
+        assert HLISAAgent().automated is True
+
+    def test_typed_value_lands_in_element(self):
+        session = Session(automated=True)
+        from repro.geometry import Box
+
+        area = session.document.create_element("textarea", Box(100, 100, 300, 100), id="t")
+        HLISAAgent().type_text(session, area, "abc")
+        assert area.value == "abc"
+
+    def test_human_agent_types_value_too(self):
+        session = Session(automated=False)
+        from repro.geometry import Box
+
+        area = session.document.create_element("textarea", Box(100, 100, 300, 100), id="t")
+        HumanAgent().type_text(session, area, "abc")
+        assert area.value == "abc"

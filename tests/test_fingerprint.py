@@ -1,0 +1,173 @@
+"""Table 1: spoofing methods and their detectable side effects.
+
+The core claim of Section 3.1, reproduced mechanically: each spoofing
+method hides ``navigator.webdriver``, none is side-effect free, and each
+leaves exactly the side effects of its Table 1 row.
+"""
+
+import pytest
+
+from repro.browser.navigator import NavigatorProfile
+from repro.browser.window import Window
+from repro.detection.fingerprint import (
+    SideEffect,
+    TemplateAttack,
+    probe_function_tostring,
+    probe_object_keys,
+    probe_property_count,
+    probe_property_order,
+    probe_proto_webdriver,
+    probe_webdriver_flag,
+    run_all_probes,
+)
+from repro.spoofing import SpoofingExtension, SpoofingMethod, apply_spoofing
+from repro.spoofing.methods import spoof_define_property_unremedied
+
+
+def automated_window():
+    return Window(profile=NavigatorProfile(webdriver=True))
+
+
+#: Table 1, row by row: method -> expected side effects.
+TABLE1 = {
+    SpoofingMethod.DEFINE_PROPERTY: {
+        SideEffect.INCORRECT_PROPERTY_ORDER,
+        SideEffect.MODIFIED_LENGTH,
+        SideEffect.NEW_OBJECT_KEYS,
+    },
+    SpoofingMethod.DEFINE_GETTER: {
+        SideEffect.INCORRECT_PROPERTY_ORDER,
+        SideEffect.MODIFIED_LENGTH,
+        SideEffect.NEW_OBJECT_KEYS,
+    },
+    SpoofingMethod.SET_PROTOTYPE_OF: {SideEffect.PROTO_WEBDRIVER_DEFINED},
+    SpoofingMethod.PROXY: {SideEffect.UNNAMED_FUNCTIONS},
+}
+
+
+class TestBaseline:
+    def test_automated_browser_exposes_webdriver(self):
+        window = automated_window()
+        assert probe_webdriver_flag(window) is True
+
+    def test_human_browser_reports_false(self):
+        window = Window(profile=NavigatorProfile(webdriver=False))
+        assert probe_webdriver_flag(window) is False
+
+    def test_pristine_navigator_has_no_side_effects(self):
+        result = run_all_probes(automated_window())
+        assert result.side_effects == set()
+        assert result.webdriver_visible
+        assert result.bot_suspected  # via the flag, not via spoofing
+
+
+class TestTable1:
+    @pytest.mark.parametrize("method", list(SpoofingMethod))
+    def test_every_method_hides_webdriver(self, method):
+        window = automated_window()
+        apply_spoofing(window, method)
+        assert probe_webdriver_flag(window) is False
+
+    @pytest.mark.parametrize("method", list(SpoofingMethod))
+    def test_side_effects_match_table1_exactly(self, method):
+        window = automated_window()
+        apply_spoofing(window, method)
+        result = run_all_probes(window)
+        assert result.side_effects == TABLE1[method]
+
+    @pytest.mark.parametrize("method", list(SpoofingMethod))
+    def test_no_method_is_side_effect_free(self, method):
+        """Section 3.1: 'none of the previously applied methods was
+        side-effect free in our measurement.'"""
+        window = automated_window()
+        apply_spoofing(window, method)
+        assert run_all_probes(window).spoofing_detected
+
+    def test_unremedied_define_property_vanishes_from_enumeration(self):
+        """Section 3.1: with defineProperty's default flags, webdriver
+        'disappears from the listing'."""
+        from repro.jsobject import for_in_names
+
+        window = automated_window()
+        assert "webdriver" in for_in_names(window.navigator)
+        spoof_define_property_unremedied(window)
+        assert "webdriver" not in for_in_names(window.navigator)
+
+    def test_proxy_preserves_keys_and_order(self):
+        """Why the paper selects the proxy method."""
+        window = automated_window()
+        apply_spoofing(window, SpoofingMethod.PROXY)
+        assert not probe_property_order(window)
+        assert not probe_property_count(window)
+        assert not probe_object_keys(window)
+        assert not probe_proto_webdriver(window)
+        assert probe_function_tostring(window)  # the single residue
+
+    def test_set_prototype_preserves_order_and_count(self):
+        window = automated_window()
+        apply_spoofing(window, SpoofingMethod.SET_PROTOTYPE_OF)
+        assert not probe_property_order(window)
+        assert not probe_property_count(window)
+        assert not probe_function_tostring(window)
+        assert probe_proto_webdriver(window)
+
+    def test_other_navigator_values_unaffected(self):
+        profile = NavigatorProfile(webdriver=True)
+        for method in SpoofingMethod:
+            window = Window(profile=profile)
+            apply_spoofing(window, method)
+            assert window.navigator.get("userAgent") == profile.user_agent
+            assert window.navigator.get("platform") == profile.platform
+
+
+class TestTemplateAttack:
+    def test_clean_navigator_no_diff(self):
+        attack = TemplateAttack()
+        assert not attack.detects(automated_window().navigator)
+
+    @pytest.mark.parametrize(
+        "method",
+        [SpoofingMethod.DEFINE_PROPERTY, SpoofingMethod.DEFINE_GETTER],
+    )
+    def test_own_property_spoofs_found(self, method):
+        attack = TemplateAttack()
+        window = automated_window()
+        apply_spoofing(window, method)
+        assert attack.detects(window.navigator)
+
+    def test_diff_names_the_change(self):
+        attack = TemplateAttack()
+        window = automated_window()
+        apply_spoofing(window, SpoofingMethod.DEFINE_PROPERTY)
+        differences = attack.diff(window.navigator)
+        assert any("own properties" in d for d in differences)
+
+    def test_proxy_invisible_to_structural_template(self):
+        """The paper's argument for the proxy: a structural template diff
+        cannot see it (only the toString probe can)."""
+        attack = TemplateAttack()
+        window = automated_window()
+        apply_spoofing(window, SpoofingMethod.PROXY)
+        structural = [
+            d for d in attack.diff(window.navigator) if "type changed" not in d
+        ]
+        assert structural == []
+
+
+class TestExtension:
+    def test_extension_defaults_to_proxy(self):
+        extension = SpoofingExtension()
+        assert extension.method is SpoofingMethod.PROXY
+
+    def test_inject_hides_webdriver(self):
+        window = automated_window()
+        SpoofingExtension().inject(window)
+        assert probe_webdriver_flag(window) is False
+
+    def test_inject_twice_is_stable(self):
+        window = automated_window()
+        extension = SpoofingExtension()
+        extension.inject(window)
+        extension.inject(window)
+        assert probe_webdriver_flag(window) is False
+        assert run_all_probes(window).side_effects == {SideEffect.UNNAMED_FUNCTIONS}

@@ -1,0 +1,77 @@
+"""Empirical validation of the human model against Fitts' law [8].
+
+The paper cites Fitts (1954) as the HCI foundation; the generative human
+must actually obey it *as observed through the event API*, because that
+is what the level-3 distance-speed detector assumes.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.trajectory import trajectory_metrics
+from repro.experiment import Session
+from repro.experiment.agents import HumanAgent
+from repro.geometry import Box
+from repro.humans.profile import HumanProfile
+
+
+def observed_movement_times(profile, distances, width=60.0, repeats=4):
+    """Click targets at controlled distances; measure movement times."""
+    times = {d: [] for d in distances}
+    for repeat in range(repeats):
+        session = Session(automated=False)
+        agent = HumanAgent(profile.with_seed(profile.seed + repeat * 101))
+        start_x = 60.0
+        session.pipeline.pointer = session.pipeline.pointer.__class__(start_x, 400.0)
+        target = session.document.create_element(
+            "button", Box(0, 370, width, width), id="t"
+        )
+        for distance in distances:
+            # Park the cursor, then place the target `distance` away.
+            session.pipeline.move_mouse_to(start_x, 400.0, force_event=True)
+            session.clock.advance(400.0)
+            target.box = Box(start_x + distance - width / 2, 370.0, width, width)
+            n_before = len(session.recorder.mouse_path())
+            agent.click_element(session, target)
+            path = session.recorder.mouse_path()[n_before:]
+            if len(path) >= 2:
+                times[distance].append(path[-1][0] - path[0][0])
+            session.clock.advance(400.0)
+            session.pipeline.move_mouse_to(start_x, 400.0, force_event=True)
+            session.clock.advance(400.0)
+    return {d: float(np.mean(v)) for d, v in times.items() if v}
+
+
+class TestFittsLaw:
+    def test_movement_time_grows_logarithmically(self):
+        profile = HumanProfile(seed=42, fitts_noise_sigma=0.05, correction_prob=0.0)
+        distances = [150.0, 300.0, 600.0, 1100.0]
+        times = observed_movement_times(profile, distances)
+        assert len(times) == len(distances)
+        # Times increase with distance...
+        ordered = [times[d] for d in distances]
+        assert ordered == sorted(ordered)
+        # ...but sub-linearly: quadrupling distance far less than
+        # quadruples time (the logarithm at work).
+        assert times[600.0] / times[150.0] < 2.5
+
+    def test_regression_recovers_fitts_slope(self):
+        """Regressing observed MT on the index of difficulty recovers a
+        slope near the profile's fitts_b."""
+        profile = HumanProfile(seed=7, fitts_noise_sigma=0.05, correction_prob=0.0)
+        width = 60.0
+        distances = [120.0, 250.0, 450.0, 800.0, 1150.0]
+        times = observed_movement_times(profile, distances, width=width, repeats=5)
+        ids = np.array([math.log2(d / width + 1.0) for d in distances])
+        mts = np.array([times[d] for d in distances])
+        slope, intercept = np.polyfit(ids, mts, 1)
+        assert slope == pytest.approx(profile.fitts_b_ms, rel=0.35)
+        assert intercept == pytest.approx(profile.fitts_a_ms, abs=120.0)
+
+    def test_smaller_targets_take_longer(self):
+        profile = HumanProfile(seed=9, fitts_noise_sigma=0.05, correction_prob=0.0)
+        big = observed_movement_times(profile, [500.0], width=120.0)[500.0]
+        small = observed_movement_times(profile, [500.0], width=24.0)[500.0]
+        assert small > big

@@ -1,0 +1,96 @@
+"""Object.freeze/seal semantics and the frozen-navigator probe."""
+
+import pytest
+
+from repro.browser.navigator import NavigatorProfile
+from repro.browser.window import Window
+from repro.detection.fingerprint import probe_frozen_navigator
+from repro.jsobject import JSObject, JSTypeError, PropertyDescriptor
+from repro.spoofing import SpoofingMethod, apply_spoofing
+
+
+def make_object():
+    obj = JSObject()
+    obj.set("a", 1)
+    obj.define_property("getter", PropertyDescriptor.accessor(get=lambda this: 2))
+    return obj
+
+
+class TestFreeze:
+    def test_frozen_rejects_writes(self):
+        obj = make_object().freeze()
+        with pytest.raises(JSTypeError):
+            obj.set("a", 5)
+
+    def test_frozen_rejects_new_properties(self):
+        obj = make_object().freeze()
+        with pytest.raises(JSTypeError):
+            obj.define_property("new", PropertyDescriptor.data(1))
+
+    def test_frozen_rejects_delete(self):
+        obj = make_object().freeze()
+        assert obj.delete("a") is False
+        assert obj.get("a") == 1
+
+    def test_frozen_rejects_prototype_change(self):
+        obj = make_object().freeze()
+        with pytest.raises(JSTypeError):
+            obj.set_prototype_of(JSObject())
+
+    def test_is_frozen(self):
+        obj = make_object()
+        assert not obj.is_frozen()
+        obj.freeze()
+        assert obj.is_frozen()
+
+    def test_accessor_survives_freeze(self):
+        obj = make_object().freeze()
+        assert obj.get("getter") == 2
+
+    def test_frozen_implies_sealed(self):
+        obj = make_object().freeze()
+        assert obj.is_sealed()
+
+
+class TestSeal:
+    def test_sealed_allows_writes(self):
+        obj = make_object().seal()
+        obj.set("a", 9)
+        assert obj.get("a") == 9
+
+    def test_sealed_rejects_delete_and_new(self):
+        obj = make_object().seal()
+        assert obj.delete("a") is False
+        with pytest.raises(JSTypeError):
+            obj.define_property("new", PropertyDescriptor.data(1))
+
+    def test_sealed_not_frozen(self):
+        obj = make_object().seal()
+        assert obj.is_sealed()
+        assert not obj.is_frozen()
+
+
+class TestFrozenNavigatorProbe:
+    def test_stock_navigator_not_frozen(self):
+        window = Window(profile=NavigatorProfile(webdriver=True))
+        assert not probe_frozen_navigator(window)
+
+    def test_spoofed_methods_leave_navigator_unfrozen(self):
+        for method in SpoofingMethod:
+            window = Window(profile=NavigatorProfile(webdriver=True))
+            apply_spoofing(window, method)
+            assert not probe_frozen_navigator(window), method
+
+    def test_overzealous_stealth_script_detected(self):
+        """A stealth script freezing its spoofed navigator is a tell."""
+        window = Window(profile=NavigatorProfile(webdriver=True))
+        apply_spoofing(window, SpoofingMethod.DEFINE_PROPERTY)
+        window.navigator.freeze()
+        assert probe_frozen_navigator(window)
+
+    def test_probe_sees_through_proxy(self):
+        window = Window(profile=NavigatorProfile(webdriver=True))
+        target = window.navigator
+        target.freeze()
+        apply_spoofing(window, SpoofingMethod.PROXY)
+        assert probe_frozen_navigator(window)

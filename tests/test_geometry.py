@@ -1,0 +1,109 @@
+"""Geometry primitives."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import Box, Point, lerp, lerp_point, path_length
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+positive = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+
+
+class TestPoint:
+    def test_distance_is_euclidean(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_distance_to_self_is_zero(self):
+        p = Point(12.5, -7.25)
+        assert p.distance_to(p) == 0.0
+
+    def test_offset(self):
+        assert Point(1, 2).offset(3, -1) == Point(4, 1)
+
+    def test_round(self):
+        assert Point(1.4, 2.6).round() == Point(1.0, 3.0)
+
+    def test_as_tuple(self):
+        assert Point(1.0, 2.0).as_tuple() == (1.0, 2.0)
+
+    @given(finite, finite, finite, finite)
+    def test_distance_symmetry(self, x1, y1, x2, y2):
+        a, b = Point(x1, y1), Point(x2, y2)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    @given(finite, finite, finite, finite, finite, finite)
+    def test_triangle_inequality(self, x1, y1, x2, y2, x3, y3):
+        a, b, c = Point(x1, y1), Point(x2, y2), Point(x3, y3)
+        assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-6
+
+
+class TestBox:
+    def test_negative_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            Box(0, 0, -1, 5)
+        with pytest.raises(ValueError):
+            Box(0, 0, 5, -1)
+
+    def test_edges(self):
+        box = Box(10, 20, 30, 40)
+        assert box.left == 10
+        assert box.top == 20
+        assert box.right == 40
+        assert box.bottom == 60
+        assert box.area == 1200
+
+    def test_center(self):
+        assert Box(0, 0, 10, 20).center == Point(5, 10)
+
+    def test_contains_edges_inclusive(self):
+        box = Box(0, 0, 10, 10)
+        assert box.contains(Point(0, 0))
+        assert box.contains(Point(10, 10))
+        assert not box.contains(Point(10.01, 10))
+
+    def test_clamp_inside_is_identity(self):
+        box = Box(0, 0, 10, 10)
+        assert box.clamp(Point(3, 7)) == Point(3, 7)
+
+    def test_clamp_projects_outside_points(self):
+        box = Box(0, 0, 10, 10)
+        assert box.clamp(Point(-5, 15)) == Point(0, 10)
+
+    def test_intersects(self):
+        a = Box(0, 0, 10, 10)
+        assert a.intersects(Box(5, 5, 10, 10))
+        assert a.intersects(Box(10, 10, 5, 5))  # edge contact counts
+        assert not a.intersects(Box(11, 11, 5, 5))
+
+    def test_translated(self):
+        assert Box(1, 2, 3, 4).translated(10, -2) == Box(11, 0, 3, 4)
+
+    @given(finite, finite, positive, positive, finite, finite)
+    def test_clamped_point_is_inside(self, x, y, w, h, px, py):
+        box = Box(x, y, w, h)
+        clamped = box.clamp(Point(px, py))
+        assert box.contains(clamped)
+
+
+class TestInterpolation:
+    def test_lerp_endpoints(self):
+        assert lerp(2.0, 10.0, 0.0) == 2.0
+        assert lerp(2.0, 10.0, 1.0) == 10.0
+
+    def test_lerp_midpoint(self):
+        assert lerp(0.0, 10.0, 0.5) == 5.0
+
+    def test_lerp_point(self):
+        mid = lerp_point(Point(0, 0), Point(10, 20), 0.5)
+        assert mid == Point(5, 10)
+
+    def test_path_length_of_polyline(self):
+        points = [Point(0, 0), Point(3, 4), Point(3, 10)]
+        assert path_length(points) == pytest.approx(11.0)
+
+    def test_path_length_single_point(self):
+        assert path_length([Point(1, 1)]) == 0.0

@@ -1,0 +1,274 @@
+"""HLISA_ActionChains: the Table 3 API and its humanised behaviours."""
+
+import inspect
+
+import numpy as np
+import pytest
+
+from repro.analysis.trajectory import trajectory_metrics
+from repro.analysis.typing_metrics import typing_metrics
+from repro.core import patching
+from repro.core.hlisa_action_chains import HLISA_ActionChains
+from repro.events.recorder import EventRecorder
+from repro.events.taxonomy import ALL_INTERACTION_EVENTS
+from repro.geometry import Box
+from repro.webdriver import actions
+from repro.webdriver.action_chains import ActionChains
+from repro.webdriver.driver import make_browser_driver
+
+
+@pytest.fixture
+def rig():
+    driver = make_browser_driver(page_height=6000)
+    recorder = EventRecorder(ALL_INTERACTION_EVENTS).attach(driver.window)
+    return driver, recorder
+
+
+#: Table 3's API surface: function -> required argument names.
+TABLE3_API = {
+    "perform": [],
+    "reset_actions": [],
+    "pause": ["duration"],
+    "move_to": ["x", "y"],
+    "move_by_offset": ["x", "y"],
+    "move_to_element": ["element"],
+    "move_to_element_with_offset": ["element", "x", "y"],
+    "move_to_element_outside_viewport": ["element"],
+    "click": ["element"],
+    "click_and_hold": ["element"],
+    "release": ["element"],
+    "double_click": ["element"],
+    "send_keys": ["keys"],
+    "send_keys_to_element": ["element", "keys"],
+    "scroll_by": ["x", "y"],
+    "scroll_to": ["x", "y"],
+    "context_click": ["element"],
+    "drag_and_drop": ["element1", "element2"],
+    "drag_and_drop_by_offset": ["element", "x", "y"],
+}
+
+
+class TestAPISurface:
+    def test_table3_functions_exist_with_signatures(self, rig):
+        driver, _ = rig
+        chain = HLISA_ActionChains(driver)
+        for name, arg_names in TABLE3_API.items():
+            method = getattr(chain, name, None)
+            assert method is not None, f"Table 3 function missing: {name}"
+            parameters = list(inspect.signature(method).parameters)
+            for arg in arg_names:
+                assert arg in parameters, f"{name} lacks argument {arg!r}"
+
+    def test_selenium_parity(self, rig):
+        """Every Selenium ActionChains public call exists on HLISA."""
+        driver, _ = rig
+        selenium_api = {
+            n
+            for n in dir(ActionChains(driver))
+            if not n.startswith("_") and callable(getattr(ActionChains(driver), n))
+        }
+        selenium_api -= {"move_to_location", "scroll_to_location"}  # internal helpers
+        hlisa = HLISA_ActionChains(driver)
+        for name in selenium_api:
+            assert hasattr(hlisa, name), f"missing Selenium call {name}"
+
+    def test_two_line_integration(self, rig):
+        """The paper's Listing 2, verbatim shape."""
+        driver, _ = rig
+        ac = HLISA_ActionChains(driver)
+        element = driver.find_element_by_id("text_area")
+        ac.move_to_element(element)
+        ac.send_keys_to_element(element, "Text..")
+        ac.perform()
+        assert element.get_attribute("value") == "Text.."
+
+
+class TestPatching:
+    def test_constructing_hlisa_applies_patch(self, rig):
+        driver, _ = rig
+        patching.unpatch_pointer_move_duration()
+        HLISA_ActionChains(driver)
+        assert patching.current_min_duration_ms() == 50.0
+
+    def test_patched_factory_allows_short_moves(self, rig):
+        HLISA_ActionChains(rig[0])  # applies patch
+        move = actions.create_pointer_move(5, 5, duration_ms=50.0)
+        assert move.duration_ms == 50.0
+
+    def test_unpatch_restores_bound(self, rig):
+        HLISA_ActionChains(rig[0])
+        patching.unpatch_pointer_move_duration()
+        move = actions.create_pointer_move(5, 5, duration_ms=50.0)
+        assert move.duration_ms == actions.MIN_POINTER_MOVE_DURATION_MS
+
+
+class TestMovement:
+    def test_move_is_curved_and_eased(self, rig):
+        driver, recorder = rig
+        chain = HLISA_ActionChains(driver, seed=3)
+        chain.move_to(1100, 600)
+        chain.perform()
+        metrics = trajectory_metrics(recorder.mouse_path())
+        assert metrics.straightness < 0.999  # curved
+        assert metrics.speed_cv > 0.3  # not uniform
+        assert metrics.edge_to_middle_speed_ratio < 0.8  # accel/decel
+
+    def test_move_to_element_not_exact_center(self, rig):
+        """HLISA moves 'to a position within an element's boundaries',
+        not to the centre."""
+        driver, recorder = rig
+        element = driver.find_element_by_id("submit")
+        box = element.dom_element.box
+        offsets = []
+        for seed in range(6):
+            HLISA_ActionChains(driver, seed=seed).move_to_element(element).perform()
+            last = recorder.mouse_path()[-1]
+            center = box.center
+            offsets.append(abs(last[1] - center.x) + abs(last[2] - center.y))
+        assert max(offsets) > 1.0  # at least some distinctly off-centre
+
+    def test_move_to_element_lands_inside(self, rig):
+        driver, recorder = rig
+        element = driver.find_element_by_id("submit")
+        for seed in range(8):
+            HLISA_ActionChains(driver, seed=seed).move_to_element(element).perform()
+            t, x, y = recorder.mouse_path()[-1]
+            page = driver.window.client_to_page(
+                __import__("repro.geometry", fromlist=["Point"]).Point(x, y)
+            )
+            assert element.dom_element.box.contains(page)
+
+    def test_move_to_element_outside_viewport_scrolls(self, rig):
+        driver, recorder = rig
+        deep = driver.window.document.create_element(
+            "button", Box(400, 5200, 120, 48), id="deep"
+        )
+        element = driver.find_element_by_id("deep")
+        chain = HLISA_ActionChains(driver, seed=1)
+        chain.move_to_element_outside_viewport(element)
+        chain.perform()
+        assert driver.window.is_in_viewport(deep.center)
+        # scrolled with wheel-tick cadence, not one teleport
+        scrolls = recorder.scroll_events()
+        assert len(scrolls) > 10
+
+    def test_move_by_offset(self, rig):
+        driver, recorder = rig
+        chain = HLISA_ActionChains(driver, seed=2)
+        chain.move_to(200, 200)
+        chain.move_by_offset(100, 50)
+        chain.perform()
+        t, x, y = recorder.mouse_path()[-1]
+        assert (x, y) == pytest.approx((300, 250), abs=1.5)
+
+
+class TestClicks:
+    def test_click_has_human_dwell(self, rig):
+        driver, recorder = rig
+        chain = HLISA_ActionChains(driver, seed=4)
+        chain.click(driver.find_element_by_id("submit"))
+        chain.perform()
+        clicks = recorder.clicks()
+        assert len(clicks) == 1
+        assert 20.0 <= clicks[0].dwell_ms <= 250.0
+
+    def test_double_click_two_clicks_short_gap(self, rig):
+        driver, recorder = rig
+        chain = HLISA_ActionChains(driver, seed=4)
+        chain.double_click(driver.find_element_by_id("submit"))
+        chain.perform()
+        assert len(recorder.clicks()) == 2
+        assert len(recorder.of_type("dblclick")) == 1
+
+    def test_context_click_right_button(self, rig):
+        driver, recorder = rig
+        chain = HLISA_ActionChains(driver, seed=4)
+        chain.context_click(driver.find_element_by_id("submit"))
+        chain.perform()
+        assert len(recorder.of_type("contextmenu")) == 1
+
+    def test_click_and_hold_then_release(self, rig):
+        driver, recorder = rig
+        element = driver.find_element_by_id("submit")
+        chain = HLISA_ActionChains(driver, seed=4)
+        chain.click_and_hold(element)
+        chain.pause(0.3)
+        chain.release()
+        chain.perform()
+        clicks = recorder.clicks()
+        assert len(clicks) == 1
+        assert clicks[0].dwell_ms >= 295.0
+
+    def test_drag_and_drop(self, rig):
+        driver, recorder = rig
+        chain = HLISA_ActionChains(driver, seed=4)
+        chain.drag_and_drop(
+            driver.find_element_by_id("submit"), driver.find_element_by_id("cancel")
+        )
+        chain.perform()
+        downs = recorder.of_type("mousedown")
+        ups = recorder.of_type("mouseup")
+        assert len(downs) == 1 and len(ups) == 1
+
+
+class TestTyping:
+    def test_send_keys_human_rhythm(self, rig):
+        driver, recorder = rig
+        area = driver.find_element_by_id("text_area")
+        chain = HLISA_ActionChains(driver, seed=5)
+        chain.send_keys_to_element(area, "Hello world, again. Done!")
+        chain.perform()
+        metrics = typing_metrics(recorder.key_strokes())
+        assert metrics.chars_per_minute < 900
+        assert metrics.dwell_mean_ms > 30
+        assert metrics.dwell_std_ms > 5
+        assert metrics.shifted_without_modifier == 0
+        assert metrics.shifted_with_modifier >= 2  # H, D, !
+
+    def test_text_arrives_correctly(self, rig):
+        driver, _ = rig
+        area = driver.find_element_by_id("text_area")
+        chain = HLISA_ActionChains(driver, seed=5)
+        chain.send_keys_to_element(area, "MiXeD, case?")
+        chain.perform()
+        assert area.get_attribute("value") == "MiXeD, case?"
+
+
+class TestScrolling:
+    def test_scroll_by_wheel_tick_cadence(self, rig):
+        driver, recorder = rig
+        chain = HLISA_ActionChains(driver, seed=6)
+        chain.scroll_by(0, 1500)
+        chain.perform()
+        scrolls = recorder.scroll_events()
+        assert len(scrolls) >= 20  # ~57 px per event
+        offsets = [e.page_y for e in scrolls]
+        steps = np.abs(np.diff([0.0] + offsets))
+        assert np.median(steps) == pytest.approx(57.0, abs=1.0)
+
+    def test_scroll_to_absolute(self, rig):
+        driver, _ = rig
+        chain = HLISA_ActionChains(driver, seed=6)
+        chain.scroll_to(0, 2000)
+        chain.perform()
+        assert driver.window.scroll_y == pytest.approx(2000, abs=60)
+
+    def test_reset_actions_empties_queue(self, rig):
+        driver, recorder = rig
+        chain = HLISA_ActionChains(driver, seed=6)
+        chain.move_to(500, 500)
+        assert len(chain) == 1
+        chain.reset_actions()
+        chain.perform()
+        assert recorder.mouse_path() == []
+
+    def test_reproducible_with_seed(self):
+        paths = []
+        for _ in range(2):
+            driver = make_browser_driver()
+            recorder = EventRecorder(ALL_INTERACTION_EVENTS).attach(driver.window)
+            chain = HLISA_ActionChains(driver, seed=42)
+            chain.move_to(900, 400)
+            chain.perform()
+            paths.append(recorder.mouse_path())
+        assert paths[0] == paths[1]

@@ -1,0 +1,132 @@
+"""HLISA boundary conditions and robustness."""
+
+import pytest
+
+from repro.core.hlisa_action_chains import HLISA_ActionChains
+from repro.dom.element import Element
+from repro.events.recorder import EventRecorder
+from repro.events.taxonomy import ALL_INTERACTION_EVENTS
+from repro.geometry import Box
+from repro.webdriver.driver import make_browser_driver
+from repro.webdriver.webelement import WebElement
+
+
+@pytest.fixture
+def rig():
+    driver = make_browser_driver(page_height=5000)
+    recorder = EventRecorder(ALL_INTERACTION_EVENTS).attach(driver.window)
+    return driver, recorder
+
+
+class TestBoundaries:
+    def test_move_target_clamped_to_viewport(self, rig):
+        driver, recorder = rig
+        chain = HLISA_ActionChains(driver, seed=1)
+        chain.move_to(99999, 99999)
+        chain.perform()  # must not raise MoveTargetOutOfBounds
+        p = driver.pipeline.pointer
+        assert p.x <= driver.window.viewport_width
+        assert p.y <= driver.window.viewport_height
+
+    def test_curve_never_leaves_viewport(self, rig):
+        driver, recorder = rig
+        chain = HLISA_ActionChains(driver, seed=2)
+        # Target hugging the viewport edge: the bowed curve would swing
+        # outside if not clamped.
+        chain.move_to(driver.window.viewport_width - 2, 5)
+        chain.perform()
+        for _, x, y in recorder.mouse_path():
+            assert 0 <= x <= driver.window.viewport_width
+            assert 0 <= y <= driver.window.viewport_height
+
+    def test_tiny_move_is_noop(self, rig):
+        driver, recorder = rig
+        chain = HLISA_ActionChains(driver, seed=3)
+        chain.move_to(200, 200)
+        chain.perform()
+        n_before = len(recorder.mouse_path())
+        chain.move_to(200.3, 200.2)  # sub-pixel
+        chain.perform()
+        assert len(recorder.mouse_path()) == n_before
+
+    def test_element_without_box_raises(self, rig):
+        driver, _ = rig
+        bare = Element("div")  # no layout
+        driver.window.document.body.append_child(bare)
+        chain = HLISA_ActionChains(driver, seed=4)
+        chain.move_to_element(WebElement(driver, bare))
+        with pytest.raises(ValueError):
+            chain.perform()
+
+    def test_scroll_to_clamped(self, rig):
+        driver, _ = rig
+        chain = HLISA_ActionChains(driver, seed=5)
+        chain.scroll_to(0, 10_000_000)
+        chain.perform()
+        assert driver.window.scroll_y == driver.window.max_scroll_y
+
+    def test_scroll_by_zero_is_noop(self, rig):
+        driver, recorder = rig
+        chain = HLISA_ActionChains(driver, seed=6)
+        chain.scroll_by(0, 0)
+        chain.perform()
+        assert recorder.scroll_events() == []
+
+    def test_negative_scroll_direction(self, rig):
+        driver, _ = rig
+        driver.pipeline.scroll_programmatic(0, 2000)
+        chain = HLISA_ActionChains(driver, seed=7)
+        chain.scroll_by(0, -500)
+        chain.perform()
+        assert driver.window.scroll_y == pytest.approx(1500, abs=60)
+
+    def test_empty_send_keys(self, rig):
+        driver, recorder = rig
+        chain = HLISA_ActionChains(driver, seed=8)
+        chain.send_keys("")
+        chain.perform()
+        assert recorder.key_strokes() == []
+
+    def test_empty_perform_is_noop(self, rig):
+        driver, recorder = rig
+        HLISA_ActionChains(driver, seed=9).perform()
+        assert recorder.events == []
+
+
+class TestChaining:
+    def test_fluent_chaining_returns_self(self, rig):
+        driver, _ = rig
+        chain = HLISA_ActionChains(driver, seed=10)
+        result = chain.move_to(100, 100).pause(0.01).click()
+        assert result is chain
+
+    def test_queue_survives_until_perform(self, rig):
+        driver, recorder = rig
+        chain = HLISA_ActionChains(driver, seed=11)
+        chain.move_to(400, 300)
+        assert recorder.mouse_path() == []  # nothing executed yet
+        chain.perform()
+        assert recorder.mouse_path() != []
+
+    def test_multiple_performs_accumulate_state(self, rig):
+        driver, _ = rig
+        chain = HLISA_ActionChains(driver, seed=12)
+        chain.move_to(200, 200)
+        chain.perform()
+        first = driver.pipeline.pointer
+        chain.move_by_offset(100, 0)
+        chain.perform()
+        assert driver.pipeline.pointer.x == pytest.approx(first.x + 100, abs=1.5)
+
+    def test_custom_params_honoured(self, rig):
+        from repro.models.clicks import ClickParams
+
+        driver, recorder = rig
+        chain = HLISA_ActionChains(
+            driver,
+            seed=13,
+            click_params=ClickParams(dwell_mean_ms=200.0, dwell_sd_ms=1.0),
+        )
+        chain.click(driver.find_element_by_id("submit"))
+        chain.perform()
+        assert recorder.clicks()[0].dwell_ms == pytest.approx(200.0, abs=15)

@@ -1,0 +1,196 @@
+"""The generative human model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Box, Point
+from repro.humans import (
+    HumanClicking,
+    HumanPointing,
+    HumanProfile,
+    HumanScrolling,
+    HumanTyping,
+    fitts_duration_ms,
+)
+from repro.humans.profile import SUBJECT_POOL
+from repro.humans.typing import needs_shift
+
+coords = st.floats(min_value=0.0, max_value=1500.0, allow_nan=False)
+
+
+class TestFitts:
+    def test_duration_grows_with_distance(self):
+        assert fitts_duration_ms(800, 40) > fitts_duration_ms(200, 40)
+
+    def test_duration_grows_with_smaller_targets(self):
+        assert fitts_duration_ms(400, 10) > fitts_duration_ms(400, 80)
+
+    def test_logarithmic_not_linear(self):
+        """Doubling distance adds a constant, it does not double time."""
+        t1 = fitts_duration_ms(200, 40)
+        t2 = fitts_duration_ms(400, 40)
+        t3 = fitts_duration_ms(800, 40)
+        assert (t3 - t2) == pytest.approx(t2 - t1, rel=0.25)
+
+    def test_zero_width_clamped(self):
+        assert np.isfinite(fitts_duration_ms(100, 0))
+
+
+class TestPointing:
+    @given(coords, coords, coords, coords, st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_path_starts_and_ends_exactly(self, x1, y1, x2, y2, seed):
+        pointing = HumanPointing(HumanProfile(seed=seed))
+        path = pointing.path(Point(x1, y1), Point(x2, y2))
+        assert path[0][1].distance_to(Point(x1, y1)) < 1e-6
+        assert path[-1][1].distance_to(Point(x2, y2)) < 1e-6
+
+    @given(coords, coords, coords, coords, st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_timestamps_monotone(self, x1, y1, x2, y2, seed):
+        pointing = HumanPointing(HumanProfile(seed=seed))
+        times = [t for t, _ in pointing.path(Point(x1, y1), Point(x2, y2))]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_path_is_curved(self):
+        pointing = HumanPointing(HumanProfile(seed=1))
+        path = pointing.path(Point(0, 0), Point(800, 100))
+        from repro.geometry import path_length
+
+        points = [p for _, p in path]
+        assert path_length(points) > 1.005 * points[0].distance_to(points[-1])
+
+    def test_duration_tracks_fitts(self):
+        pointing = HumanPointing(HumanProfile(seed=2, fitts_noise_sigma=0.0))
+        short = pointing.duration_ms(Point(0, 0), Point(100, 0), 40)
+        long = pointing.duration_ms(Point(0, 0), Point(900, 0), 40)
+        assert long > short
+
+    def test_speed_under_human_limit(self):
+        pointing = HumanPointing(HumanProfile(seed=3))
+        path = pointing.path(Point(0, 0), Point(1000, 400))
+        duration_s = path[-1][0] / 1000.0
+        speed = 1077.0 / duration_s
+        assert speed < 3000.0
+
+
+class TestClicking:
+    BOX = Box(200, 200, 90, 90)
+
+    def test_click_inside_box(self):
+        clicking = HumanClicking(HumanProfile(seed=1))
+        for _ in range(300):
+            assert self.BOX.contains(clicking.click_point(self.BOX))
+
+    def test_click_hardly_ever_center(self):
+        clicking = HumanClicking(HumanProfile(seed=2))
+        center = self.BOX.center
+        exact = sum(
+            1
+            for _ in range(300)
+            if clicking.click_point(self.BOX).distance_to(center) < 0.5
+        )
+        assert exact <= 3
+
+    def test_speed_factor_widens_scatter(self):
+        slow = HumanClicking(HumanProfile(seed=3))
+        fast = HumanClicking(HumanProfile(seed=3))
+        slow_offsets = [
+            slow.click_point(self.BOX, speed_factor=0.6).distance_to(self.BOX.center)
+            for _ in range(400)
+        ]
+        fast_offsets = [
+            fast.click_point(self.BOX, speed_factor=1.8).distance_to(self.BOX.center)
+            for _ in range(400)
+        ]
+        assert np.mean(fast_offsets) > 1.3 * np.mean(slow_offsets)
+
+    def test_dwell_positive(self):
+        clicking = HumanClicking(HumanProfile(seed=4))
+        assert all(clicking.dwell_ms() >= 25.0 for _ in range(100))
+
+    def test_double_click_gap_under_environment_limit(self):
+        clicking = HumanClicking(HumanProfile(seed=5))
+        assert all(clicking.double_click_gap_ms() < 500.0 for _ in range(200))
+
+
+class TestTyping:
+    def test_needs_shift(self):
+        assert needs_shift("A")
+        assert needs_shift("!")
+        assert not needs_shift("a")
+        assert not needs_shift(",")
+        assert not needs_shift(" ")
+
+    def test_plan_balanced(self):
+        typing = HumanTyping(HumanProfile(seed=1))
+        balance = {}
+        for _, kind, key in typing.plan("Try this, now. OK?"):
+            balance[key] = balance.get(key, 0) + (1 if kind == "down" else -1)
+        assert all(v == 0 for v in balance.values())
+
+    def test_speed_in_human_range(self):
+        typing = HumanTyping(HumanProfile(seed=2))
+        cpm = typing.characters_per_minute("hello world this is a test of speed")
+        assert 80 < cpm < 900
+
+    def test_rollover_occurs_at_default_rate(self):
+        typing = HumanTyping(HumanProfile(seed=3, rollover_prob=0.5))
+        plan = typing.plan("abcdefghijabcdefghij")
+        # Count interleavings: a down for key B before the up of key A.
+        pressed = set()
+        rollovers = 0
+        for _, kind, key in plan:
+            if kind == "down":
+                if pressed:
+                    rollovers += 1
+                pressed.add(key)
+            else:
+                pressed.discard(key)
+        assert rollovers > 0
+
+    def test_no_rollover_when_disabled(self):
+        typing = HumanTyping(HumanProfile(seed=3, rollover_prob=0.0))
+        plan = typing.plan("abcdefghij")
+        pressed = set()
+        for _, kind, key in plan:
+            if kind == "down":
+                assert not pressed  # strictly sequential
+                pressed.add(key)
+            else:
+                pressed.discard(key)
+
+
+class TestScrolling:
+    def test_covers_distance(self):
+        scrolling = HumanScrolling(HumanProfile(seed=1))
+        ticks = scrolling.plan(2000)
+        assert sum(d for _, d in ticks) >= 2000
+
+    def test_sweep_breaks_present(self):
+        scrolling = HumanScrolling(HumanProfile(seed=2))
+        pauses = [p for p, _ in scrolling.plan(57 * 80)][1:]
+        assert max(pauses) > 2.0 * np.median(pauses)
+
+    def test_negative_direction(self):
+        scrolling = HumanScrolling(HumanProfile(seed=3))
+        assert all(d == -57.0 for _, d in scrolling.plan(-500))
+
+
+class TestSubjectPool:
+    def test_three_subjects(self):
+        assert len(SUBJECT_POOL) == 3
+
+    def test_subjects_differ(self):
+        a = SUBJECT_POOL["subject-a"]
+        b = SUBJECT_POOL["subject-b"]
+        assert a.fitts_b_ms != b.fitts_b_ms
+        assert a.click_sigma_frac != b.click_sigma_frac
+
+    def test_with_seed_copies(self):
+        a = SUBJECT_POOL["subject-a"]
+        c = a.with_seed(999)
+        assert c.seed == 999
+        assert c.fitts_b_ms == a.fitts_b_ms
+        assert a.seed != 999

@@ -1,0 +1,279 @@
+"""The input pipeline: OS input -> DOM events with Firefox quirks."""
+
+import pytest
+
+from repro.browser.input_pipeline import (
+    DEFAULT_DOUBLE_CLICK_INTERVAL_MS,
+    InputPipeline,
+    LEFT_BUTTON,
+    RIGHT_BUTTON,
+    SELENIUM_DOUBLE_CLICK_INTERVAL_MS,
+    WHEEL_TICK_PX,
+    key_code_for,
+)
+from repro.browser.window import Window
+from repro.dom.document import Document
+from repro.events.recorder import EventRecorder
+from repro.events.taxonomy import ALL_INTERACTION_EVENTS
+from repro.geometry import Box
+
+
+def make_rig(page_height=768.0, double_click_ms=DEFAULT_DOUBLE_CLICK_INTERVAL_MS):
+    document = Document(1366, page_height)
+    window = Window(document)
+    pipeline = InputPipeline(window, double_click_interval_ms=double_click_ms)
+    recorder = EventRecorder(ALL_INTERACTION_EVENTS).attach(window)
+    return document, window, pipeline, recorder
+
+
+class TestMouseMovement:
+    def test_pointer_starts_at_origin(self):
+        """Appendix F: mouse movement starts at (0, 0)."""
+        _, _, pipeline, _ = make_rig()
+        assert pipeline.pointer.as_tuple() == (0.0, 0.0)
+
+    def test_mousemove_dispatched(self):
+        _, window, pipeline, recorder = make_rig()
+        window.clock.advance(10)
+        pipeline.move_mouse_to(100, 50)
+        moves = recorder.of_type("mousemove")
+        assert len(moves) == 1
+        assert moves[0].client_point == (100.0, 50.0)
+
+    def test_coalescing_rate_limits_mousemove(self):
+        _, window, pipeline, recorder = make_rig()
+        for i in range(10):
+            pipeline.move_mouse_to(i * 5.0, 0.0)
+            window.clock.advance(1.0)  # below the 5 ms coalescing window
+        assert len(recorder.of_type("mousemove")) < 10
+
+    def test_force_event_bypasses_coalescing(self):
+        _, window, pipeline, recorder = make_rig()
+        pipeline.move_mouse_to(10, 0)
+        pipeline.move_mouse_to(20, 0, force_event=True)
+        assert len(recorder.of_type("mousemove")) == 2
+
+    def test_coordinates_are_integers(self):
+        _, window, pipeline, recorder = make_rig()
+        pipeline.move_mouse_to(10.6, 20.4)
+        event = recorder.of_type("mousemove")[0]
+        assert event.client_x == 11.0
+        assert event.client_y == 20.0
+
+    def test_hover_transitions(self):
+        document, window, pipeline, recorder = make_rig()
+        document.create_element("button", Box(100, 100, 50, 50), id="b")
+        pipeline.move_mouse_to(10, 10)
+        window.clock.advance(20)
+        pipeline.move_mouse_to(120, 120)
+        types = [e.type for e in recorder.events]
+        assert "mouseover" in types and "mouseout" in types
+        assert pipeline.hovered_element.id == "b"
+
+
+class TestClicks:
+    def test_click_synthesised_on_same_element(self):
+        document, window, pipeline, recorder = make_rig()
+        document.create_element("button", Box(100, 100, 50, 50), id="b")
+        pipeline.move_mouse_to(120, 120, force_event=True)
+        pipeline.mouse_down()
+        window.clock.advance(80)
+        pipeline.mouse_up()
+        types = [e.type for e in recorder.events]
+        assert types.count("mousedown") == 1
+        assert types.count("mouseup") == 1
+        assert types.count("click") == 1
+
+    def test_no_click_when_released_elsewhere(self):
+        document, window, pipeline, recorder = make_rig()
+        document.create_element("button", Box(100, 100, 50, 50))
+        pipeline.move_mouse_to(120, 120, force_event=True)
+        pipeline.mouse_down()
+        pipeline.move_mouse_to(500, 500, force_event=True)
+        pipeline.mouse_up()
+        assert [e.type for e in recorder.of_type("click")] == []
+
+    def test_dblclick_within_interval(self):
+        document, window, pipeline, recorder = make_rig()
+        document.create_element("button", Box(100, 100, 50, 50))
+        pipeline.move_mouse_to(120, 120, force_event=True)
+        for _ in range(2):
+            pipeline.mouse_down()
+            window.clock.advance(40)
+            pipeline.mouse_up()
+            window.clock.advance(150)
+        assert len(recorder.of_type("dblclick")) == 1
+
+    def test_no_dblclick_beyond_default_interval(self):
+        document, window, pipeline, recorder = make_rig()
+        document.create_element("button", Box(100, 100, 50, 50))
+        pipeline.move_mouse_to(120, 120, force_event=True)
+        pipeline.mouse_down(); pipeline.mouse_up()
+        window.clock.advance(DEFAULT_DOUBLE_CLICK_INTERVAL_MS + 50)
+        pipeline.mouse_down(); pipeline.mouse_up()
+        assert recorder.of_type("dblclick") == []
+
+    def test_selenium_environment_accepts_550ms_gap(self):
+        """Appendix D: under Selenium the max interval was 600 ms."""
+        document, window, pipeline, recorder = make_rig(
+            double_click_ms=SELENIUM_DOUBLE_CLICK_INTERVAL_MS
+        )
+        document.create_element("button", Box(100, 100, 50, 50))
+        pipeline.move_mouse_to(120, 120, force_event=True)
+        pipeline.mouse_down(); pipeline.mouse_up()
+        window.clock.advance(550)
+        pipeline.mouse_down(); pipeline.mouse_up()
+        assert len(recorder.of_type("dblclick")) == 1
+
+    def test_no_dblclick_when_cursor_travelled(self):
+        """Desktop environments cancel double clicks beyond a few px."""
+        document, window, pipeline, recorder = make_rig()
+        document.create_element("button", Box(100, 100, 200, 200))
+        pipeline.move_mouse_to(120, 120, force_event=True)
+        pipeline.mouse_down(); pipeline.mouse_up()
+        window.clock.advance(100)
+        pipeline.move_mouse_to(220, 220, force_event=True)
+        pipeline.mouse_down(); pipeline.mouse_up()
+        assert recorder.of_type("dblclick") == []
+
+    def test_right_click_fires_contextmenu(self):
+        document, window, pipeline, recorder = make_rig()
+        document.create_element("button", Box(100, 100, 50, 50))
+        pipeline.move_mouse_to(120, 120, force_event=True)
+        pipeline.mouse_down(RIGHT_BUTTON)
+        pipeline.mouse_up(RIGHT_BUTTON)
+        assert len(recorder.of_type("contextmenu")) == 1
+        assert recorder.of_type("click") == []
+
+    def test_focus_follows_mousedown_on_focusable(self):
+        document, window, pipeline, recorder = make_rig()
+        document.create_element("input", Box(100, 100, 100, 30), id="f")
+        pipeline.move_mouse_to(120, 110, force_event=True)
+        pipeline.mouse_down()
+        assert document.active_element.id == "f"
+        assert "focus" in [e.type for e in recorder.events]
+
+    def test_mousedown_elsewhere_blurs(self):
+        document, window, pipeline, recorder = make_rig()
+        document.create_element("input", Box(100, 100, 100, 30), id="f")
+        pipeline.move_mouse_to(120, 110, force_event=True)
+        pipeline.mouse_down(); pipeline.mouse_up()
+        pipeline.move_mouse_to(600, 600, force_event=True)
+        pipeline.mouse_down()
+        assert document.active_element is None
+        assert "blur" in [e.type for e in recorder.events]
+
+
+class TestWheelAndScroll:
+    def test_wheel_fires_wheel_then_scroll(self):
+        _, window, pipeline, recorder = make_rig(page_height=4000)
+        pipeline.wheel()
+        types = [e.type for e in recorder.events if e.type in ("wheel", "scroll")]
+        assert types == ["wheel", "scroll"]
+        assert window.scroll_y == WHEEL_TICK_PX
+
+    def test_wheel_tick_is_57px(self):
+        _, window, pipeline, recorder = make_rig(page_height=4000)
+        pipeline.wheel()
+        assert recorder.of_type("wheel")[0].delta_y == 57.0
+
+    def test_wheel_at_page_bottom_no_scroll_event(self):
+        _, window, pipeline, recorder = make_rig(page_height=768)
+        pipeline.wheel()
+        assert recorder.of_type("wheel") != []
+        assert recorder.of_type("scroll") == []
+
+    def test_programmatic_scroll_has_no_wheel(self):
+        """Selenium's scrolling signature (Section 4.1)."""
+        _, window, pipeline, recorder = make_rig(page_height=10000)
+        assert pipeline.scroll_programmatic(0, 5000)
+        assert recorder.of_type("wheel") == []
+        assert len(recorder.of_type("scroll")) == 1
+        assert window.scroll_y == 5000
+
+    def test_scroll_clamped_to_page(self):
+        _, window, pipeline, _ = make_rig(page_height=1000)
+        pipeline.scroll_programmatic(0, 99999)
+        assert window.scroll_y == 1000 - window.viewport_height
+
+
+class TestKeyboard:
+    def test_keydown_keypress_keyup_for_printable(self):
+        document, window, pipeline, recorder = make_rig()
+        field = document.create_element("input", Box(0, 0, 100, 30))
+        document.set_focus(field)
+        pipeline.key_down("a")
+        window.clock.advance(80)
+        pipeline.key_up("a")
+        assert [e.type for e in recorder.events if e.key == "a"] == [
+            "keydown",
+            "keypress",
+            "keyup",
+        ]
+        assert field.value == "a"
+
+    def test_capital_without_shift_observable(self):
+        """Selenium's signature: 'A' arrives with shift_key False."""
+        document, window, pipeline, recorder = make_rig()
+        pipeline.key_down("A")
+        event = recorder.of_type("keydown")[0]
+        assert event.key == "A"
+        assert event.shift_key is False
+
+    def test_shift_sets_modifier_flag(self):
+        document, window, pipeline, recorder = make_rig()
+        pipeline.key_down("Shift")
+        pipeline.key_down("A")
+        event = [e for e in recorder.of_type("keydown") if e.key == "A"][0]
+        assert event.shift_key is True
+        pipeline.key_up("Shift")
+        pipeline.key_down("b")
+        event_b = [e for e in recorder.of_type("keydown") if e.key == "b"][0]
+        assert event_b.shift_key is False
+
+    def test_backspace_edits_value(self):
+        document, window, pipeline, _ = make_rig()
+        field = document.create_element("textarea", Box(0, 0, 100, 30))
+        document.set_focus(field)
+        for char in "ab":
+            pipeline.key_down(char)
+            pipeline.key_up(char)
+        pipeline.key_down("Backspace")
+        pipeline.key_up("Backspace")
+        assert field.value == "a"
+
+    def test_pressed_keys_tracks_rollover(self):
+        _, _, pipeline, _ = make_rig()
+        pipeline.key_down("a")
+        pipeline.key_down("b")
+        assert pipeline.pressed_keys == frozenset({"a", "b"})
+        pipeline.key_up("a")
+        assert pipeline.pressed_keys == frozenset({"b"})
+
+    def test_key_codes(self):
+        assert key_code_for("a") == "KeyA"
+        assert key_code_for("A") == "KeyA"
+        assert key_code_for("7") == "Digit7"
+        assert key_code_for(" ") == "Space"
+        assert key_code_for("Shift") == "ShiftLeft"
+        assert key_code_for("Enter") == "Enter"
+
+
+class TestVisibility:
+    def test_visibilitychange_and_window_blur(self):
+        document, window, pipeline, recorder = make_rig()
+        window.set_visibility("hidden")
+        types = [e.type for e in recorder.events]
+        assert "visibilitychange" in types
+        assert "blur" in types
+        assert document.visibility_state == "hidden"
+
+    def test_same_state_is_noop(self):
+        document, window, pipeline, recorder = make_rig()
+        window.set_visibility("visible")
+        assert recorder.events == []
+
+    def test_invalid_state_rejected(self):
+        _, window, _, _ = make_rig()
+        with pytest.raises(ValueError):
+            window.set_visibility("minimised")

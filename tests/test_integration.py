@@ -1,0 +1,122 @@
+"""End-to-end integration: the paper's headline flows in one place."""
+
+import numpy as np
+import pytest
+
+from repro import HLISA_ActionChains, make_browser_driver
+from repro.analysis import click_metrics, typing_metrics
+from repro.analysis.trajectory import per_movement_metrics
+from repro.crawl import OpenWPMCrawler, PopulationConfig, generate_population
+from repro.crawl.evaluation import evaluate_http_errors, evaluate_screenshots
+from repro.detection import DetectorBattery, DetectionLevel
+from repro.detection.fingerprint import run_all_probes
+from repro.experiment import BrowsingScenario, HLISAAgent, MovingClickTask, SeleniumAgent
+from repro.spoofing import SpoofingExtension
+
+
+class TestListing2:
+    def test_quickstart_flow(self):
+        """The paper's Listing 2, end to end."""
+        driver = make_browser_driver()
+        ac = HLISA_ActionChains(driver, seed=9)
+        element = driver.find_element_by_id("text_area")
+        ac.move_to_element(element)
+        ac.send_keys_to_element(element, "Text..")
+        ac.perform()
+        assert element.get_attribute("value") == "Text.."
+
+
+class TestHeadlineClaims:
+    def test_selenium_flagged_hlisa_not(self):
+        """One sentence of the paper, as an executable assertion: 'Before
+        HLISA, bot interaction was detectable by its artificial nature.'"""
+        battery = DetectorBattery(DetectionLevel.DEVIATION)
+        selenium_rec = BrowsingScenario(clicks=30).run(SeleniumAgent()).recorder
+        hlisa_rec = BrowsingScenario(clicks=30).run(HLISAAgent()).recorder
+        assert battery.evaluate(selenium_rec).is_bot
+        assert not battery.evaluate(hlisa_rec).is_bot
+
+    def test_spoofing_hides_webdriver_from_flag_checkers(self):
+        from repro.browser.navigator import NavigatorProfile
+        from repro.browser.window import Window
+
+        window = Window(profile=NavigatorProfile(webdriver=True))
+        assert run_all_probes(window).webdriver_visible
+        SpoofingExtension().inject(window)
+        result = run_all_probes(window)
+        assert not result.webdriver_visible
+        assert result.spoofing_detected  # ... but not side-effect free
+
+    def test_mini_field_study_shape(self):
+        """A scaled-down Section 3.2: spoofing slashes visible blocking
+        and first-party errors."""
+        config = PopulationConfig(
+            n_sites=150,
+            seed=42,
+            n_no_ads_detectors=2,
+            n_less_ads_detectors=1,
+            n_block_detectors=2,
+            n_captcha_detectors=1,
+            n_freeze_video_detectors=1,
+            n_other_signal_ad_detectors=1,
+            n_side_effect_blockers=1,
+            n_http_only_detectors=5,
+            n_layout_breakage=1,
+            n_video_breakage=1,
+        )
+        population = generate_population(config)
+        baseline = OpenWPMCrawler("base", None, instances=4, seed=1).crawl(population)
+        extended = OpenWPMCrawler(
+            "ext", SpoofingExtension(), instances=4, seed=2
+        ).crawl(population)
+        base_eval = evaluate_screenshots(baseline)
+        ext_eval = evaluate_screenshots(extended)
+        assert base_eval.affected_sites > ext_eval.affected_sites
+        http = evaluate_http_errors(baseline, extended)
+        assert http.baseline_first_party_errors > http.extended_first_party_errors
+
+
+class TestFigureSignatures:
+    def test_fig1_shapes(self):
+        """Selenium straight+uniform; HLISA curved+eased+jittery."""
+        selenium_rec = MovingClickTask(clicks=6).run(SeleniumAgent()).recorder
+        hlisa_rec = MovingClickTask(clicks=6).run(HLISAAgent()).recorder
+        sel = [
+            m for m in per_movement_metrics(selenium_rec.mouse_path())
+            if m.chord_length > 200
+        ]
+        hli = [
+            m for m in per_movement_metrics(hlisa_rec.mouse_path())
+            if m.chord_length > 200
+        ]
+        assert np.mean([m.straightness for m in sel]) > 0.999
+        assert np.mean([m.speed_cv for m in sel]) < 0.1
+        assert np.mean([m.straightness for m in hli]) < 0.999
+        assert np.mean([m.speed_cv for m in hli]) > 0.3
+
+    def test_fig2_shapes(self):
+        """Selenium: all centre. HLISA: clustered, never corners."""
+        for agent, expect_center in ((SeleniumAgent(), True), (HLISAAgent(), False)):
+            result = MovingClickTask(clicks=30).run(agent)
+            clicks = result.recorder.clicks()
+            metrics = click_metrics(
+                [c.position for c in clicks],
+                [c.target_box for c in clicks],
+            )
+            if expect_center:
+                assert metrics.exact_center_rate > 0.9
+            else:
+                assert metrics.exact_center_rate < 0.2
+                assert metrics.corner_rate == 0.0
+
+    def test_typing_contrast(self):
+        from repro.experiment import TypingTask
+
+        selenium = typing_metrics(
+            TypingTask().run(SeleniumAgent()).recorder.key_strokes()
+        )
+        hlisa = typing_metrics(TypingTask().run(HLISAAgent()).recorder.key_strokes())
+        assert selenium.chars_per_minute > 10000
+        assert hlisa.chars_per_minute < 900
+        assert selenium.shifted_without_modifier > 0
+        assert hlisa.shifted_without_modifier == 0

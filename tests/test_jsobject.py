@@ -1,0 +1,235 @@
+"""JavaScript object model semantics (the substrate of Table 1)."""
+
+import pytest
+
+from repro.jsobject import (
+    JSObject,
+    JSTypeError,
+    PropertyDescriptor,
+    UNDEFINED,
+    for_in_names,
+    get_own_property_names,
+    object_keys,
+)
+
+
+def make_chain():
+    """proto <- obj with a couple of properties on each."""
+    proto = JSObject()
+    proto.define_property("inherited", PropertyDescriptor.data("from-proto"))
+    obj = JSObject(proto=proto)
+    obj.define_property("own", PropertyDescriptor.data("mine"))
+    return proto, obj
+
+
+class TestPropertyAccess:
+    def test_get_own(self):
+        _, obj = make_chain()
+        assert obj.get("own") == "mine"
+
+    def test_get_inherited(self):
+        _, obj = make_chain()
+        assert obj.get("inherited") == "from-proto"
+
+    def test_get_missing_is_undefined(self):
+        _, obj = make_chain()
+        assert obj.get("nope") is UNDEFINED
+        assert not obj.get("nope")
+
+    def test_accessor_getter_invoked_with_receiver(self):
+        received = []
+        obj = JSObject()
+        obj.define_property(
+            "prop",
+            PropertyDescriptor.accessor(get=lambda this: received.append(this) or 42),
+        )
+        assert obj.get("prop") == 42
+        assert received == [obj]
+
+    def test_inherited_accessor_receiver_is_instance(self):
+        proto = JSObject()
+        proto.define_property(
+            "prop", PropertyDescriptor.accessor(get=lambda this: this)
+        )
+        obj = JSObject(proto=proto)
+        assert obj.get("prop") is obj
+
+    def test_set_assignment_creates_enumerable_own(self):
+        obj = JSObject()
+        obj.set("x", 1)
+        desc = obj.get_own_property("x")
+        assert desc.enumerable and desc.writable and desc.configurable
+
+    def test_set_shadowing_inherited_data(self):
+        proto, obj = make_chain()
+        obj.set("inherited", "shadow")
+        assert obj.get("inherited") == "shadow"
+        assert proto.get("inherited") == "from-proto"
+
+    def test_set_readonly_raises(self):
+        obj = JSObject()
+        obj.define_property("x", PropertyDescriptor.data(1, writable=False))
+        with pytest.raises(JSTypeError):
+            obj.set("x", 2)
+
+    def test_set_getter_only_raises(self):
+        obj = JSObject()
+        obj.define_property("x", PropertyDescriptor.accessor(get=lambda this: 1))
+        with pytest.raises(JSTypeError):
+            obj.set("x", 2)
+
+    def test_inherited_setter_invoked(self):
+        written = {}
+        proto = JSObject()
+        proto.define_property(
+            "x",
+            PropertyDescriptor.accessor(
+                get=lambda this: written.get("v"),
+                set=lambda this, v: written.__setitem__("v", v),
+            ),
+        )
+        obj = JSObject(proto=proto)
+        obj.set("x", 9)
+        assert written["v"] == 9
+        assert not obj.has_own("x")  # setter consumed the assignment
+
+
+class TestDelete:
+    def test_delete_configurable(self):
+        obj = JSObject()
+        obj.set("x", 1)
+        assert obj.delete("x") is True
+        assert not obj.has_own("x")
+
+    def test_delete_non_configurable_fails(self):
+        obj = JSObject()
+        obj.define_property("x", PropertyDescriptor.data(1, configurable=False))
+        assert obj.delete("x") is False
+        assert obj.has_own("x")
+
+    def test_delete_missing_is_true(self):
+        assert JSObject().delete("ghost") is True
+
+
+class TestDefineProperty:
+    def test_new_property_defaults_are_falsy(self):
+        """The spec default that makes the spoofed webdriver vanish from
+        Object.keys (Section 3.1)."""
+        obj = JSObject()
+        obj.define_property("x", PropertyDescriptor(get=lambda this: False))
+        desc = obj.get_own_property("x")
+        assert desc.enumerable is False
+        assert desc.configurable is False
+
+    def test_redefine_keeps_unspecified_attributes(self):
+        obj = JSObject()
+        obj.define_property(
+            "x", PropertyDescriptor.data(1, enumerable=True, configurable=True)
+        )
+        obj.define_property("x", PropertyDescriptor(value=2, has_value=True))
+        desc = obj.get_own_property("x")
+        assert desc.value == 2
+        assert desc.enumerable is True
+
+    def test_redefine_non_configurable_rejected(self):
+        obj = JSObject()
+        obj.define_property("x", PropertyDescriptor.data(1, configurable=False))
+        with pytest.raises(JSTypeError):
+            obj.define_property(
+                "x", PropertyDescriptor.accessor(get=lambda this: 2)
+            )
+
+    def test_redefine_non_configurable_enumerability_rejected(self):
+        obj = JSObject()
+        obj.define_property(
+            "x", PropertyDescriptor.data(1, enumerable=True, configurable=False)
+        )
+        with pytest.raises(JSTypeError):
+            obj.define_property("x", PropertyDescriptor(enumerable=False))
+
+    def test_define_getter_is_enumerable_configurable(self):
+        """__defineGetter__ always creates enumerable+configurable."""
+        obj = JSObject()
+        obj.define_getter("x", lambda this: 7)
+        desc = obj.get_own_property("x")
+        assert desc.enumerable is True
+        assert desc.configurable is True
+        assert obj.get("x") == 7
+
+    def test_define_setter_keeps_getter(self):
+        obj = JSObject()
+        obj.define_getter("x", lambda this: 7)
+        sink = {}
+        obj.define_setter("x", lambda this, v: sink.__setitem__("v", v))
+        assert obj.get("x") == 7
+        obj.set("x", 3)
+        assert sink["v"] == 3
+
+    def test_non_extensible_rejects_new_properties(self):
+        obj = JSObject()
+        obj.extensible = False
+        with pytest.raises(JSTypeError):
+            obj.define_property("x", PropertyDescriptor.data(1))
+
+
+class TestPrototype:
+    def test_set_prototype_of(self):
+        a, b = JSObject(), JSObject()
+        b.set_prototype_of(a)
+        assert b.proto is a
+
+    def test_cycle_rejected(self):
+        a = JSObject()
+        b = JSObject(proto=a)
+        with pytest.raises(JSTypeError):
+            a.set_prototype_of(b)
+
+    def test_self_cycle_rejected(self):
+        a = JSObject()
+        with pytest.raises(JSTypeError):
+            a.set_prototype_of(a)
+
+    def test_prototype_chain(self):
+        a = JSObject()
+        b = JSObject(proto=a)
+        c = JSObject(proto=b)
+        assert c.prototype_chain() == [b, a]
+
+    def test_has_walks_chain(self):
+        proto, obj = make_chain()
+        assert obj.has("inherited")
+        assert obj.has("own")
+        assert not obj.has("ghost")
+
+
+class TestEnumeration:
+    def test_object_keys_own_enumerable_in_insertion_order(self):
+        obj = JSObject()
+        obj.set("b", 1)
+        obj.set("a", 2)
+        obj.define_property("hidden", PropertyDescriptor.data(3, enumerable=False))
+        assert object_keys(obj) == ["b", "a"]
+
+    def test_get_own_property_names_includes_non_enumerable(self):
+        obj = JSObject()
+        obj.set("a", 1)
+        obj.define_property("hidden", PropertyDescriptor.data(2, enumerable=False))
+        assert get_own_property_names(obj) == ["a", "hidden"]
+
+    def test_for_in_own_before_proto(self):
+        proto, obj = make_chain()
+        assert for_in_names(obj) == ["own", "inherited"]
+
+    def test_for_in_skips_shadowed_names(self):
+        proto, obj = make_chain()
+        obj.set("inherited", "shadow")
+        assert for_in_names(obj) == ["own", "inherited"]
+
+    def test_for_in_nonenumerable_own_suppresses_proto(self):
+        """The exact mechanism of Section 3.1: a non-enumerable own shadow
+        makes the attribute disappear from enumeration entirely."""
+        proto, obj = make_chain()
+        obj.define_property(
+            "inherited", PropertyDescriptor(get=lambda this: None)
+        )  # defaults: enumerable False
+        assert for_in_names(obj) == ["own"]

@@ -1,0 +1,89 @@
+"""Property-based tests on the JS object model (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.jsobject import (
+    JSObject,
+    PropertyDescriptor,
+    UNDEFINED,
+    for_in_names,
+    get_own_property_names,
+    object_keys,
+)
+
+names = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")),
+    min_size=1,
+    max_size=8,
+)
+values = st.one_of(st.integers(), st.booleans(), st.text(max_size=5), st.none())
+
+
+@given(st.lists(st.tuples(names, values), max_size=20))
+def test_insertion_order_preserved(pairs):
+    """Own-property enumeration is first-insertion order (string keys)."""
+    obj = JSObject()
+    expected_order = []
+    for name, value in pairs:
+        if name not in expected_order:
+            expected_order.append(name)
+        obj.set(name, value)
+    assert get_own_property_names(obj) == expected_order
+
+
+@given(st.lists(st.tuples(names, values), max_size=20))
+def test_last_write_wins(pairs):
+    obj = JSObject()
+    expected = {}
+    for name, value in pairs:
+        obj.set(name, value)
+        expected[name] = value
+    for name, value in expected.items():
+        assert obj.get(name) == value
+
+
+@given(st.lists(names, min_size=1, max_size=15), st.data())
+def test_object_keys_subset_of_own_names(keys, data):
+    obj = JSObject()
+    for name in keys:
+        enumerable = data.draw(st.booleans())
+        obj.define_property(
+            name, PropertyDescriptor.data(1, enumerable=enumerable)
+        )
+    assert set(object_keys(obj)) <= set(get_own_property_names(obj))
+
+
+@given(st.lists(st.tuples(names, values), max_size=10), st.lists(st.tuples(names, values), max_size=10))
+def test_for_in_no_duplicates(own_pairs, proto_pairs):
+    proto = JSObject()
+    for name, value in proto_pairs:
+        proto.set(name, value)
+    obj = JSObject(proto=proto)
+    for name, value in own_pairs:
+        obj.set(name, value)
+    listing = for_in_names(obj)
+    assert len(listing) == len(set(listing))
+
+
+@given(st.lists(st.tuples(names, values), max_size=10))
+def test_delete_then_get_is_undefined(pairs):
+    obj = JSObject()
+    for name, value in pairs:
+        obj.set(name, value)
+    for name, _ in pairs:
+        obj.delete(name)
+        assert obj.get(name) is UNDEFINED
+
+
+@settings(max_examples=50)
+@given(st.lists(st.tuples(names, values), min_size=1, max_size=10))
+def test_shadowing_never_mutates_prototype(pairs):
+    proto = JSObject()
+    for name, value in pairs:
+        proto.set(name, value)
+    snapshot = {n: proto.get(n) for n, _ in pairs}
+    obj = JSObject(proto=proto)
+    for name, _ in pairs:
+        obj.set(name, "shadow")
+    for name, value in snapshot.items():
+        assert proto.get(name) == value

@@ -1,0 +1,125 @@
+"""Proxy semantics (spoofing method 4's substrate)."""
+
+import pytest
+
+from repro.jsobject import (
+    JSObject,
+    JSProxy,
+    JSTypeError,
+    NativeFunction,
+    PropertyDescriptor,
+    is_proxy,
+    object_keys,
+)
+from repro.jsobject.proxy import make_stealth_get_trap
+
+
+def make_target():
+    target = JSObject(js_class="Widget")
+    target.set("plain", 1)
+    target.define_property(
+        "fn",
+        PropertyDescriptor.data(
+            NativeFunction(lambda this: "called", name="fn", brand="Widget")
+        ),
+    )
+    return target
+
+
+class TestForwarding:
+    def test_get_forwards_by_default(self):
+        proxy = JSProxy(make_target())
+        assert proxy.get("plain") == 1
+
+    def test_set_forwards_by_default(self):
+        target = make_target()
+        proxy = JSProxy(target)
+        proxy.set("plain", 5)
+        assert target.get("plain") == 5
+
+    def test_has_forwards(self):
+        proxy = JSProxy(make_target())
+        assert proxy.has("plain")
+        assert not proxy.has("ghost")
+
+    def test_own_keys_forward(self):
+        target = make_target()
+        proxy = JSProxy(target)
+        assert proxy.own_property_names() == target.own_property_names()
+        assert object_keys(proxy) == object_keys(target)
+
+    def test_proto_forwards(self):
+        proto = JSObject()
+        target = JSObject(proto=proto)
+        assert JSProxy(target).proto is proto
+
+    def test_js_class_forwards(self):
+        assert JSProxy(make_target()).js_class == "Widget"
+
+    def test_delete_forwards(self):
+        target = make_target()
+        proxy = JSProxy(target)
+        assert proxy.delete("plain") is True
+        assert not target.has_own("plain")
+
+    def test_non_object_target_rejected(self):
+        with pytest.raises(JSTypeError):
+            JSProxy("not-an-object")
+
+
+class TestTraps:
+    def test_get_trap_overrides(self):
+        proxy = JSProxy(make_target(), {"get": lambda t, n, r: "trapped"})
+        assert proxy.get("anything") == "trapped"
+
+    def test_own_keys_trap(self):
+        proxy = JSProxy(make_target(), {"ownKeys": lambda t: ["fake"]})
+        assert proxy.own_property_names() == ["fake"]
+
+    def test_has_trap(self):
+        proxy = JSProxy(make_target(), {"has": lambda t, n: n == "yes"})
+        assert proxy.has("yes")
+        assert not proxy.has("plain")
+
+
+class TestBrandChecks:
+    def test_raw_method_call_through_proxy_fails_brand_check(self):
+        """A platform method invoked with the proxy as ``this`` throws --
+        why stealth proxies must bind methods to the target."""
+        target = make_target()
+        proxy = JSProxy(target)
+        fn = target.get("fn")
+        with pytest.raises(JSTypeError):
+            fn.call(proxy)
+
+    def test_stealth_trap_binds_methods(self):
+        target = make_target()
+        proxy = JSProxy(target, {"get": make_stealth_get_trap({})})
+        wrapped = proxy.get("fn")
+        assert wrapped.call(proxy) == "called"  # bound: brand check passes
+
+    def test_stealth_wrapper_is_anonymous(self):
+        """Listing 1: the wrapper's toString lost the function name."""
+        target = make_target()
+        proxy = JSProxy(target, {"get": make_stealth_get_trap({})})
+        wrapped = proxy.get("fn")
+        assert "function fn(" not in wrapped.to_string()
+        assert "function (" in wrapped.to_string()
+
+    def test_native_function_tostring_carries_name(self):
+        fn = NativeFunction(lambda this: None, name="toString")
+        assert fn.to_string().startswith("function toString()")
+        assert "[native code]" in fn.to_string()
+
+    def test_stealth_override_value(self):
+        target = make_target()
+        proxy = JSProxy(target, {"get": make_stealth_get_trap({"plain": "lie"})})
+        assert proxy.get("plain") == "lie"
+        assert target.get("plain") == 1
+
+
+class TestIsProxy:
+    def test_predicate(self):
+        target = make_target()
+        assert is_proxy(JSProxy(target))
+        assert not is_proxy(target)

@@ -1,0 +1,104 @@
+"""Keyboard scrolling: Appendix D's wheel-less scroll origins."""
+
+import pytest
+
+from repro.browser.input_pipeline import InputPipeline
+from repro.browser.window import Window
+from repro.detection.artificial import TeleportScrollDetector
+from repro.dom.document import Document
+from repro.events.recorder import EventRecorder
+from repro.events.taxonomy import ALL_INTERACTION_EVENTS
+from repro.geometry import Box
+
+
+def make_rig(page_height=8000.0):
+    window = Window(Document(1366, page_height))
+    pipeline = InputPipeline(window)
+    recorder = EventRecorder(ALL_INTERACTION_EVENTS).attach(window)
+    return window, pipeline, recorder
+
+
+def press(pipeline, window, key, times=1, gap_ms=180.0):
+    for _ in range(times):
+        pipeline.key_down(key)
+        window.clock.advance(60)
+        pipeline.key_up(key)
+        window.clock.advance(gap_ms)
+
+
+class TestScrollKeys:
+    def test_arrow_down_scrolls_line_wise(self):
+        window, pipeline, recorder = make_rig()
+        press(pipeline, window, "ArrowDown", times=3)
+        assert window.scroll_y == 3 * InputPipeline.ARROW_SCROLL_PX
+        assert recorder.of_type("wheel") == []
+        assert len(recorder.scroll_events()) == 3
+
+    def test_arrow_up_scrolls_back(self):
+        window, pipeline, recorder = make_rig()
+        press(pipeline, window, "ArrowDown", times=4)
+        press(pipeline, window, "ArrowUp", times=2)
+        assert window.scroll_y == 2 * InputPipeline.ARROW_SCROLL_PX
+
+    def test_space_bar_pages_down(self):
+        window, pipeline, recorder = make_rig()
+        press(pipeline, window, " ")
+        expected = window.viewport_height - InputPipeline.PAGE_SCROLL_OVERLAP_PX
+        assert window.scroll_y == expected
+
+    def test_page_down_and_up(self):
+        window, pipeline, _ = make_rig()
+        press(pipeline, window, "PageDown", times=2)
+        press(pipeline, window, "PageUp")
+        expected = window.viewport_height - InputPipeline.PAGE_SCROLL_OVERLAP_PX
+        assert window.scroll_y == expected
+
+    def test_end_and_home(self):
+        window, pipeline, _ = make_rig()
+        press(pipeline, window, "End")
+        assert window.scroll_y == window.max_scroll_y
+        press(pipeline, window, "Home")
+        assert window.scroll_y == 0.0
+
+    def test_typing_in_field_does_not_scroll(self):
+        window, pipeline, _ = make_rig()
+        field = window.document.create_element("textarea", Box(100, 100, 300, 60))
+        window.document.set_focus(field)
+        press(pipeline, window, " ")
+        assert window.scroll_y == 0.0
+        assert field.value == " "
+
+    def test_arrow_in_field_does_not_scroll(self):
+        window, pipeline, _ = make_rig()
+        field = window.document.create_element("input", Box(100, 100, 300, 30))
+        window.document.set_focus(field)
+        press(pipeline, window, "ArrowDown")
+        assert window.scroll_y == 0.0
+
+
+class TestDetectorCaveat:
+    """The paper's Appendix D point: big wheel-less scrolls are human
+    when a scroll key explains them."""
+
+    def test_space_bar_human_not_flagged(self):
+        window, pipeline, recorder = make_rig()
+        press(pipeline, window, " ", times=6, gap_ms=700.0)
+        verdict = TeleportScrollDetector().observe(recorder)
+        assert not verdict.is_bot, verdict.reasons
+
+    def test_end_key_jump_not_flagged(self):
+        window, pipeline, recorder = make_rig()
+        press(pipeline, window, "End")
+        assert not TeleportScrollDetector().observe(recorder).is_bot
+
+    def test_programmatic_jump_still_flagged(self):
+        window, pipeline, recorder = make_rig()
+        pipeline.scroll_programmatic(0, 5000)
+        assert TeleportScrollDetector().observe(recorder).is_bot
+
+    def test_key_long_before_scroll_does_not_exempt(self):
+        window, pipeline, recorder = make_rig()
+        press(pipeline, window, " ")  # legitimate page-down
+        window.clock.advance(5000)
+        pipeline.scroll_programmatic(0, 6000)  # unrelated teleport
+        assert TeleportScrollDetector().observe(recorder).is_bot

@@ -1,0 +1,80 @@
+"""Selenium Keys constants and their decoding through every typing path."""
+
+import pytest
+
+from repro.core.hlisa_action_chains import HLISA_ActionChains
+from repro.webdriver import ActionChains
+from repro.webdriver.driver import make_browser_driver
+from repro.webdriver.keys import Keys, decode_keys, is_special
+
+
+class TestDecoding:
+    def test_plain_text_unchanged(self):
+        assert decode_keys("abc") == ["a", "b", "c"]
+
+    def test_special_codepoints_decoded(self):
+        assert decode_keys(Keys.ENTER) == ["Enter"]
+        assert decode_keys(Keys.BACKSPACE) == ["Backspace"]
+        assert decode_keys(Keys.TAB) == ["Tab"]
+        assert decode_keys(Keys.SHIFT) == ["Shift"]
+
+    def test_return_and_enter_same_key(self):
+        assert decode_keys(Keys.RETURN) == decode_keys(Keys.ENTER)
+
+    def test_space_codepoint_is_space(self):
+        assert decode_keys(Keys.SPACE) == [" "]
+
+    def test_mixed_text(self):
+        assert decode_keys("a" + Keys.ENTER + "b") == ["a", "Enter", "b"]
+
+    def test_is_special(self):
+        assert is_special("Enter")
+        assert not is_special("x")
+
+    def test_codepoints_are_private_use(self):
+        for name in ("ENTER", "TAB", "BACKSPACE", "DELETE", "META"):
+            code = ord(getattr(Keys, name))
+            assert 0xE000 <= code <= 0xF8FF
+
+
+class TestThroughSelenium:
+    def test_enter_inserts_newline(self):
+        driver = make_browser_driver()
+        area = driver.find_element_by_id("text_area")
+        area.send_keys("a" + Keys.ENTER + "b")
+        assert area.get_attribute("value") == "a\nb"
+
+    def test_backspace_erases(self):
+        driver = make_browser_driver()
+        area = driver.find_element_by_id("text_area")
+        area.send_keys("ab" + Keys.BACKSPACE + "c")
+        assert area.get_attribute("value") == "ac"
+
+    def test_action_chains_send_keys(self):
+        driver = make_browser_driver()
+        area = driver.find_element_by_id("text_area")
+        ActionChains(driver).send_keys_to_element(area, "x" + Keys.ENTER).perform()
+        assert area.get_attribute("value") == "x\n"
+
+
+class TestThroughHLISA:
+    def test_special_keys_in_human_rhythm(self):
+        driver = make_browser_driver()
+        area = driver.find_element_by_id("text_area")
+        chain = HLISA_ActionChains(driver, seed=1)
+        chain.send_keys_to_element(area, "ab" + Keys.BACKSPACE + "c" + Keys.ENTER + "d")
+        chain.perform()
+        assert area.get_attribute("value") == "ac\nd"
+
+    def test_special_keys_do_not_trigger_shift(self):
+        from repro.events.recorder import EventRecorder
+        from repro.events.taxonomy import ALL_INTERACTION_EVENTS
+
+        driver = make_browser_driver()
+        recorder = EventRecorder(ALL_INTERACTION_EVENTS).attach(driver.window)
+        area = driver.find_element_by_id("text_area")
+        chain = HLISA_ActionChains(driver, seed=2)
+        chain.send_keys_to_element(area, "a" + Keys.ENTER + "b")
+        chain.perform()
+        shift_downs = [e for e in recorder.of_type("keydown") if e.key == "Shift"]
+        assert shift_downs == []

@@ -1,0 +1,135 @@
+"""Keyboard layouts, layout-aware typing, and layout inference."""
+
+import numpy as np
+import pytest
+
+from repro.browser.navigator import NavigatorProfile
+from repro.detection.layout import (
+    LayoutLanguageMismatchDetector,
+    infer_layout_from_recording,
+    observe_modifier_usage,
+)
+from repro.events.recorder import EventRecorder
+from repro.events.taxonomy import ALL_INTERACTION_EVENTS
+from repro.experiment.session import Session
+from repro.geometry import Box
+from repro.models.layouts import (
+    ALTGR,
+    DE_LAYOUT,
+    DISCRIMINATING_CHARS,
+    PLAIN,
+    SHIFT,
+    US_LAYOUT,
+    infer_layout,
+)
+from repro.models.typing_rhythm import TypingRhythm
+
+#: Text rich in layout-discriminating characters.
+PROBE_TEXT = "path/to/file; user@example.org = {ok}?"
+
+
+def typed_recording(layout, language="en-US", text=PROBE_TEXT):
+    profile = NavigatorProfile(webdriver=True, language=language)
+    session = Session(automated=True)
+    session.window.navigator.slots["language"] = language
+    area = session.document.create_element("textarea", Box(100, 100, 400, 120))
+    session.document.set_focus(area)
+    rhythm = TypingRhythm(np.random.default_rng(1), layout=layout)
+    for dt, kind, key in rhythm.plan(text):
+        session.clock.advance(max(dt, 0.0))
+        if kind == "down":
+            session.pipeline.key_down(key)
+        else:
+            session.pipeline.key_up(key)
+    return session, area
+
+
+class TestLayoutTables:
+    def test_us_conventions(self):
+        assert US_LAYOUT.modifier_for("a") == PLAIN
+        assert US_LAYOUT.modifier_for("A") == SHIFT
+        assert US_LAYOUT.modifier_for("@") == SHIFT
+        assert US_LAYOUT.modifier_for("/") == PLAIN
+        assert US_LAYOUT.modifier_for(";") == PLAIN
+
+    def test_de_conventions(self):
+        assert DE_LAYOUT.modifier_for("a") == PLAIN
+        assert DE_LAYOUT.modifier_for("A") == SHIFT
+        assert DE_LAYOUT.modifier_for("@") == ALTGR
+        assert DE_LAYOUT.modifier_for("/") == SHIFT
+        assert DE_LAYOUT.modifier_for(";") == SHIFT
+        assert DE_LAYOUT.modifier_for("{") == ALTGR
+
+    def test_discriminating_chars_nonempty(self):
+        assert "@" in DISCRIMINATING_CHARS
+        assert "/" in DISCRIMINATING_CHARS
+        assert "a" not in DISCRIMINATING_CHARS
+
+    def test_special_keys_plain(self):
+        assert US_LAYOUT.modifier_for("Enter") == PLAIN
+
+
+class TestInference:
+    def test_infer_us_from_observations(self):
+        observations = {"@": SHIFT, "/": PLAIN, ";": PLAIN}
+        assert infer_layout(observations) is US_LAYOUT
+
+    def test_infer_de_from_observations(self):
+        observations = {"@": ALTGR, "/": SHIFT, "=": SHIFT}
+        assert infer_layout(observations) is DE_LAYOUT
+
+    def test_no_discriminating_chars_is_none(self):
+        assert infer_layout({"a": PLAIN, "B": SHIFT}) is None
+
+
+class TestEndToEnd:
+    def test_us_typing_inferred_as_us(self):
+        session, area = typed_recording(US_LAYOUT)
+        assert infer_layout_from_recording(session.recorder) is US_LAYOUT
+
+    def test_de_typing_inferred_as_de(self):
+        session, area = typed_recording(DE_LAYOUT)
+        assert infer_layout_from_recording(session.recorder) is DE_LAYOUT
+
+    def test_text_arrives_identically_on_both_layouts(self):
+        _, us_area = typed_recording(US_LAYOUT)
+        _, de_area = typed_recording(DE_LAYOUT)
+        assert us_area.value == de_area.value == PROBE_TEXT
+
+    def test_modifier_usage_reconstruction(self):
+        session, _ = typed_recording(DE_LAYOUT)
+        usage = observe_modifier_usage(session.recorder)
+        assert usage["@"] == ALTGR
+        assert usage["/"] == SHIFT
+        assert usage["a"] == PLAIN
+
+
+class TestMismatchDetector:
+    def test_consistent_us_english_passes(self):
+        session, _ = typed_recording(US_LAYOUT, language="en-US")
+        detector = LayoutLanguageMismatchDetector(session.window)
+        assert not detector.observe(session.recorder).is_bot
+
+    def test_consistent_de_german_passes(self):
+        session, _ = typed_recording(DE_LAYOUT, language="de-DE")
+        detector = LayoutLanguageMismatchDetector(session.window)
+        assert not detector.observe(session.recorder).is_bot
+
+    def test_german_language_us_typing_flagged(self):
+        """The simulator forgot to match its typing model to its
+        spoofed Accept-Language -- the cross-check catches it."""
+        session, _ = typed_recording(US_LAYOUT, language="de-DE")
+        detector = LayoutLanguageMismatchDetector(session.window)
+        verdict = detector.observe(session.recorder)
+        assert verdict.is_bot
+        assert "keyboard layout" in verdict.reasons[0]
+
+    def test_english_language_de_typing_flagged(self):
+        session, _ = typed_recording(DE_LAYOUT, language="en-US")
+        detector = LayoutLanguageMismatchDetector(session.window)
+        assert detector.observe(session.recorder).is_bot
+
+    def test_no_discriminating_typing_yields_no_verdict(self):
+        session, _ = typed_recording(US_LAYOUT, language="de-DE", text="hello there")
+        detector = LayoutLanguageMismatchDetector(session.window)
+        assert not detector.observe(session.recorder).is_bot

@@ -1,0 +1,123 @@
+"""Property-based tests on the interaction models (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Box, Point
+from repro.humans import HumanScrolling, HumanTyping
+from repro.humans.profile import HumanProfile
+from repro.models.clicks import hlisa_click_point, uniform_click_point
+from repro.models.scroll_cadence import ScrollCadence
+from repro.models.typing_rhythm import TypingRhythm
+
+seeds = st.integers(0, 2**31 - 1)
+distances = st.floats(min_value=-20000, max_value=20000, allow_nan=False)
+texts = st.text(
+    alphabet=st.sampled_from("abcdefgXYZ ,.!?123"), min_size=0, max_size=40
+)
+boxes = st.builds(
+    Box,
+    st.floats(min_value=0, max_value=2000, allow_nan=False),
+    st.floats(min_value=0, max_value=2000, allow_nan=False),
+    st.floats(min_value=1, max_value=800, allow_nan=False),
+    st.floats(min_value=1, max_value=800, allow_nan=False),
+)
+
+
+class TestScrollPlans:
+    @settings(max_examples=50, deadline=None)
+    @given(distances, seeds)
+    def test_hlisa_plan_covers_distance(self, distance, seed):
+        plan = ScrollCadence(np.random.default_rng(seed)).plan(distance)
+        covered = sum(delta for _, delta in plan)
+        if distance == 0:
+            assert plan == []
+        else:
+            assert abs(covered) >= abs(distance)
+            assert abs(covered) - abs(distance) < 57.0 + 1e-9
+            assert all(np.sign(delta) == np.sign(distance) for _, delta in plan)
+
+    @settings(max_examples=50, deadline=None)
+    @given(distances, seeds)
+    def test_human_plan_covers_distance(self, distance, seed):
+        profile = HumanProfile(seed=seed)
+        plan = HumanScrolling(profile).plan(distance)
+        covered = sum(delta for _, delta in plan)
+        if distance == 0:
+            assert plan == []
+        else:
+            assert abs(covered) >= abs(distance)
+
+    @settings(max_examples=50, deadline=None)
+    @given(distances, seeds)
+    def test_pauses_non_negative(self, distance, seed):
+        plan = ScrollCadence(np.random.default_rng(seed)).plan(distance)
+        assert all(pause >= 0 for pause, _ in plan)
+
+
+class TestTypingPlans:
+    @settings(max_examples=60, deadline=None)
+    @given(texts, seeds)
+    def test_hlisa_plan_balanced(self, text, seed):
+        plan = TypingRhythm(np.random.default_rng(seed)).plan(text)
+        balance = {}
+        for dt, kind, key in plan:
+            assert dt >= 0
+            balance[key] = balance.get(key, 0) + (1 if kind == "down" else -1)
+            assert 0 <= balance[key] <= 1
+        assert all(v == 0 for v in balance.values())
+
+    @settings(max_examples=60, deadline=None)
+    @given(texts, seeds)
+    def test_hlisa_plan_types_text_in_order(self, text, seed):
+        plan = TypingRhythm(np.random.default_rng(seed)).plan(text)
+        downs = [key for _, kind, key in plan if kind == "down" and key != "Shift"]
+        assert downs == list(text)
+
+    @settings(max_examples=60, deadline=None)
+    @given(texts, seeds)
+    def test_human_plan_balanced(self, text, seed):
+        plan = HumanTyping(HumanProfile(seed=seed)).plan(text)
+        balance = {}
+        for dt, kind, key in plan:
+            assert dt >= 0
+            balance[key] = balance.get(key, 0) + (1 if kind == "down" else -1)
+        assert all(v == 0 for v in balance.values())
+
+    @settings(max_examples=60, deadline=None)
+    @given(texts, seeds)
+    def test_human_plan_replay_yields_text(self, text, seed):
+        """Replaying the key plan against a buffer reproduces the text
+        (rollover included -- order of *presses* is what matters)."""
+        plan = HumanTyping(HumanProfile(seed=seed)).plan(text)
+        typed = "".join(
+            key for _, kind, key in plan if kind == "down" and key != "Shift"
+        )
+        assert typed == text
+
+
+class TestClickPoints:
+    @settings(max_examples=60, deadline=None)
+    @given(boxes, seeds)
+    def test_hlisa_point_inside_box(self, box, seed):
+        rng = np.random.default_rng(seed)
+        for _ in range(5):
+            assert box.contains(hlisa_click_point(box, rng))
+
+    @settings(max_examples=60, deadline=None)
+    @given(boxes, seeds)
+    def test_uniform_point_inside_box(self, box, seed):
+        rng = np.random.default_rng(seed)
+        for _ in range(5):
+            assert box.contains(uniform_click_point(box, rng))
+
+    @settings(max_examples=40, deadline=None)
+    @given(boxes, seeds)
+    def test_human_click_inside_box(self, box, seed):
+        from repro.humans import HumanClicking
+
+        clicking = HumanClicking(HumanProfile(seed=seed))
+        for factor in (0.6, 1.0, 2.0):
+            point = clicking.click_point(box, speed_factor=factor)
+            assert box.contains(point)

@@ -1,0 +1,206 @@
+"""HLISA's internal models: trajectories, clicks, typing, scrolling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Box, Point
+from repro.models import (
+    ClickParams,
+    ScrollCadence,
+    ScrollParams,
+    TrajectoryParams,
+    TypingParams,
+    TypingRhythm,
+    hlisa_click_point,
+    hlisa_path,
+    naive_bezier_path,
+    straight_line_path,
+    uniform_click_point,
+)
+from repro.models.clicks import hlisa_dwell_ms
+
+coords = st.floats(min_value=0.0, max_value=2000.0, allow_nan=False)
+
+
+class TestTrajectories:
+    def test_straight_line_endpoints(self):
+        path = straight_line_path(Point(0, 0), Point(100, 100), 250.0)
+        assert path[0][1] == Point(0, 0)
+        assert path[-1][1] == Point(100, 100)
+
+    def test_straight_line_is_straight(self):
+        path = straight_line_path(Point(0, 0), Point(300, 100), 250.0)
+        for _, p in path:
+            # Every point on the chord y = x/3.
+            assert p.y == pytest.approx(p.x / 3.0, abs=1e-9)
+
+    @given(coords, coords, coords, coords, st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_hlisa_path_endpoints_exact(self, x1, y1, x2, y2, seed):
+        rng = np.random.default_rng(seed)
+        path = hlisa_path(Point(x1, y1), Point(x2, y2), rng)
+        assert path[0][1].distance_to(Point(x1, y1)) < 1e-6
+        assert path[-1][1].distance_to(Point(x2, y2)) < 1e-6
+
+    @given(coords, coords, coords, coords, st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_hlisa_path_time_monotone(self, x1, y1, x2, y2, seed):
+        rng = np.random.default_rng(seed)
+        path = hlisa_path(Point(x1, y1), Point(x2, y2), rng)
+        times = [t for t, _ in path]
+        assert times == sorted(times)
+        assert times[0] == 0.0
+
+    def test_hlisa_respects_min_duration(self):
+        rng = np.random.default_rng(0)
+        path = hlisa_path(Point(0, 0), Point(3, 0), rng)  # tiny distance
+        assert path[-1][0] >= TrajectoryParams().min_duration_ms - 1e-6
+
+    def test_naive_bezier_uniform_speed(self):
+        rng = np.random.default_rng(1)
+        path = naive_bezier_path(Point(0, 0), Point(800, 200), rng)
+        points = [p for _, p in path]
+        # Bézier parameter advances uniformly: consecutive gaps similar.
+        gaps = [points[i].distance_to(points[i + 1]) for i in range(len(points) - 1)]
+        assert np.std(gaps) / np.mean(gaps) < 0.6  # no bell profile
+
+    def test_hlisa_speed_profile_bell_shaped(self):
+        rng = np.random.default_rng(2)
+        path = hlisa_path(Point(0, 0), Point(900, 300), rng)
+        points = [p for _, p in path]
+        gaps = np.array(
+            [points[i].distance_to(points[i + 1]) for i in range(len(points) - 1)]
+        )
+        fifth = max(1, len(gaps) // 5)
+        edge = np.concatenate([gaps[:fifth], gaps[-fifth:]]).mean()
+        middle = gaps[fifth:-fifth].mean()
+        assert edge < 0.6 * middle  # slow ends, fast middle
+
+    def test_degenerate_same_point(self):
+        rng = np.random.default_rng(3)
+        path = hlisa_path(Point(5, 5), Point(5, 5), rng)
+        assert path == [(0.0, Point(5, 5))]
+
+
+class TestClickModels:
+    BOX = Box(100, 100, 80, 40)
+
+    def test_uniform_points_inside_box(self):
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            assert self.BOX.contains(uniform_click_point(self.BOX, rng))
+
+    def test_uniform_reaches_corners(self):
+        rng = np.random.default_rng(0)
+        points = [uniform_click_point(self.BOX, rng) for _ in range(500)]
+        nx = [(p.x - self.BOX.center.x) / 40 for p in points]
+        ny = [(p.y - self.BOX.center.y) / 20 for p in points]
+        corner = [1 for a, b in zip(nx, ny) if abs(a) > 0.8 and abs(b) > 0.8]
+        assert len(corner) > 5  # the naive tell-tale (Fig. 2)
+
+    def test_hlisa_points_inside_box(self):
+        rng = np.random.default_rng(1)
+        for _ in range(300):
+            assert self.BOX.contains(hlisa_click_point(self.BOX, rng))
+
+    def test_hlisa_never_in_far_corners(self):
+        rng = np.random.default_rng(1)
+        points = [hlisa_click_point(self.BOX, rng) for _ in range(500)]
+        for p in points:
+            nx = abs(p.x - self.BOX.center.x) / 40
+            ny = abs(p.y - self.BOX.center.y) / 20
+            assert not (nx > 0.9 and ny > 0.9)
+
+    def test_hlisa_rarely_exact_center(self):
+        rng = np.random.default_rng(2)
+        center = self.BOX.center
+        exact = sum(
+            1
+            for _ in range(300)
+            if hlisa_click_point(self.BOX, rng).distance_to(center) < 0.5
+        )
+        assert exact < 10
+
+    def test_hlisa_scatter_is_gaussian_like(self):
+        rng = np.random.default_rng(3)
+        params = ClickParams(sigma_frac=0.25)
+        xs = [
+            (hlisa_click_point(self.BOX, rng, params).x - self.BOX.center.x) / 40
+            for _ in range(800)
+        ]
+        assert abs(np.mean(xs)) < 0.05
+        assert 0.15 < np.std(xs) < 0.35
+
+    def test_dwell_positive_and_spread(self):
+        rng = np.random.default_rng(4)
+        dwells = [hlisa_dwell_ms(rng) for _ in range(200)]
+        assert min(dwells) >= 20.0
+        assert np.std(dwells) > 5.0
+
+
+class TestTypingRhythm:
+    def test_plan_types_text_in_order(self):
+        rhythm = TypingRhythm(np.random.default_rng(0))
+        plan = rhythm.plan("ab c")
+        downs = [key for _, kind, key in plan if kind == "down" and key != "Shift"]
+        assert downs == list("ab c")
+
+    def test_every_down_has_matching_up(self):
+        rhythm = TypingRhythm(np.random.default_rng(0))
+        plan = rhythm.plan("Hello, World!")
+        balance = {}
+        for _, kind, key in plan:
+            balance[key] = balance.get(key, 0) + (1 if kind == "down" else -1)
+            assert balance[key] in (0, 1)
+        assert all(v == 0 for v in balance.values())
+
+    def test_shift_wraps_capitals(self):
+        rhythm = TypingRhythm(np.random.default_rng(0))
+        plan = rhythm.plan("aA")
+        kinds = [(kind, key) for _, kind, key in plan]
+        shift_down = kinds.index(("down", "Shift"))
+        a_down = kinds.index(("down", "A"))
+        shift_up = kinds.index(("up", "Shift"))
+        assert shift_down < a_down < shift_up
+
+    def test_sentence_pause_longer_than_plain_flight(self):
+        params = TypingParams(pause_sd_frac=0.0, flight_sd_ms=0.0)
+        rhythm = TypingRhythm(np.random.default_rng(1), params)
+        plan_plain = rhythm.plan("ab")
+        plan_sentence = rhythm.plan(".b")
+        flight_plain = plan_plain[2][0]  # dt of 'b' down
+        flight_sentence = plan_sentence[2][0]
+        assert flight_sentence > flight_plain + 500
+
+    def test_all_dts_non_negative(self):
+        rhythm = TypingRhythm(np.random.default_rng(2))
+        for dt, _, _ in rhythm.plan("The quick brown Fox, jumped. Twice!"):
+            assert dt >= 0
+
+
+class TestScrollCadence:
+    def test_covers_distance(self):
+        cadence = ScrollCadence(np.random.default_rng(0))
+        ticks = cadence.plan(1000.0)
+        assert sum(d for _, d in ticks) >= 1000.0
+
+    def test_tick_size_is_57(self):
+        cadence = ScrollCadence(np.random.default_rng(0))
+        for _, delta in cadence.plan(500.0):
+            assert abs(delta) == 57.0
+
+    def test_direction_follows_sign(self):
+        cadence = ScrollCadence(np.random.default_rng(0))
+        assert all(d < 0 for _, d in cadence.plan(-500.0))
+
+    def test_zero_distance_empty(self):
+        cadence = ScrollCadence(np.random.default_rng(0))
+        assert cadence.plan(0) == []
+
+    def test_has_long_breaks(self):
+        cadence = ScrollCadence(np.random.default_rng(1), ScrollParams())
+        pauses = [p for p, _ in cadence.plan(57.0 * 60)][1:]
+        long_pauses = [p for p in pauses if p > 200.0]
+        assert long_pauses  # finger repositioning happened
+        assert len(long_pauses) < len(pauses) / 2  # but is the minority

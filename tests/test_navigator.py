@@ -1,0 +1,108 @@
+"""The Firefox-like navigator object."""
+
+import pytest
+
+from repro.browser.navigator import (
+    NAVIGATOR_ATTRIBUTES,
+    NAVIGATOR_METHODS,
+    NavigatorProfile,
+    make_navigator,
+)
+from repro.jsobject import (
+    JSTypeError,
+    for_in_names,
+    get_own_property_names,
+    object_keys,
+)
+
+
+class TestProfile:
+    def test_defaults_are_firefox_like(self):
+        profile = NavigatorProfile()
+        assert "Firefox" in profile.user_agent
+        assert "Gecko" in profile.user_agent
+        assert profile.webdriver is False
+
+    def test_automated_copy(self):
+        profile = NavigatorProfile()
+        auto = profile.automated()
+        assert auto.webdriver is True
+        assert profile.webdriver is False  # original untouched
+        assert auto.user_agent == profile.user_agent
+
+
+class TestStructure:
+    def test_instance_has_no_own_properties(self):
+        """All attributes live on the prototype, as in Firefox --
+        Object.keys(navigator) is empty."""
+        nav = make_navigator()
+        assert get_own_property_names(nav) == []
+        assert object_keys(nav) == []
+
+    def test_prototype_holds_all_attributes_in_order(self):
+        nav = make_navigator()
+        names = [name for name, _ in NAVIGATOR_ATTRIBUTES]
+        proto_names = get_own_property_names(nav.proto)
+        assert proto_names[: len(names)] == names
+
+    def test_for_in_yields_canonical_order(self):
+        nav = make_navigator()
+        expected = [name for name, _ in NAVIGATOR_ATTRIBUTES] + list(NAVIGATOR_METHODS)
+        assert for_in_names(nav) == expected
+
+    def test_webdriver_enumerable(self):
+        nav = make_navigator()
+        assert "webdriver" in for_in_names(nav)
+
+    def test_fresh_chain_per_navigator(self):
+        """Spoofing one navigator's prototype must not leak into another."""
+        a, b = make_navigator(), make_navigator()
+        assert a.proto is not b.proto
+
+
+class TestValues:
+    def test_attribute_values_come_from_profile(self):
+        profile = NavigatorProfile(user_agent="UA-test", hardware_concurrency=4)
+        nav = make_navigator(profile)
+        assert nav.get("userAgent") == "UA-test"
+        assert nav.get("hardwareConcurrency") == 4
+
+    def test_webdriver_flag(self):
+        assert make_navigator(NavigatorProfile(webdriver=True)).get("webdriver") is True
+        assert make_navigator(NavigatorProfile(webdriver=False)).get("webdriver") is False
+
+    def test_methods_callable_on_instance(self):
+        nav = make_navigator()
+        assert nav.get("javaEnabled").call(nav) is False
+        assert nav.get("sendBeacon").call(nav) is True
+
+    def test_to_string_via_object_prototype(self):
+        nav = make_navigator()
+        to_string = nav.get("toString")
+        assert to_string.call(nav) == "[object Navigator]"
+        assert to_string.to_string().startswith("function toString()")
+
+
+class TestBrandChecks:
+    def test_prototype_getter_throws_on_prototype_receiver(self):
+        """Firefox: Navigator.prototype.webdriver throws a TypeError --
+        the observable spoofing method 3 cannot preserve (Table 1)."""
+        nav = make_navigator()
+        with pytest.raises(JSTypeError):
+            nav.proto.get("webdriver", receiver=nav.proto)
+
+    def test_getter_works_on_real_instance(self):
+        nav = make_navigator()
+        assert isinstance(nav.get("webdriver"), bool)
+
+    def test_method_brand_check(self):
+        nav = make_navigator()
+        fn = nav.get("javaEnabled")
+        with pytest.raises(JSTypeError):
+            fn.call(make_plain_object())
+
+
+def make_plain_object():
+    from repro.jsobject import JSObject
+
+    return JSObject()

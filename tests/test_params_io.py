@@ -1,0 +1,89 @@
+"""Parameter persistence: the calibrate-once, ship-with-the-crawler flow."""
+
+import pytest
+
+from repro.humans.profile import HumanProfile
+from repro.models.bezier import TrajectoryParams
+from repro.models.clicks import ClickParams
+from repro.models.params_io import (
+    dumps_params,
+    load_params,
+    loads_params,
+    save_params,
+)
+from repro.models.scroll_cadence import ScrollParams
+from repro.models.typing_rhythm import TypingParams
+
+
+class TestRoundTrip:
+    def test_all_sections(self):
+        payload = dumps_params(
+            trajectory=TrajectoryParams(base_speed_px_s=777.0),
+            clicks=ClickParams(sigma_frac=0.31),
+            typing=TypingParams(dwell_mean_ms=111.0),
+            scroll=ScrollParams(ticks_per_sweep_mean=9.0),
+            human_profile=HumanProfile(name="subject-x", seed=99),
+        )
+        loaded = loads_params(payload)
+        assert loaded["trajectory"].base_speed_px_s == 777.0
+        assert loaded["clicks"].sigma_frac == 0.31
+        assert loaded["typing"].dwell_mean_ms == 111.0
+        assert loaded["scroll"].ticks_per_sweep_mean == 9.0
+        assert loaded["human_profile"].name == "subject-x"
+        assert loaded["human_profile"].seed == 99
+
+    def test_partial_document(self):
+        payload = dumps_params(clicks=ClickParams())
+        loaded = loads_params(payload)
+        assert set(loaded) == {"clicks"}
+
+    def test_defaults_survive(self):
+        loaded = loads_params(dumps_params(typing=TypingParams()))
+        assert loaded["typing"] == TypingParams()
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "params.json"
+        save_params(str(path), scroll=ScrollParams(wheel_tick_px=53.0))
+        loaded = load_params(str(path))
+        assert loaded["scroll"].wheel_tick_px == 53.0
+
+
+class TestValidation:
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError):
+            loads_params('{"format": "other"}')
+
+    def test_unknown_section_rejected(self):
+        payload = '{"format": "repro-params-v1", "mystery": {}}'
+        with pytest.raises(ValueError):
+            loads_params(payload)
+
+    def test_unknown_field_rejected(self):
+        payload = (
+            '{"format": "repro-params-v1", "clicks": {"sigma_frac": 0.3, '
+            '"bogus": 1}}'
+        )
+        with pytest.raises(ValueError, match="bogus"):
+            loads_params(payload)
+
+    def test_wrong_type_rejected_on_dump(self):
+        with pytest.raises(TypeError):
+            dumps_params(clicks=TypingParams())
+
+    def test_loaded_params_drive_hlisa(self):
+        """End to end: persisted params configure a chain."""
+        from repro.core.hlisa_action_chains import HLISA_ActionChains
+        from repro.webdriver.driver import make_browser_driver
+
+        loaded = loads_params(
+            dumps_params(clicks=ClickParams(dwell_mean_ms=199.0, dwell_sd_ms=1.0))
+        )
+        driver = make_browser_driver()
+        from repro.events.recorder import EventRecorder
+        from repro.events.taxonomy import ALL_INTERACTION_EVENTS
+
+        recorder = EventRecorder(ALL_INTERACTION_EVENTS).attach(driver.window)
+        chain = HLISA_ActionChains(driver, seed=3, click_params=loaded["clicks"])
+        chain.click(driver.find_element_by_id("submit"))
+        chain.perform()
+        assert recorder.clicks()[0].dwell_ms == pytest.approx(199.0, abs=10)

@@ -1,0 +1,144 @@
+"""Property-based tests on the browser substrate (hypothesis).
+
+Invariants a browser must uphold no matter what an agent does: scroll
+positions stay within the page, event timestamps never decrease, button
+state stays consistent, and a field's value always equals the result of
+replaying the keystrokes.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.browser.input_pipeline import InputPipeline
+from repro.browser.window import Window
+from repro.dom.document import Document
+from repro.events.recorder import EventRecorder
+from repro.events.taxonomy import ALL_INTERACTION_EVENTS
+from repro.geometry import Box
+
+# An abstract "OS input" action.
+actions = st.one_of(
+    st.tuples(
+        st.just("move"),
+        st.floats(min_value=-50, max_value=1500, allow_nan=False),
+        st.floats(min_value=-50, max_value=900, allow_nan=False),
+    ),
+    st.tuples(st.just("down"), st.integers(0, 2)),
+    st.tuples(st.just("up"), st.integers(0, 2)),
+    st.tuples(st.just("wheel"), st.floats(min_value=-300, max_value=300, allow_nan=False)),
+    st.tuples(st.just("scroll"), st.floats(min_value=-99999, max_value=99999, allow_nan=False)),
+    st.tuples(st.just("key"), st.sampled_from("abcXYZ 123")),
+    st.tuples(st.just("advance"), st.floats(min_value=0, max_value=500, allow_nan=False)),
+)
+
+
+def make_rig():
+    document = Document(1366, 5000)
+    document.create_element("input", Box(100, 100, 300, 40), id="field")
+    document.create_element("button", Box(600, 300, 120, 48), id="btn")
+    window = Window(document)
+    pipeline = InputPipeline(window)
+    recorder = EventRecorder(ALL_INTERACTION_EVENTS).attach(window)
+    return window, pipeline, recorder
+
+
+def drive(window, pipeline, sequence):
+    for action in sequence:
+        kind = action[0]
+        if kind == "move":
+            pipeline.move_mouse_to(action[1], action[2])
+        elif kind == "down":
+            pipeline.mouse_down(action[1])
+        elif kind == "up":
+            pipeline.mouse_up(action[1])
+        elif kind == "wheel":
+            pipeline.wheel(action[1])
+        elif kind == "scroll":
+            pipeline.scroll_programmatic(0, action[1])
+        elif kind == "key":
+            pipeline.key_down(action[1])
+            window.clock.advance(5)
+            pipeline.key_up(action[1])
+        elif kind == "advance":
+            window.clock.advance(action[1])
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(actions, max_size=40))
+def test_scroll_position_always_within_page(sequence):
+    window, pipeline, _ = make_rig()
+    drive(window, pipeline, sequence)
+    assert 0.0 <= window.scroll_y <= window.max_scroll_y
+    assert 0.0 <= window.scroll_x <= window.max_scroll_x
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(actions, max_size=40))
+def test_event_timestamps_never_decrease(sequence):
+    window, pipeline, recorder = make_rig()
+    drive(window, pipeline, sequence)
+    stamps = [e.timestamp for e in recorder.events]
+    assert stamps == sorted(stamps)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(actions, max_size=40))
+def test_every_click_has_matching_down_and_up(sequence):
+    window, pipeline, recorder = make_rig()
+    drive(window, pipeline, sequence)
+    for click in recorder.of_type("click"):
+        downs = [
+            e
+            for e in recorder.of_type("mousedown")
+            if e.timestamp <= click.timestamp and e.button == 0
+        ]
+        ups = [
+            e
+            for e in recorder.of_type("mouseup")
+            if e.timestamp <= click.timestamp and e.button == 0
+        ]
+        assert downs and ups
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(actions, max_size=40))
+def test_buttons_mask_consistent(sequence):
+    """The buttons bitmask on events reflects held buttons at all times."""
+    window, pipeline, recorder = make_rig()
+    drive(window, pipeline, sequence)
+    # After draining the sequence, release everything; the mask must hit 0.
+    for button in (0, 1, 2):
+        pipeline.mouse_up(button)
+    assert pipeline._buttons_mask == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.text(alphabet="abc XYZ123", max_size=30))
+def test_typed_value_equals_replayed_keystrokes(text):
+    window, pipeline, _ = make_rig()
+    field = window.document.get_element_by_id("field")
+    window.document.set_focus(field)
+    for char in text:
+        pipeline.key_down(char)
+        window.clock.advance(5)
+        pipeline.key_up(char)
+        window.clock.advance(5)
+    assert field.value == text
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=-500, max_value=500, allow_nan=False), max_size=25
+    )
+)
+def test_wheel_total_matches_scroll_position(deltas):
+    """Sum of effective wheel scrolling equals the final scroll offset."""
+    window, pipeline, recorder = make_rig()
+    for delta in deltas:
+        pipeline.wheel(delta)
+        window.clock.advance(30)
+    offsets = [e.page_y for e in recorder.scroll_events()]
+    if offsets:
+        assert offsets[-1] == window.scroll_y
+    else:
+        assert window.scroll_y == 0.0

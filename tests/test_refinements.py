@@ -1,0 +1,106 @@
+"""The intra-level refinement cycle (Section 4.2 / Appendix F)."""
+
+import numpy as np
+import pytest
+
+from repro.experiment import HLISAAgent, HumanAgent, TypingTask
+from repro.humans.typing import lognormal_ms
+from repro.models.refinements import (
+    LognormalTypingRhythm,
+    SkewAwareTypingDetector,
+    sample_skewness,
+)
+from repro.models.typing_rhythm import TypingParams
+
+LONG_TEXT = (
+    "The quick brown fox jumps over the lazy dog, twice. "
+    "Pack my box with five dozen liquor jugs. Forever and ever."
+)
+
+
+def refined_hlisa_agent(seed=3):
+    agent = HLISAAgent(seed=seed)
+    original = agent._chain_for
+
+    def patched(session):
+        chain = original(session)
+        chain._typing = LognormalTypingRhythm(chain._rng, chain._typing.params)
+        return chain
+
+    agent._chain_for = patched
+    return agent
+
+
+class TestLognormalSampling:
+    def test_moment_matching(self):
+        rng = np.random.default_rng(0)
+        samples = [lognormal_ms(rng, 100.0, 25.0) for _ in range(20000)]
+        assert np.mean(samples) == pytest.approx(100.0, rel=0.02)
+        assert np.std(samples) == pytest.approx(25.0, rel=0.05)
+
+    def test_right_skewed(self):
+        rng = np.random.default_rng(1)
+        samples = [lognormal_ms(rng, 100.0, 25.0) for _ in range(5000)]
+        assert sample_skewness(samples) > 0.4
+
+    def test_positive_mean_required(self):
+        with pytest.raises(ValueError):
+            lognormal_ms(np.random.default_rng(0), -1.0, 5.0)
+
+
+class TestSkewness:
+    def test_symmetric_sample_near_zero(self):
+        rng = np.random.default_rng(2)
+        assert abs(sample_skewness(rng.normal(0, 1, 2000))) < 0.15
+
+    def test_needs_three_values(self):
+        with pytest.raises(ValueError):
+            sample_skewness([1.0, 2.0])
+
+    def test_constant_sample_zero(self):
+        assert sample_skewness([5.0] * 10) == 0.0
+
+
+class TestRefinementCycle:
+    """Detector refinement catches stock HLISA; simulator refinement
+    restores the balance -- one full turn of the Fig. 3 crank."""
+
+    def test_human_passes(self):
+        recorder = TypingTask(LONG_TEXT).run(HumanAgent()).recorder
+        assert not SkewAwareTypingDetector().observe(recorder).is_bot
+
+    def test_stock_hlisa_caught(self):
+        recorder = TypingTask(LONG_TEXT).run(HLISAAgent(seed=3)).recorder
+        verdict = SkewAwareTypingDetector().observe(recorder)
+        assert verdict.is_bot
+        assert "skewness" in verdict.reasons[0]
+
+    def test_refined_hlisa_passes(self):
+        recorder = TypingTask(LONG_TEXT).run(refined_hlisa_agent()).recorder
+        assert not SkewAwareTypingDetector().observe(recorder).is_bot
+
+    def test_refined_hlisa_still_passes_standard_batteries(self):
+        """The refinement must not regress the standard Fig. 3 position."""
+        from repro.detection import DetectorBattery, DetectionLevel
+
+        recorder = TypingTask(LONG_TEXT).run(refined_hlisa_agent()).recorder
+        report = DetectorBattery(DetectionLevel.DEVIATION).evaluate(recorder)
+        assert not report.is_bot, report.triggered_names()
+
+    def test_detector_needs_enough_strokes(self):
+        recorder = TypingTask("short text").run(HLISAAgent(seed=3)).recorder
+        assert not SkewAwareTypingDetector().observe(recorder).is_bot
+
+    def test_not_in_standard_battery(self):
+        """The refined detector is the *next* move, not the status quo."""
+        from repro.detection.deviation import DEVIATION_DETECTORS
+
+        assert SkewAwareTypingDetector not in DEVIATION_DETECTORS
+
+    def test_lognormal_rhythm_same_plan_structure(self):
+        params = TypingParams()
+        rng = np.random.default_rng(4)
+        plan = LognormalTypingRhythm(rng, params).plan("Hi there!")
+        downs = [k for _, kind, k in plan if kind == "down" and k != "Shift"]
+        assert downs == list("Hi there!")
+        assert any(k == "Shift" for _, _, k in plan)

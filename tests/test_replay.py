@@ -1,0 +1,152 @@
+"""Session replay: the statistical attack and its cross-session answer.
+
+A replay only makes sense against the page it was recorded on (the
+coordinates are absolute), so recording and replay share one static
+form page -- exactly the setting of the credential-stuffing attacks the
+paper's related work describes.
+"""
+
+import pytest
+
+from repro.detection import DetectorBattery, DetectionLevel
+from repro.detection.replay import (
+    CrossSessionReplayDetector,
+    signature_similarity,
+    timing_signature,
+)
+from repro.experiment import BrowsingScenario, HumanAgent, Session
+from repro.experiment.replay import (
+    ReplayAgent,
+    deserialize_recording,
+    serialize_recording,
+)
+from repro.geometry import Box
+from repro.humans.profile import HumanProfile
+
+
+def build_form_page(session: Session):
+    """The static page both the human and the replay visit."""
+    document = session.document
+    elements = [
+        document.create_element("a", Box(90, 60, 160, 26), id="nav", text="Home"),
+        document.create_element("button", Box(1050, 120, 140, 44), id="search"),
+        document.create_element("button", Box(540, 620, 160, 48), id="submit"),
+        document.create_element("input", Box(420, 300, 420, 36), id="email"),
+    ]
+    return elements
+
+
+def record_human_visit(seed=77):
+    """A human fills the form: varied-distance clicks, typing, a scroll."""
+    session = Session(automated=False, page_height=4000)
+    elements = build_form_page(session)
+    agent = HumanAgent(HumanProfile(seed=seed))
+    for _ in range(5):
+        for element in elements[:3]:
+            agent.click_element(session, element)
+            session.clock.advance(350.0)
+    agent.type_text(session, elements[3], "visitor@example.org")
+    agent.scroll_by(session, 1200.0)
+    return session.recorder
+
+
+def replay_visit(recording):
+    session = Session(automated=True, page_height=4000)
+    build_form_page(session)
+    ReplayAgent(recording).run(session)
+    return session.recorder
+
+
+@pytest.fixture(scope="module")
+def human_recording():
+    return record_human_visit()
+
+
+class TestSerialisation:
+    def test_round_trip_preserves_events(self, human_recording):
+        payload = serialize_recording(human_recording)
+        restored = deserialize_recording(payload)
+        assert len(restored.events) == len(human_recording.events)
+        for original, loaded in zip(human_recording.events, restored.events):
+            assert loaded.type == original.type
+            assert loaded.timestamp == original.timestamp
+            assert loaded.client_x == original.client_x
+            assert loaded.key == original.key
+
+    def test_target_boxes_survive(self, human_recording):
+        restored = deserialize_recording(serialize_recording(human_recording))
+        originals = [e.target_box for e in human_recording.events if e.target_box]
+        loadeds = [e.target_box for e in restored.events if e.target_box]
+        assert len(originals) == len(loadeds)
+        assert loadeds[0].width == originals[0].width
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ValueError):
+            deserialize_recording('{"format": "something-else", "events": []}')
+
+
+class TestReplayAgent:
+    def test_requires_input_events(self):
+        from repro.events.recorder import EventRecorder
+
+        with pytest.raises(ValueError):
+            ReplayAgent(EventRecorder())
+
+    def test_replay_reproduces_timing(self, human_recording):
+        replayed = replay_visit(human_recording)
+        assert (
+            signature_similarity(
+                timing_signature(human_recording), timing_signature(replayed)
+            )
+            > 0.95
+        )
+
+    def test_replay_reproduces_typed_text(self, human_recording):
+        session = Session(automated=True, page_height=4000)
+        elements = build_form_page(session)
+        ReplayAgent(human_recording).run(session)
+        assert elements[3].value == "visitor@example.org"
+
+    def test_replay_passes_within_session_batteries(self, human_recording):
+        """The statistical attack: recorded human data beats every
+        within-session detector, levels 1-3 included."""
+        replayed = replay_visit(human_recording)
+        report = DetectorBattery(DetectionLevel.CONSISTENCY).evaluate(replayed)
+        assert not report.is_bot, report.triggered_names()
+
+
+class TestCrossSessionDetection:
+    def test_first_visit_passes_then_repeats_flagged(self, human_recording):
+        detector = CrossSessionReplayDetector()
+        assert not detector.observe(replay_visit(human_recording)).is_bot
+        verdict = detector.observe(replay_visit(human_recording))
+        assert verdict.is_bot
+        assert "previous visit" in verdict.reasons[0]
+
+    def test_fresh_human_sessions_never_flagged(self):
+        detector = CrossSessionReplayDetector()
+        for seed in (301, 302, 303):
+            assert not detector.observe(record_human_visit(seed)).is_bot
+        assert detector.sessions_seen == 3
+
+    def test_human_then_own_replay_flagged(self, human_recording):
+        """Even the original human's visit 'protects' against its
+        replay: the second occurrence of the same timing is the tell."""
+        detector = CrossSessionReplayDetector()
+        assert not detector.observe(human_recording).is_bot
+        assert detector.observe(replay_visit(human_recording)).is_bot
+
+    def test_short_sessions_skipped(self):
+        from repro.events.recorder import EventRecorder
+
+        detector = CrossSessionReplayDetector()
+        assert not detector.observe(EventRecorder()).is_bot
+        assert detector.sessions_seen == 0
+
+    def test_signature_similarity_bounds(self):
+        import numpy as np
+
+        a = np.arange(50, dtype=float)
+        assert signature_similarity(a, a) == 1.0
+        assert signature_similarity(a, a + 100.0) == 0.0
+        assert signature_similarity(a[:5], a[:5]) == 0.0  # too short

@@ -1,0 +1,53 @@
+"""The report generators and the command-line entry point."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.reports import (
+    REPORTS,
+    figure1_report,
+    figure2_report,
+    table1_report,
+    table3_report,
+)
+
+
+class TestReports:
+    def test_table1_contains_matrix(self):
+        report = table1_report()
+        assert "Unnamed window.navigator functions" in report
+        assert "x  x  .  ." in report
+
+    def test_table3_lists_api(self):
+        report = table3_report()
+        for name in ("move_to_element_outside_viewport", "scroll_by", "send_keys"):
+            assert name in report
+
+    def test_figure1_has_all_agents(self):
+        report = figure1_report()
+        for agent in ("selenium", "human", "naive", "hlisa"):
+            assert agent in report
+
+    def test_figure2_has_all_agents(self):
+        report = figure2_report(clicks=25)
+        for agent in ("selenium", "human", "naive", "hlisa"):
+            assert agent in report
+
+    def test_registry_complete(self):
+        for name in ("table1", "table2", "table3", "table4", "fig1", "fig2", "fig3", "fig4"):
+            assert name in REPORTS
+
+
+class TestCLI:
+    def test_table1_exit_code(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+
+    def test_fig1(self, capsys):
+        assert main(["fig1"]) == 0
+        assert "trajectory signatures" in capsys.readouterr().out
+
+    def test_invalid_artefact_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["nonsense"])

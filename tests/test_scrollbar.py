@@ -1,0 +1,89 @@
+"""Scrollbar dragging: a continuous, wheel-less, chrome-level scroll
+origin (Appendix D)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import scroll_metrics
+from repro.detection.artificial import TeleportScrollDetector
+from repro.detection.deviation import MetronomeScrollDetector
+from repro.experiment import Session
+from repro.experiment.agents import HumanAgent
+from repro.humans import HumanScrolling
+from repro.humans.profile import HumanProfile
+
+
+def drag_session(distance=2200.0, seed=5):
+    session = Session(automated=False, page_height=9000)
+    agent = HumanAgent(HumanProfile(seed=seed))
+    agent.scroll_by_scrollbar(session, distance)
+    return session
+
+
+class TestDragPlan:
+    def test_reaches_target(self):
+        scrolling = HumanScrolling(HumanProfile(seed=1))
+        plan = scrolling.plan_scrollbar_drag(1500.0, current_scroll_y=100.0)
+        assert plan[-1][1] == pytest.approx(1600.0, abs=1.0)
+
+    def test_monotone_ish_progress(self):
+        scrolling = HumanScrolling(HumanProfile(seed=2))
+        plan = scrolling.plan_scrollbar_drag(2000.0)
+        positions = [y for _, y in plan]
+        # Tremor allows tiny reversals, but the drag mostly advances.
+        advancing = sum(1 for a, b in zip(positions, positions[1:]) if b >= a)
+        assert advancing / (len(positions) - 1) > 0.9
+
+    def test_zero_distance_empty(self):
+        scrolling = HumanScrolling(HumanProfile(seed=3))
+        assert scrolling.plan_scrollbar_drag(0.0) == []
+
+    def test_frame_paced(self):
+        scrolling = HumanScrolling(HumanProfile(seed=4))
+        plan = scrolling.plan_scrollbar_drag(1200.0)
+        assert all(dt == HumanScrolling.DRAG_FRAME_MS for dt, _ in plan)
+
+
+class TestObservables:
+    def test_only_scroll_events(self):
+        session = drag_session()
+        recorder = session.recorder
+        assert recorder.scroll_events()
+        assert recorder.wheel_ticks() == []
+        assert recorder.of_type("mousedown") == []  # chrome, not content
+
+    def test_continuous_small_steps(self):
+        session = drag_session()
+        metrics = scroll_metrics(
+            session.recorder.scroll_events(), session.recorder.wheel_ticks()
+        )
+        assert metrics.median_scroll_step_px < 57.0
+        assert metrics.wheelless
+
+
+class TestDetectorsSpareIt:
+    """Appendix D's conclusion, as assertions: scrollbar scrolling must
+    not be flagged by scroll-based detectors."""
+
+    def test_teleport_detector_passes(self):
+        session = drag_session()
+        verdict = TeleportScrollDetector().observe(session.recorder)
+        assert not verdict.is_bot, verdict.reasons
+
+    def test_metronome_detector_out_of_scope(self):
+        """Frame-paced continuous scrolling has a metronomic cadence by
+        nature; the detector's tick-wise scope keeps humans safe."""
+        session = drag_session()
+        verdict = MetronomeScrollDetector().observe(session.recorder)
+        assert not verdict.is_bot, verdict.reasons
+
+    def test_wheel_humans_still_judged(self):
+        """Scoping did not blind the detector to tick-wise scrolling."""
+        session = Session(automated=False, page_height=9000)
+        agent = HumanAgent(HumanProfile(seed=6))
+        agent.scroll_by(session, 2000.0)  # wheel ticks
+        metrics = scroll_metrics(
+            session.recorder.scroll_events(), session.recorder.wheel_ticks()
+        )
+        assert 40.0 <= metrics.median_scroll_step_px <= 80.0
+        assert not MetronomeScrollDetector().observe(session.recorder).is_bot

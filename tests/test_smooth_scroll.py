@@ -1,0 +1,79 @@
+"""Firefox smooth scrolling (the paper's explicit future-work item)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import scroll_metrics
+from repro.browser.input_pipeline import InputPipeline
+from repro.browser.window import Window
+from repro.dom.document import Document
+from repro.events.recorder import EventRecorder
+from repro.events.taxonomy import ALL_INTERACTION_EVENTS
+
+
+def make_rig(smooth: bool):
+    window = Window(Document(1366, 8000), smooth_scroll=smooth)
+    pipeline = InputPipeline(window)
+    recorder = EventRecorder(ALL_INTERACTION_EVENTS).attach(window)
+    return window, pipeline, recorder
+
+
+class TestSmoothScrolling:
+    def test_disabled_by_default(self):
+        assert Window().smooth_scroll is False
+
+    def test_instant_mode_one_scroll_event_per_tick(self):
+        window, pipeline, recorder = make_rig(smooth=False)
+        pipeline.wheel()
+        assert len(recorder.scroll_events()) == 1
+        assert window.scroll_y == 57.0
+
+    def test_smooth_mode_animates_frames(self):
+        window, pipeline, recorder = make_rig(smooth=True)
+        pipeline.wheel()
+        scrolls = recorder.scroll_events()
+        assert len(scrolls) == Window.SMOOTH_SCROLL_FRAMES
+        assert window.scroll_y == pytest.approx(57.0)
+
+    def test_smooth_frames_ease_out(self):
+        """Early frames cover more distance than late frames."""
+        window, pipeline, recorder = make_rig(smooth=True)
+        pipeline.wheel()
+        offsets = [e.page_y for e in recorder.scroll_events()]
+        steps = np.diff([0.0] + offsets)
+        assert steps[0] > steps[-1]
+
+    def test_smooth_frames_advance_clock(self):
+        window, pipeline, _ = make_rig(smooth=True)
+        before = window.clock.now()
+        pipeline.wheel()
+        assert window.clock.now() - before == pytest.approx(
+            Window.SMOOTH_SCROLL_DURATION_MS
+        )
+
+    def test_smooth_scroll_clamped_at_bottom(self):
+        window, pipeline, recorder = make_rig(smooth=True)
+        window.scroll_to(0, window.max_scroll_y)
+        recorder.clear()
+        assert not window.smooth_scroll_by(0, 500)
+        assert recorder.scroll_events() == []
+
+    def test_wheel_event_count_unchanged(self):
+        """Smooth scrolling changes scroll events, not wheel events --
+        the wheel tick itself is still one event of 57 px."""
+        window, pipeline, recorder = make_rig(smooth=True)
+        pipeline.wheel()
+        wheels = recorder.wheel_ticks()
+        assert len(wheels) == 1
+        assert wheels[0].delta_y == 57.0
+
+    def test_scroll_step_signature_differs(self):
+        """With smooth scrolling on, per-event steps are fractions of a
+        tick -- a consistency signal a refined detector could use against
+        tick-jump simulators on smooth-scrolling profiles."""
+        _, pipeline_smooth, rec_smooth = make_rig(smooth=True)
+        for _ in range(10):
+            pipeline_smooth.wheel()
+            pipeline_smooth.window.clock.advance(80)
+        m = scroll_metrics(rec_smooth.scroll_events(), rec_smooth.wheel_ticks())
+        assert m.median_scroll_step_px < 57.0

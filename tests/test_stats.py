@@ -1,0 +1,185 @@
+"""Statistics: Wilcoxon, distributions, descriptive (scipy cross-checks)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.stats import (
+    Summary,
+    chi_square_uniform,
+    coefficient_of_variation,
+    fit_normal,
+    ks_statistic,
+    ks_test_normal,
+    normal_cdf,
+    normal_pdf,
+    summarize,
+    wilcoxon_signed_rank,
+)
+
+scipy_stats = pytest.importorskip("scipy.stats")
+
+
+class TestDescriptive:
+    def test_summarize(self):
+        s = summarize([1, 2, 3, 4, 5])
+        assert s.n == 5
+        assert s.mean == 3.0
+        assert s.median == 3.0
+        assert s.minimum == 1 and s.maximum == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_cv_of_constant_is_zero(self):
+        assert coefficient_of_variation([5.0, 5.0, 5.0]) == 0.0
+
+    def test_cv_matches_definition(self):
+        values = [1.0, 2.0, 3.0]
+        assert coefficient_of_variation(values) == pytest.approx(
+            np.std(values) / np.mean(values)
+        )
+
+
+class TestNormal:
+    def test_pdf_peak_at_mean(self):
+        assert normal_pdf(0.0) > normal_pdf(1.0)
+        assert normal_pdf(5.0, mean=5.0, std=2.0) == pytest.approx(
+            1.0 / (2.0 * math.sqrt(2 * math.pi))
+        )
+
+    def test_cdf_symmetry(self):
+        assert normal_cdf(0.0) == pytest.approx(0.5)
+        assert normal_cdf(-1.3) == pytest.approx(1.0 - normal_cdf(1.3))
+
+    def test_cdf_matches_scipy(self):
+        for x in (-2.5, -0.7, 0.0, 1.1, 3.0):
+            assert normal_cdf(x) == pytest.approx(scipy_stats.norm.cdf(x), abs=1e-9)
+
+    def test_invalid_std_rejected(self):
+        with pytest.raises(ValueError):
+            normal_pdf(0, std=0)
+        with pytest.raises(ValueError):
+            normal_cdf(0, std=-1)
+
+    def test_fit_normal(self):
+        rng = np.random.default_rng(0)
+        sample = rng.normal(10.0, 3.0, size=5000)
+        mean, std = fit_normal(sample)
+        assert mean == pytest.approx(10.0, abs=0.2)
+        assert std == pytest.approx(3.0, abs=0.2)
+
+
+class TestKS:
+    def test_ks_statistic_matches_scipy(self):
+        rng = np.random.default_rng(1)
+        sample = rng.normal(0, 1, size=200)
+        ours = ks_statistic(sample.tolist(), lambda v: normal_cdf(v))
+        theirs = scipy_stats.kstest(sample, "norm").statistic
+        assert ours == pytest.approx(theirs, abs=1e-9)
+
+    def test_normal_sample_passes(self):
+        rng = np.random.default_rng(2)
+        d, p = ks_test_normal(rng.normal(5, 2, size=300).tolist())
+        assert d < 0.08
+
+    def test_uniform_sample_fails_normality(self):
+        rng = np.random.default_rng(3)
+        d_uniform, _ = ks_test_normal(rng.uniform(-1, 1, size=400).tolist())
+        d_normal, _ = ks_test_normal(rng.normal(0, 0.5, size=400).tolist())
+        assert d_uniform > d_normal
+
+
+class TestChiSquare:
+    def test_uniform_sample_passes(self):
+        rng = np.random.default_rng(4)
+        stat, p = chi_square_uniform(rng.uniform(0, 1, size=1000).tolist(), 0, 1)
+        assert p > 0.01
+
+    def test_clustered_sample_fails(self):
+        rng = np.random.default_rng(5)
+        stat, p = chi_square_uniform(
+            rng.normal(0.5, 0.05, size=1000).tolist(), 0, 1
+        )
+        assert p < 0.001
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            chi_square_uniform([0.5], 1, 0)
+
+
+class TestWilcoxon:
+    def test_matches_scipy_exact(self):
+        x = [125, 115, 130, 140, 140, 115, 140, 125, 140, 135]
+        y = [110, 122, 125, 120, 140, 124, 123, 137, 135, 145]
+        ours = wilcoxon_signed_rank(x, y)
+        theirs = scipy_stats.wilcoxon(x, y)
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=0.02)
+
+    def test_matches_scipy_large_sample(self):
+        rng = np.random.default_rng(6)
+        x = rng.normal(10, 2, size=120)
+        y = x + rng.normal(0.5, 1.5, size=120)
+        ours = wilcoxon_signed_rank(x.tolist(), y.tolist())
+        theirs = scipy_stats.wilcoxon(x, y, correction=True)
+        assert ours.method == "normal"
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=0.1)
+
+    def test_significant_shift_detected(self):
+        rng = np.random.default_rng(7)
+        x = rng.normal(10, 1, size=60)
+        y = x - 0.8
+        result = wilcoxon_signed_rank(x.tolist(), y.tolist())
+        assert result.significant(alpha=0.05)
+
+    def test_no_shift_not_significant(self):
+        rng = np.random.default_rng(8)
+        x = rng.normal(10, 1, size=60)
+        y = x + rng.normal(0, 1, size=60)
+        result = wilcoxon_signed_rank(x.tolist(), y.tolist())
+        assert result.p_value > 0.01
+
+    def test_all_ties_rejected(self):
+        with pytest.raises(ValueError):
+            wilcoxon_signed_rank([1, 2, 3], [1, 2, 3])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            wilcoxon_signed_rank([1, 2], [1])
+
+    def test_w_statistics_sum(self):
+        """W+ + W- must equal n(n+1)/2."""
+        x = [5.0, 7.0, 3.0, 9.0, 12.0, 1.0]
+        y = [4.0, 9.0, 2.0, 8.5, 15.0, 2.5]
+        result = wilcoxon_signed_rank(x, y)
+        assert result.w_plus + result.w_minus == result.n * (result.n + 1) / 2
+
+    @given(
+        st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            min_size=8,
+            max_size=40,
+        ),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_p_value_in_unit_interval(self, base, seed):
+        rng = np.random.default_rng(seed)
+        x = np.array(base)
+        y = x + rng.normal(0, 1, size=len(base))
+        try:
+            result = wilcoxon_signed_rank(x.tolist(), y.tolist())
+        except ValueError:
+            return  # all ties: legitimately rejected
+        assert 0.0 <= result.p_value <= 1.0
+
+    def test_symmetry_of_swapped_samples(self):
+        x = [10.0, 11.0, 15.0, 9.0, 14.0, 13.0, 8.0]
+        y = [9.5, 13.0, 12.0, 9.5, 16.0, 11.0, 9.0]
+        a = wilcoxon_signed_rank(x, y)
+        b = wilcoxon_signed_rank(y, x)
+        assert a.p_value == pytest.approx(b.p_value)
+        assert a.w_plus == b.w_minus

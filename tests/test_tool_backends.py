@@ -1,0 +1,104 @@
+"""Per-backend behaviour of the Appendix G tool re-implementations."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.trajectory import per_movement_metrics
+from repro.experiment.session import Session
+from repro.geometry import Box
+from repro.tools import make_backend
+from repro.tools.hmm import bspline_path
+from repro.geometry import Point
+
+
+def click_session():
+    session = Session(automated=True)
+    button = session.document.create_element("button", Box(700, 400, 100, 60), id="b")
+    return session, button
+
+
+class TestBSpline:
+    def test_endpoints_exact(self):
+        rng = np.random.default_rng(1)
+        path = bspline_path(Point(0, 0), Point(500, 300), rng)
+        assert path[0].distance_to(Point(0, 0)) < 1e-6
+        assert path[-1].distance_to(Point(500, 300)) < 1e-6
+
+    def test_arc_length_uniform(self):
+        rng = np.random.default_rng(2)
+        path = bspline_path(Point(0, 0), Point(800, 100), rng, samples=80)
+        gaps = [path[i].distance_to(path[i + 1]) for i in range(len(path) - 1)]
+        assert np.std(gaps) / np.mean(gaps) < 0.05  # constant pace
+
+    def test_curved(self):
+        rng = np.random.default_rng(3)
+        path = bspline_path(Point(0, 0), Point(800, 0), rng)
+        assert max(abs(p.y) for p in path) > 5.0
+
+
+class TestMovementCharacter:
+    @pytest.mark.parametrize(
+        "name,expect_accel",
+        [("PyC", False), ("pyHM", True), ("BezMouse", False)],
+    )
+    def test_speed_profiles(self, name, expect_accel):
+        session, button = click_session()
+        backend = make_backend(name)
+        for _ in range(4):
+            backend.click_element(session, button)
+            session.clock.advance(400)
+            button.box = Box(
+                float(np.random.default_rng(hash(name) % 100).uniform(20, 1100)),
+                300.0, 100.0, 60.0,
+            )
+        movements = [
+            m
+            for m in per_movement_metrics(session.recorder.mouse_path())
+            if m.chord_length > 150
+        ]
+        assert movements
+        edge_mid = float(np.mean([m.edge_to_middle_speed_ratio for m in movements]))
+        if name == "pyHM":
+            assert edge_mid < 0.75
+        # (PyC's ease-out decelerates but does not accelerate; BezMouse
+        # is uniform -- neither shows the full bell profile.)
+
+    def test_clickbot_randomises_position(self):
+        session, button = click_session()
+        backend = make_backend("ClickBot")
+        positions = set()
+        for _ in range(10):
+            backend.click_element(session, button)
+            session.clock.advance(300)
+            clicks = session.recorder.clicks()
+            if clicks:
+                positions.add(clicks[-1].position)
+        assert len(positions) > 3
+
+    def test_scroller_scrolls_in_ticks(self):
+        session = Session(automated=True, page_height=6000)
+        make_backend("Scroller").scroll_by(session, 2000)
+        scrolls = session.recorder.scroll_events()
+        assert len(scrolls) >= 30
+        steps = np.abs(np.diff([0.0] + [e.page_y for e in scrolls]))
+        assert np.median(steps) == 57.0
+
+    def test_thesis_typing_has_sentence_pauses(self):
+        session = Session(automated=True)
+        area = session.document.create_element("textarea", Box(300, 200, 400, 120))
+        make_backend("[20]").type_text(
+            session, area, "First part. Second part. Third part here."
+        )
+        strokes = [s for s in session.recorder.key_strokes() if len(s.key) == 1]
+        downs = np.array([s.down.timestamp for s in strokes])
+        gaps = np.diff(downs)
+        assert float(np.quantile(gaps, 0.95)) > 2.0 * float(np.median(gaps))
+
+    def test_hlisa_backend_is_full_agent(self):
+        session = Session(automated=True, page_height=4000)
+        area = session.document.create_element("textarea", Box(300, 200, 400, 120))
+        backend = make_backend("HLISA")
+        backend.type_text(session, area, "ok")
+        backend.scroll_by(session, 600)
+        assert area.value == "ok"
+        assert session.recorder.scroll_events()

@@ -1,0 +1,154 @@
+"""Appendix G: the tool-comparison backends and the Table 4 matrix."""
+
+import pytest
+
+from repro.experiment.session import Session
+from repro.geometry import Box
+from repro.tools import BACKEND_REGISTRY, FEATURES, build_feature_matrix, make_backend, probe_backend
+from repro.tools.base import Unsupported
+from repro.tools.matrix import TABLE4_COLUMNS
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return build_feature_matrix(click_attempts=100)
+
+
+class TestRegistry:
+    def test_all_paper_columns_registered(self):
+        from repro.tools import matrix as _  # ensure registration ran
+
+        for name in TABLE4_COLUMNS:
+            assert name in BACKEND_REGISTRY, name
+
+    def test_make_backend(self):
+        backend = make_backend("BezMouse")
+        assert backend.name == "BezMouse"
+
+
+class TestUnsupportedModalities:
+    def test_scroller_cannot_click(self):
+        session = Session(automated=True)
+        button = session.document.create_element("button", Box(10, 10, 50, 30))
+        with pytest.raises(Unsupported):
+            make_backend("Scroller").click_element(session, button)
+
+    def test_hmm_cannot_type(self):
+        session = Session(automated=True)
+        area = session.document.create_element("textarea", Box(10, 10, 200, 60))
+        with pytest.raises(Unsupported):
+            make_backend("HMM").type_text(session, area, "x")
+
+    def test_pyclick_cannot_scroll(self):
+        session = Session(automated=True, page_height=4000)
+        with pytest.raises(Unsupported):
+            make_backend("PyC").scroll_by(session, 500)
+
+
+class TestMatrixShape:
+    def test_all_features_present(self, matrix):
+        assert set(matrix.rows) == set(FEATURES)
+
+    def test_hlisa_has_most_features(self, matrix):
+        """The paper's qualitative headline: HLISA covers the most."""
+        hlisa = matrix.feature_count("HLISA")
+        for column in matrix.columns:
+            if column != "HLISA":
+                assert hlisa > matrix.feature_count(column)
+
+    def test_hlisa_covers_all_modalities(self, matrix):
+        for feature in ("mouse_movement", "click_functionality", "scrolling", "keyboard"):
+            assert matrix.supported(feature, "HLISA")
+
+    def test_hlisa_core_features(self, matrix):
+        for feature in (
+            "realistic_speed",
+            "accel_decel",
+            "shivering",
+            "curve",
+            "random_in_element",
+            "realistic_dwell",
+            "pause_between_ticks",
+            "finger_pause",
+            "realistic_tick_distance",
+            "flight_time",
+            "dwell_time",
+            "timings_based_on_data",
+            "selenium_ready",
+        ):
+            assert matrix.supported(feature, "HLISA"), feature
+
+    def test_hlisa_does_not_claim_accidental_clicks(self, matrix):
+        """Appendix F: misclicking is out of scope for HLISA."""
+        assert not matrix.supported("accidental_right_click", "HLISA")
+        assert not matrix.supported("accidental_no_click", "HLISA")
+
+    def test_clickbot_unique_accidental_features(self, matrix):
+        for feature in (
+            "accidental_right_click",
+            "accidental_double_click",
+            "accidental_no_click",
+        ):
+            assert matrix.supported(feature, "ClickBot")
+            others = [
+                c
+                for c in matrix.columns
+                if c != "ClickBot" and matrix.supported(feature, c)
+            ]
+            assert others == [], f"{feature} also claimed by {others}"
+
+    def test_scroller_is_scroll_only(self, matrix):
+        assert matrix.supported("scrolling", "Scroller")
+        assert matrix.supported("finger_pause", "Scroller")
+        assert not matrix.supported("mouse_movement", "Scroller")
+        assert not matrix.supported("keyboard", "Scroller")
+
+    def test_only_hlisa_and_scroller_scroll(self, matrix):
+        scrollers = [c for c in matrix.columns if matrix.supported("scrolling", c)]
+        assert set(scrollers) == {"Scroller", "HLISA"}
+
+    def test_keyboard_only_thesis_and_hlisa(self, matrix):
+        typists = [c for c in matrix.columns if matrix.supported("keyboard", c)]
+        assert set(typists) == {"[20]", "HLISA"}
+
+    def test_thesis_has_data_based_timings(self, matrix):
+        assert matrix.supported("timings_based_on_data", "[20]")
+        assert matrix.supported("flight_time", "[20]")
+        assert not matrix.supported("dwell_time", "[20]")  # no dwell model
+
+    def test_naive_bezier_tools_lack_accel(self, matrix):
+        assert not matrix.supported("accel_decel", "BezMouse")
+        assert not matrix.supported("accel_decel", "HMM")
+
+    def test_hmm_movement_is_smooth(self, matrix):
+        assert matrix.supported("mouse_movement", "HMM")
+        assert not matrix.supported("shivering", "HMM")
+
+    def test_random_in_element_is_rare(self, matrix):
+        """Table 4 footnote b: absence makes interaction obviously
+        artificial -- yet almost no tool randomises in-element position."""
+        supporting = [
+            c for c in matrix.columns if matrix.supported("random_in_element", c)
+        ]
+        assert "HLISA" in supporting
+        assert len(supporting) <= 3
+
+    def test_selenium_ready_columns(self, matrix):
+        ready = [c for c in matrix.columns if matrix.supported("selenium_ready", c)]
+        assert set(ready) == {"Scroller", "[20]", "HLISA"}
+
+    def test_format_table_renders(self, matrix):
+        rendering = matrix.format_table()
+        assert "HLISA" in rendering
+        assert "scrolling" in rendering
+
+
+class TestSeleniumReferenceColumn:
+    def test_selenium_backend_probe(self):
+        features = probe_backend(make_backend("Selenium"), click_attempts=30)
+        assert features["mouse_movement"]
+        assert not features["curve"]
+        assert not features["realistic_speed"]
+        assert not features["random_in_element"]
+        assert features["click_functionality"]
+        assert not features["realistic_dwell"]

@@ -1,0 +1,83 @@
+"""The traversal detection avenue (study-dependent, un-fixable by HLISA)."""
+
+import numpy as np
+import pytest
+
+from repro.detection.traversal import (
+    TraversalDetector,
+    crawler_traversal,
+    human_traversal,
+    traversal_metrics,
+)
+
+PAGES = [f"https://site.example/page-{i:02d}" for i in range(20)]
+
+
+class TestMetrics:
+    def test_needs_three_visits(self):
+        with pytest.raises(ValueError):
+            traversal_metrics([("a", 1.0), ("b", 1.0)])
+
+    def test_systematic_order_detected(self):
+        metrics = traversal_metrics([(p, 1000.0) for p in PAGES])
+        assert metrics.order_monotonicity == 1.0
+        assert metrics.revisit_rate == 0.0
+
+    def test_reverse_order_is_also_systematic(self):
+        metrics = traversal_metrics([(p, 1000.0) for p in reversed(PAGES)])
+        assert metrics.order_monotonicity == -1.0
+
+    def test_revisit_rate(self):
+        visits = [("a", 1.0), ("b", 1.0), ("a", 1.0), ("c", 1.0)]
+        assert traversal_metrics(visits).revisit_rate == 0.25
+
+    def test_dwell_statistics(self):
+        visits = [(p, 1000.0) for p in PAGES[:10]]
+        metrics = traversal_metrics(visits)
+        assert metrics.dwell_cv == 0.0
+        assert metrics.dwell_p95_over_median == 1.0
+
+
+class TestDetector:
+    def test_crawler_traversal_flagged(self):
+        detector = TraversalDetector()
+        is_bot, reasons = detector.observe(crawler_traversal(PAGES))
+        assert is_bot
+        assert any("systematic" in r for r in reasons)
+        assert any("metronomic" in r for r in reasons)
+
+    def test_human_traversal_passes(self):
+        detector = TraversalDetector()
+        is_bot, reasons = detector.observe(
+            human_traversal(PAGES, n_visits=40, rng=np.random.default_rng(5))
+        )
+        assert not is_bot, reasons
+
+    def test_short_sequences_yield_no_verdict(self):
+        detector = TraversalDetector()
+        assert detector.observe(crawler_traversal(PAGES[:5])) == (False, [])
+
+    def test_hlisa_does_not_change_traversal(self):
+        """The paper's structural claim: interaction humanisation cannot
+        fix traversal -- the crawl order is the study's, not the API's."""
+        detector = TraversalDetector()
+        # An HLISA-driven crawler still works through its list in order;
+        # only the *within-page* interaction differs.
+        hlisa_crawl = crawler_traversal(PAGES, rng=np.random.default_rng(9))
+        is_bot, _ = detector.observe(hlisa_crawl)
+        assert is_bot
+
+    def test_randomised_order_with_human_dwell_passes(self):
+        """What an experiment-level mitigation would have to do: both
+        randomise the order *and* humanise dwell/revisits."""
+        rng = np.random.default_rng(11)
+        pages = list(PAGES)
+        rng.shuffle(pages)
+        visits = []
+        for page in pages:
+            visits.append((page, float(rng.lognormal(np.log(9000), 0.8))))
+            if rng.random() < 0.3:
+                visits.append((pages[0], float(rng.lognormal(np.log(4000), 0.6))))
+        detector = TraversalDetector()
+        is_bot, reasons = detector.observe(visits)
+        assert not is_bot, reasons

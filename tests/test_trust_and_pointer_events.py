@@ -1,0 +1,92 @@
+"""Pointer-event twins, isTrusted, and the event-injection bot."""
+
+import pytest
+
+from repro.detection.artificial import (
+    MissingPointerTwinDetector,
+    UntrustedEventDetector,
+)
+from repro.detection.battery import DetectorBattery
+from repro.detection.base import DetectionLevel
+from repro.events.recorder import EventRecorder
+from repro.events.taxonomy import ALL_INTERACTION_EVENTS
+from repro.experiment import BrowsingScenario, HLISAAgent, HumanAgent
+from repro.experiment.agents import InjectedEventsAgent
+from repro.webdriver.driver import make_browser_driver
+
+
+class TestPointerTwins:
+    def test_mousemove_has_pointermove_twin(self):
+        driver = make_browser_driver()
+        recorder = EventRecorder(ALL_INTERACTION_EVENTS).attach(driver.window)
+        driver.pipeline.move_mouse_to(100, 100, force_event=True)
+        types = [e.type for e in recorder.events]
+        assert types.index("pointermove") < types.index("mousemove")
+
+    def test_mousedown_has_pointerdown_twin(self):
+        driver = make_browser_driver()
+        recorder = EventRecorder(ALL_INTERACTION_EVENTS).attach(driver.window)
+        driver.pipeline.mouse_down()
+        driver.pipeline.mouse_up()
+        types = [e.type for e in recorder.events]
+        assert types.index("pointerdown") < types.index("mousedown")
+        assert types.index("pointerup") < types.index("mouseup")
+
+    def test_twin_counts_match(self):
+        driver = make_browser_driver()
+        recorder = EventRecorder(ALL_INTERACTION_EVENTS).attach(driver.window)
+        for i in range(5):
+            driver.window.clock.advance(20)
+            driver.pipeline.move_mouse_to(50 + i * 30, 80, force_event=True)
+        assert len(recorder.of_type("pointermove")) == len(
+            recorder.of_type("mousemove")
+        )
+
+
+class TestInjectedEventsAgent:
+    @pytest.fixture(scope="class")
+    def recording(self):
+        return BrowsingScenario(clicks=8).run(InjectedEventsAgent()).recorder
+
+    def test_all_events_untrusted(self, recording):
+        assert recording.events
+        assert all(not e.is_trusted for e in recording.events if e.type != "scroll")
+
+    def test_untrusted_detector_fires(self, recording):
+        verdict = UntrustedEventDetector().observe(recording)
+        assert verdict.is_bot
+        assert "untrusted" in verdict.reasons[0]
+
+    def test_pointer_twin_detector_fires(self, recording):
+        assert MissingPointerTwinDetector().observe(recording).is_bot
+
+    def test_level1_battery_destroys_it(self, recording):
+        report = DetectorBattery(DetectionLevel.ARTIFICIAL).evaluate(recording)
+        assert report.is_bot
+        assert "untrusted-events" in report.triggered_names()
+
+    def test_typing_sets_value_directly(self):
+        from repro.experiment.session import Session
+        from repro.geometry import Box
+
+        session = Session(automated=True)
+        area = session.document.create_element("textarea", Box(10, 10, 200, 60))
+        InjectedEventsAgent().type_text(session, area, "fast")
+        assert area.value == "fast"
+
+
+class TestRealAgentsPass:
+    @pytest.mark.parametrize("agent_factory", [HLISAAgent, HumanAgent])
+    def test_trusted_agents_not_flagged(self, agent_factory):
+        recorder = BrowsingScenario(clicks=6).run(agent_factory()).recorder
+        assert not UntrustedEventDetector().observe(recorder).is_bot
+        assert not MissingPointerTwinDetector().observe(recorder).is_bot
+
+    def test_selenium_events_are_trusted(self):
+        """Selenium synthesises real input: trusted events, with twins.
+        (That is why fingerprint/behaviour detection is needed at all.)"""
+        from repro.experiment import SeleniumAgent
+
+        recorder = BrowsingScenario(clicks=6).run(SeleniumAgent()).recorder
+        assert not UntrustedEventDetector().observe(recorder).is_bot
+        assert not MissingPointerTwinDetector().observe(recorder).is_bot

@@ -1,0 +1,161 @@
+"""The Selenium-like WebDriver layer."""
+
+import pytest
+
+from repro.browser.input_pipeline import SELENIUM_DOUBLE_CLICK_INTERVAL_MS
+from repro.dom.document import Document
+from repro.events.recorder import EventRecorder
+from repro.events.taxonomy import ALL_INTERACTION_EVENTS
+from repro.geometry import Box
+from repro.webdriver import (
+    ElementNotInteractableException,
+    NoSuchElementException,
+    WebDriver,
+    make_browser_driver,
+)
+from repro.webdriver.errors import StaleElementReferenceException
+
+
+def recorder_for(driver):
+    return EventRecorder(ALL_INTERACTION_EVENTS).attach(driver.window)
+
+
+class TestSession:
+    def test_navigator_reports_webdriver(self):
+        """W3C convention: automated browsers expose webdriver=true."""
+        driver = make_browser_driver()
+        assert driver.window.navigator.get("webdriver") is True
+
+    def test_selenium_double_click_environment(self):
+        driver = make_browser_driver()
+        assert driver.pipeline.double_click_interval_ms == SELENIUM_DOUBLE_CLICK_INTERVAL_MS
+
+    def test_get_uses_page_loader(self):
+        driver = make_browser_driver()
+        fresh = Document()
+        driver.page_loader = lambda url: fresh
+        driver.get("https://example.org/")
+        assert driver.window.document is fresh
+        assert driver.current_url == "https://example.org/"
+
+    def test_load_document_resets_scroll(self):
+        driver = make_browser_driver(page_height=5000)
+        driver.pipeline.scroll_programmatic(0, 2000)
+        driver.load_document(Document())
+        assert driver.window.scroll_y == 0
+
+
+class TestFindElement:
+    def test_by_id(self, driver):
+        element = driver.find_element("id", "text_area")
+        assert element.tag_name == "textarea"
+
+    def test_find_element_by_id_shorthand(self, driver):
+        assert driver.find_element_by_id("submit").text == "Submit"
+
+    def test_by_tag_and_class_and_css(self, driver):
+        assert driver.find_element("tag name", "button") is not None
+        assert driver.find_element("css selector", "#cancel").text == "Cancel"
+
+    def test_missing_raises(self, driver):
+        with pytest.raises(NoSuchElementException):
+            driver.find_element("id", "ghost")
+
+    def test_unknown_strategy_raises(self, driver):
+        with pytest.raises(NoSuchElementException):
+            driver.find_element("xpath", "//div")
+
+    def test_find_elements_returns_all(self, driver):
+        assert len(driver.find_elements("tag name", "button")) == 2
+
+    def test_find_elements_empty_for_missing(self, driver):
+        assert driver.find_elements("id", "ghost") == []
+
+
+class TestWebElement:
+    def test_location_size_rect(self, driver):
+        element = driver.find_element_by_id("submit")
+        assert element.location == {"x": 480, "y": 360}
+        assert element.size == {"width": 160, "height": 40}
+        assert element.rect["width"] == 160
+
+    def test_get_attribute(self, driver):
+        link = driver.find_element_by_id("home_link")
+        assert link.get_attribute("href") == "/"
+        assert link.get_attribute("id") == "home_link"
+
+    def test_click_teleports_to_exact_center(self, driver):
+        recorder = recorder_for(driver)
+        button = driver.find_element_by_id("submit")
+        button.click()
+        clicks = recorder.clicks()
+        assert len(clicks) == 1
+        center = button.dom_element.center
+        assert clicks[0].position == (center.x, center.y)
+        assert clicks[0].dwell_ms == 0.0  # zero dwell
+
+    def test_click_scrolls_into_view(self):
+        driver = make_browser_driver(page_height=5000)
+        far = driver.window.document.create_element(
+            "button", Box(400, 4500, 100, 40), id="far"
+        )
+        driver.find_element_by_id("far").click()
+        assert driver.window.is_in_viewport(far.center)
+
+    def test_click_hidden_raises(self, driver):
+        element = driver.find_element_by_id("submit")
+        element.dom_element.visible = False
+        with pytest.raises(ElementNotInteractableException):
+            element.click()
+
+    def test_stale_element_raises(self, driver):
+        element = driver.find_element_by_id("submit")
+        driver.load_document(Document())
+        with pytest.raises(StaleElementReferenceException):
+            element.click()
+
+    def test_send_keys_focuses_and_types(self, driver):
+        area = driver.find_element_by_id("text_area")
+        area.send_keys("hi")
+        assert area.get_attribute("value") == "hi"
+        assert driver.window.document.active_element is area.dom_element
+
+    def test_clear(self, driver):
+        area = driver.find_element_by_id("text_area")
+        area.send_keys("hi")
+        area.clear()
+        assert area.get_attribute("value") == ""
+
+    def test_equality_by_dom_identity(self, driver):
+        a = driver.find_element_by_id("submit")
+        b = driver.find_element_by_id("submit")
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestExecuteScript:
+    def test_scroll_to(self):
+        driver = make_browser_driver(page_height=4000)
+        driver.execute_script("window.scrollTo(0, 1200)")
+        assert driver.window.scroll_y == 1200
+
+    def test_scroll_by(self):
+        driver = make_browser_driver(page_height=4000)
+        driver.execute_script("window.scrollBy(0, 300);")
+        driver.execute_script("window.scrollBy(0, 300);")
+        assert driver.window.scroll_y == 600
+
+    def test_unknown_script_raises(self, driver):
+        with pytest.raises(NotImplementedError):
+            driver.execute_script("alert(1)")
+
+
+class TestTypeLikeSelenium:
+    def test_rate_is_13333_cpm(self, driver):
+        """Section 4.1: 'inhumanly fast (13,333 characters per minute)'."""
+        area = driver.find_element_by_id("text_area")
+        start = driver.window.clock.now()
+        area.send_keys("x" * 100)
+        elapsed_minutes = (driver.window.clock.now() - start) / 60000.0
+        cpm = 100 / elapsed_minutes
+        assert cpm == pytest.approx(13333, rel=0.02)

@@ -1,0 +1,79 @@
+"""Window: coordinates, scrolling bounds, visibility."""
+
+import pytest
+
+from repro.browser.window import Window
+from repro.dom.document import Document
+from repro.events.recorder import EventRecorder
+from repro.geometry import Point
+
+
+def make_window(page_height=3000.0, page_width=1366.0):
+    return Window(Document(page_width, page_height))
+
+
+class TestCoordinates:
+    def test_client_page_round_trip(self):
+        window = make_window()
+        window.scroll_y = 500.0
+        window.scroll_x = 20.0
+        point = Point(100, 200)
+        assert window.page_to_client(window.client_to_page(point)) == point
+
+    def test_client_to_page_adds_scroll(self):
+        window = make_window()
+        window.scroll_y = 300.0
+        assert window.client_to_page(Point(10, 10)) == Point(10, 310)
+
+    def test_in_viewport(self):
+        window = make_window()
+        assert window.is_in_viewport(Point(100, 100))
+        assert not window.is_in_viewport(Point(100, 1000))
+        window.scroll_y = 800.0
+        assert window.is_in_viewport(Point(100, 1000))
+
+
+class TestScrolling:
+    def test_max_scroll(self):
+        window = make_window(page_height=3000)
+        assert window.max_scroll_y == 3000 - window.viewport_height
+        assert window.max_scroll_x == 0.0
+
+    def test_page_smaller_than_viewport(self):
+        window = make_window(page_height=400)
+        assert window.max_scroll_y == 0.0
+        assert not window.scroll_by(0, 100)
+
+    def test_scroll_event_only_on_change(self):
+        window = make_window()
+        recorder = EventRecorder(("scroll",)).attach(window)
+        assert window.scroll_by(0, 100)
+        assert not window.scroll_by(0, 0)
+        window.scroll_to(0, window.max_scroll_y)
+        assert not window.scroll_by(0, 50)  # already at the bottom
+        assert len(recorder.events) == 2
+
+    def test_scroll_event_carries_offset(self):
+        window = make_window()
+        recorder = EventRecorder(("scroll",)).attach(window)
+        window.scroll_by(0, 250)
+        assert recorder.events[0].page_y == 250.0
+
+    def test_negative_scroll_clamped_at_top(self):
+        window = make_window()
+        window.scroll_by(0, -500)
+        assert window.scroll_y == 0.0
+
+
+class TestVisibility:
+    def test_visibility_round_trip(self):
+        window = make_window()
+        window.set_visibility("hidden")
+        assert not window.has_focus
+        window.set_visibility("visible")
+        assert window.has_focus
+        assert window.document.visibility_state == "visible"
+
+    def test_navigator_attached(self):
+        window = make_window()
+        assert window.navigator.get("userAgent")
