@@ -6,23 +6,33 @@ OpenWPM with the webdriver-spoofing extension -- then prints the
 screenshot evaluation, the breakage report, and the HTTP status-code
 comparison with the Wilcoxon significance test.
 
-Usage: python examples/field_study.py [n_sites]
+With a non-zero fault rate, both crawls run under the resilient
+supervisor against a deterministic fault plan (page-load timeouts,
+driver crashes/hangs, stale elements, network resets, OOM restarts) and
+a crawl-health report shows the recovery accounting -- demonstrating
+that retried/recycled crawls keep the paper's statistics intact.
+
+Usage: python examples/field_study.py [n_sites] [fault_rate]
 """
 
 import sys
 
 from repro.crawl import (
+    CrawlSupervisor,
     OpenWPMCrawler,
     PopulationConfig,
     evaluate_breakage,
+    evaluate_crawl_health,
     evaluate_http_errors,
     evaluate_screenshots,
     generate_population,
+    visit_coverage,
 )
+from repro.faults import FaultPlan
 from repro.spoofing import SpoofingExtension
 
 
-def main(n_sites: int = 1000) -> None:
+def main(n_sites: int = 1000, fault_rate: float = 0.0) -> None:
     if n_sites == 1000:
         population = generate_population()
     else:
@@ -40,13 +50,42 @@ def main(n_sites: int = 1000) -> None:
                 n_http_only_detectors=max(2, round(25 * scale)),
             )
         )
-    print(f"crawling {len(population)} sites x 8 instances, twice ...")
-    baseline = OpenWPMCrawler("OpenWPM", extension=None, instances=8, seed=11).crawl(
-        population
-    )
-    extended = OpenWPMCrawler(
+    base_crawler = OpenWPMCrawler("OpenWPM", extension=None, instances=8, seed=11)
+    ext_crawler = OpenWPMCrawler(
         "OpenWPM+extension", extension=SpoofingExtension(), instances=8, seed=22
-    ).crawl(population)
+    )
+    if fault_rate > 0:
+        print(
+            f"crawling {len(population)} sites x 8 instances, twice, "
+            f"supervised at {fault_rate:.1%} injected faults ..."
+        )
+        supervisors = [
+            CrawlSupervisor(
+                crawler,
+                plan=FaultPlan.generate(
+                    population, crawler.instances, rate=fault_rate, seed=crawler.seed
+                ),
+            )
+            for crawler in (base_crawler, ext_crawler)
+        ]
+        baseline, extended = (s.crawl(population) for s in supervisors)
+        print("\ncrawl health (crawler failure kept out of the site statistics)")
+        for supervisor, result in zip(supervisors, (baseline, extended)):
+            health = evaluate_crawl_health(result)
+            coverage = visit_coverage(result, population, supervisor.crawler.instances)
+            print(
+                f"  {health.crawler_name:18s} coverage {coverage:6.1%}  "
+                f"recovered {health.recovered_visits:3d}  "
+                f"recycles {supervisor.stats.recycles:3d}  "
+                f"breaker skips {supervisor.stats.breaker_skips:3d}"
+            )
+            for label, count in health.rows():
+                if label.startswith("- "):
+                    print(f"      {label} {count}")
+    else:
+        print(f"crawling {len(population)} sites x 8 instances, twice ...")
+        baseline = base_crawler.crawl(population)
+        extended = ext_crawler.crawl(population)
 
     base_eval = evaluate_screenshots(baseline)
     ext_eval = evaluate_screenshots(extended)
@@ -82,4 +121,7 @@ def main(n_sites: int = 1000) -> None:
 
 
 if __name__ == "__main__":
-    main(int(sys.argv[1]) if len(sys.argv) > 1 else 1000)
+    main(
+        int(sys.argv[1]) if len(sys.argv) > 1 else 1000,
+        float(sys.argv[2]) if len(sys.argv) > 2 else 0.0,
+    )

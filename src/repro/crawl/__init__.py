@@ -14,9 +14,12 @@ Appendix B).  The live web is replaced by a synthetic population:
   mechanical: sites re-run their real fingerprint probes against the real
   (spoofed) navigator.
 - :mod:`repro.crawl.crawler` -- the OpenWPM-like crawler.
+- :mod:`repro.crawl.supervisor` -- the fault-aware crawl supervisor:
+  retries with backoff, browser recycling, per-domain circuit breaking
+  and checkpoint/resume (pairs with :mod:`repro.faults`).
 - :mod:`repro.crawl.evaluation` -- the Table 2 screenshot evaluation, the
-  breakage report, and the Fig. 4 HTTP-error histogram with the Wilcoxon
-  matched-pairs significance test.
+  breakage report, the Fig. 4 HTTP-error histogram with the Wilcoxon
+  matched-pairs significance test, and the crawl-health report.
 """
 
 from repro.crawl.population import (
@@ -27,8 +30,21 @@ from repro.crawl.population import (
     PopulationConfig,
     generate_population,
 )
-from repro.crawl.visit import HTTPResponse, Screenshot, VisitRecord, simulate_visit
+from repro.crawl.visit import (
+    FailureReason,
+    HTTPResponse,
+    Screenshot,
+    VisitRecord,
+    simulate_visit,
+)
 from repro.crawl.crawler import OpenWPMCrawler, CrawlResult
+from repro.crawl.supervisor import (
+    BrowserInstance,
+    CrawlSupervisor,
+    SupervisorConfig,
+    SupervisorStats,
+    visit_coverage,
+)
 from repro.crawl.evaluation import (
     ScreenshotEvaluation,
     evaluate_screenshots,
@@ -36,6 +52,8 @@ from repro.crawl.evaluation import (
     evaluate_breakage,
     HTTPErrorEvaluation,
     evaluate_http_errors,
+    CrawlHealthReport,
+    evaluate_crawl_health,
 )
 
 __all__ = [
@@ -45,12 +63,20 @@ __all__ = [
     "SiteConfig",
     "PopulationConfig",
     "generate_population",
+    "FailureReason",
     "HTTPResponse",
     "Screenshot",
     "VisitRecord",
     "simulate_visit",
     "OpenWPMCrawler",
     "CrawlResult",
+    "BrowserInstance",
+    "CrawlSupervisor",
+    "SupervisorConfig",
+    "SupervisorStats",
+    "visit_coverage",
+    "CrawlHealthReport",
+    "evaluate_crawl_health",
     "ScreenshotEvaluation",
     "evaluate_screenshots",
     "BreakageReport",

@@ -27,6 +27,34 @@ class CrawlResult:
         return [r for r in self.records if r.reached]
 
     @property
+    def failed_visits(self) -> List[VisitRecord]:
+        return [r for r in self.records if not r.reached]
+
+    @property
+    def recovered_visits(self) -> List[VisitRecord]:
+        """Visits that succeeded only after at least one failed attempt."""
+        return [r for r in self.records if r.reached and r.recovered]
+
+    def failure_counts(self) -> Dict[str, int]:
+        """Failed visits per failure reason (the taxonomy values)."""
+        counts: Dict[str, int] = {}
+        for record in self.failed_visits:
+            reason = record.failure_reason or "unknown"
+            counts[reason] = counts.get(reason, 0) + 1
+        return counts
+
+    def attempts_total(self) -> int:
+        """All visit attempts made, including retried ones."""
+        return sum(r.attempts for r in self.records)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe form of the whole crawl (checkpointing, diffing)."""
+        return {
+            "crawler_name": self.crawler_name,
+            "records": [r.to_dict() for r in self.records],
+        }
+
+    @property
     def reached_domains(self) -> List[str]:
         return sorted({r.domain for r in self.successful_visits})
 

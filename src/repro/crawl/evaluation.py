@@ -34,6 +34,10 @@ class ScreenshotEvaluation:
     crawler_name: str
     total_sites: int = 0
     total_visits: int = 0
+    #: Visits that never produced a screenshot (crawler- or site-side
+    #: failure); kept out of every category so crawl health cannot leak
+    #: into the paper's site-reaction numbers.
+    failed_visits: int = 0
     missing_ads: ScreenshotCategory = field(default_factory=ScreenshotCategory)
     no_ads: ScreenshotCategory = field(default_factory=ScreenshotCategory)
     less_ads: ScreenshotCategory = field(default_factory=ScreenshotCategory)
@@ -63,6 +67,7 @@ def evaluate_screenshots(result: CrawlResult) -> ScreenshotEvaluation:
     by_domain = result.by_domain()
     evaluation.total_sites = len(by_domain)
     evaluation.total_visits = len(result.successful_visits)
+    evaluation.failed_visits = len(result.failed_visits)
     for domain, records in by_domain.items():
         no_ads_visits = sum(1 for r in records if r.screenshot.missing_all_ads)
         less_ads_visits = sum(1 for r in records if r.screenshot.missing_some_ads)
@@ -86,6 +91,58 @@ def evaluate_screenshots(result: CrawlResult) -> ScreenshotEvaluation:
             evaluation.frozen_video.sites += 1
             evaluation.frozen_video.visits += frozen_visits
     return evaluation
+
+
+@dataclass
+class CrawlHealthReport:
+    """Crawl-reliability accounting, separate from the paper's tables.
+
+    Krumnow et al. showed crawler-side failure silently biases web
+    measurements; this report makes the failure budget explicit so a
+    reader can tell "the site reacted" apart from "the crawler broke".
+    """
+
+    crawler_name: str
+    total_visits: int = 0
+    reached_visits: int = 0
+    failed_visits: int = 0
+    recovered_visits: int = 0
+    attempts_total: int = 0
+    failure_counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def reached_fraction(self) -> float:
+        if self.total_visits == 0:
+            return 1.0
+        return self.reached_visits / self.total_visits
+
+    def rows(self) -> List[Tuple[str, int]]:
+        """Report rows as ``(label, count)``, taxonomy sorted by size."""
+        rows = [
+            ("visits", self.total_visits),
+            ("reached", self.reached_visits),
+            ("failed", self.failed_visits),
+            ("recovered by retry", self.recovered_visits),
+            ("attempts (incl. retries)", self.attempts_total),
+        ]
+        for reason in sorted(
+            self.failure_counts, key=lambda r: -self.failure_counts[r]
+        ):
+            rows.append((f"- {reason}", self.failure_counts[reason]))
+        return rows
+
+
+def evaluate_crawl_health(result: CrawlResult) -> CrawlHealthReport:
+    """Summarise reachability, recovery and the failure taxonomy."""
+    return CrawlHealthReport(
+        crawler_name=result.crawler_name,
+        total_visits=len(result.records),
+        reached_visits=len(result.successful_visits),
+        failed_visits=len(result.failed_visits),
+        recovered_visits=len(result.recovered_visits),
+        attempts_total=result.attempts_total(),
+        failure_counts=result.failure_counts(),
+    )
 
 
 @dataclass

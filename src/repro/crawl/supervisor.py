@@ -1,0 +1,367 @@
+"""The resilient crawl supervisor: retries, recycling, checkpointing.
+
+:class:`CrawlSupervisor` wraps an :class:`~repro.crawl.crawler.
+OpenWPMCrawler` with the recovery behaviour a real field study needs
+(and the bare double loop lacks):
+
+- **retry with exponential backoff** -- failed visits are retried up to
+  a budget, with deterministic seeded jitter advancing the simulated
+  clock (never the wall clock);
+- **step budgets** -- hangs and page-load timeouts cost exactly the
+  per-visit budget on the simulated timeline (the watchdog semantics);
+- **browser recycling** -- a browser instance that accumulated too many
+  faults (or died outright) is torn down and re-spawned: fresh
+  :class:`~repro.browser.window.Window`, fresh driver, re-injected
+  :class:`~repro.spoofing.extension.SpoofingExtension` -- matching
+  OpenWPM's browser-restart semantics;
+- **per-domain circuit breaker** -- a host that keeps failing is
+  skipped instead of hammered;
+- **checkpoint/resume** -- completed records are flushed to JSON at
+  site boundaries, so an interrupted crawl resumes without re-visiting
+  completed (site, visit_index) pairs, and the resumed result is
+  byte-identical to an uninterrupted run.
+
+Determinism is the design constraint throughout: every visit attempt
+draws from its own rng stream derived from ``(seed, rank, visit_index,
+attempt)``, so outcomes are independent of execution order and survive
+resumption.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.browser.navigator import NavigatorProfile
+from repro.browser.window import Window
+from repro.clock import VirtualClock
+from repro.crawl.crawler import CrawlResult, OpenWPMCrawler
+from repro.crawl.population import SiteConfig
+from repro.crawl.visit import FailureReason, VisitRecord, simulate_visit
+from repro.detection.fingerprint import _reference_navigator
+from repro.faults.plan import FaultInjector, FaultPlan
+from repro.faults.recovery import BackoffPolicy, CircuitBreaker
+from repro.faults.types import FaultError
+from repro.webdriver.driver import WebDriver
+
+CHECKPOINT_VERSION = 1
+
+#: Sub-stream tags keeping visit and jitter draws on disjoint streams.
+_VISIT_STREAM = 0x51
+_JITTER_STREAM = 0x52
+
+
+@dataclass
+class SupervisorConfig:
+    """Recovery policy knobs (defaults sized for the paper's crawl)."""
+
+    #: Attempts per visit, including the first.
+    max_attempts: int = 4
+    backoff: BackoffPolicy = field(default_factory=BackoffPolicy)
+    #: Simulated per-visit step budget: what a hang or page-load timeout
+    #: costs before the watchdog fires.
+    visit_budget_ms: float = 60_000.0
+    #: Simulated cost of a completed (or site-side-failed) visit.
+    visit_cost_ms: float = 8_000.0
+    #: Simulated cost of a fault detected immediately (crash, reset...).
+    fault_detect_ms: float = 2_000.0
+    #: Recycle a browser instance after this many faults.
+    recycle_after_faults: int = 3
+    #: Per-attempt probability of a transient web-dynamics failure
+    #: (forwarded to :func:`repro.crawl.visit.simulate_visit`).
+    per_visit_failure: float = 0.002
+    #: Consecutive per-domain failures before the breaker opens.
+    breaker_failure_threshold: int = 4
+    #: Simulated cooldown before an open breaker half-opens.
+    breaker_cooldown_ms: float = 300_000.0
+    #: Default checkpoint file (``crawl(checkpoint_path=...)`` overrides).
+    checkpoint_path: Optional[str] = None
+    #: Flush a checkpoint every N freshly-crawled sites.  Checkpoints
+    #: land on site boundaries only, so resumed breaker state is always
+    #: exact (all visits of a domain live on one side of the cut).
+    checkpoint_every_sites: int = 25
+
+
+@dataclass
+class SupervisorStats:
+    """Counters describing one supervised crawl."""
+
+    visits: int = 0
+    reached: int = 0
+    failed: int = 0
+    attempts: int = 0
+    retries: int = 0
+    recovered: int = 0
+    faults_seen: int = 0
+    recycles: int = 0
+    breaker_skips: int = 0
+    resumed: int = 0
+
+
+class BrowserInstance:
+    """One long-lived browser of the crawl (OpenWPM's browser slot).
+
+    Holds the persistent window/driver pair and the fault count that
+    triggers recycling.  Recycling re-runs the full spawn sequence:
+    fresh window, fresh driver, extension re-injected.
+    """
+
+    def __init__(self, index: int, extension=None) -> None:
+        self.index = index
+        self.extension = extension
+        self.fault_count = 0
+        self.recycles = 0
+        self._spawn()
+
+    def _spawn(self) -> None:
+        self.window = Window(profile=NavigatorProfile(webdriver=True))
+        self.driver = WebDriver(self.window)
+        if self.extension is not None:
+            self.extension.inject(self.window)
+
+    def note_fault(self) -> int:
+        """Record one fault; returns the running count."""
+        self.fault_count += 1
+        return self.fault_count
+
+    def recycle(self) -> None:
+        """Tear the browser down and spawn a fresh one."""
+        self.recycles += 1
+        self.fault_count = 0
+        self._spawn()
+
+
+class CrawlSupervisor:
+    """Fault-aware wrapper around :class:`OpenWPMCrawler`.
+
+    Parameters
+    ----------
+    crawler:
+        Supplies name, extension, instance count and the seed all rng
+        streams derive from.
+    config:
+        Recovery policy; defaults are reasonable for the seed study.
+    plan:
+        Optional :class:`~repro.faults.plan.FaultPlan`; without one the
+        supervisor runs fault-free (pure web dynamics).
+    """
+
+    def __init__(
+        self,
+        crawler: OpenWPMCrawler,
+        config: Optional[SupervisorConfig] = None,
+        plan: Optional[FaultPlan] = None,
+    ) -> None:
+        self.crawler = crawler
+        self.config = config or SupervisorConfig()
+        self.injector = FaultInjector(plan) if plan is not None else None
+        self.clock = VirtualClock()
+        self.stats = SupervisorStats()
+
+    # -- main loop -------------------------------------------------------
+
+    def crawl(
+        self,
+        population: Sequence[SiteConfig],
+        *,
+        checkpoint_path: Optional[Union[str, Path]] = None,
+    ) -> CrawlResult:
+        """Visit every site ``crawler.instances`` times, resiliently."""
+        config = self.config
+        path = checkpoint_path or config.checkpoint_path
+        path = Path(path) if path is not None else None
+        completed = self._load_checkpoint(path)
+
+        instances = [
+            BrowserInstance(i, self.crawler.extension)
+            for i in range(self.crawler.instances)
+        ]
+        reference = _reference_navigator()
+        records: List[VisitRecord] = []
+        fresh_sites = 0
+        for site in population:
+            breaker = CircuitBreaker(
+                config.breaker_failure_threshold, config.breaker_cooldown_ms
+            )
+            site_was_fresh = False
+            for visit_index in range(self.crawler.instances):
+                key = (site.domain, visit_index)
+                if key in completed:
+                    records.append(completed[key])
+                    continue
+                site_was_fresh = True
+                record = self._visit_with_retry(
+                    site, visit_index, instances[visit_index], breaker, reference
+                )
+                records.append(record)
+                completed[key] = record
+                self.stats.visits += 1
+                if record.reached:
+                    self.stats.reached += 1
+                else:
+                    self.stats.failed += 1
+            if site_was_fresh and path is not None:
+                fresh_sites += 1
+                if fresh_sites >= config.checkpoint_every_sites:
+                    self._write_checkpoint(path, records)
+                    fresh_sites = 0
+        if path is not None:
+            self._write_checkpoint(path, records)
+        return CrawlResult(crawler_name=self.crawler.name, records=records)
+
+    # -- one visit, with recovery ---------------------------------------
+
+    def _visit_with_retry(
+        self,
+        site: SiteConfig,
+        visit_index: int,
+        instance: BrowserInstance,
+        breaker: CircuitBreaker,
+        reference,
+    ) -> VisitRecord:
+        config = self.config
+        last_reason = FailureReason.TRANSIENT
+        attempts_made = 0
+        for attempt in range(config.max_attempts):
+            if not breaker.allow(self.clock.now()):
+                self.stats.breaker_skips += 1
+                return VisitRecord(
+                    domain=site.domain,
+                    rank=site.rank,
+                    visit_index=visit_index,
+                    reached=False,
+                    failure_reason=FailureReason.CIRCUIT_OPEN,
+                    attempts=attempts_made,
+                )
+            attempts_made += 1
+            self.stats.attempts += 1
+            rng = np.random.default_rng(
+                [self.crawler.seed, _VISIT_STREAM, site.rank, visit_index, attempt]
+            )
+            if self.injector is not None:
+                self.injector.arm(site.domain, visit_index, attempt)
+            try:
+                record = simulate_visit(
+                    site,
+                    extension=self.crawler.extension,
+                    visit_index=visit_index,
+                    rng=rng,
+                    reference=reference,
+                    per_visit_failure=config.per_visit_failure,
+                    driver=instance.driver,
+                    injector=self.injector,
+                )
+            except FaultError as fault:
+                self.stats.faults_seen += 1
+                last_reason = fault.fault_type.value
+                cost = (
+                    config.visit_budget_ms
+                    if fault.fault_type.exhausts_budget
+                    else config.fault_detect_ms
+                )
+                self.clock.advance(min(cost, config.visit_budget_ms))
+                breaker.record_failure(self.clock.now())
+                if fault.fault_type.browser_fatal:
+                    instance.recycle()
+                    self.stats.recycles += 1
+                elif instance.note_fault() >= config.recycle_after_faults:
+                    instance.recycle()
+                    self.stats.recycles += 1
+                self._backoff(site, visit_index, attempt)
+                continue
+            finally:
+                if self.injector is not None:
+                    self.injector.disarm()
+
+            record.attempts = attempts_made
+            if record.reached:
+                record.recovered = attempts_made > 1
+                self.clock.advance(config.visit_cost_ms)
+                breaker.record_success()
+                if record.recovered:
+                    self.stats.recovered += 1
+                return record
+
+            # Site-side failure: permanent conditions are not retried.
+            self.clock.advance(config.visit_cost_ms)
+            breaker.record_failure(self.clock.now())
+            if FailureReason.is_permanent(record.failure_reason):
+                return record
+            last_reason = record.failure_reason or last_reason
+            self._backoff(site, visit_index, attempt)
+
+        return VisitRecord(
+            domain=site.domain,
+            rank=site.rank,
+            visit_index=visit_index,
+            reached=False,
+            failure_reason=FailureReason.exhausted(last_reason),
+            attempts=attempts_made,
+        )
+
+    def _backoff(self, site: SiteConfig, visit_index: int, attempt: int) -> None:
+        """Advance the simulated clock by the jittered retry delay."""
+        rng = np.random.default_rng(
+            [self.crawler.seed, _JITTER_STREAM, site.rank, visit_index, attempt]
+        )
+        self.clock.advance(self.config.backoff.delay_ms(attempt, rng))
+        self.stats.retries += 1
+
+    # -- checkpointing ---------------------------------------------------
+
+    def _load_checkpoint(
+        self, path: Optional[Path]
+    ) -> Dict[Tuple[str, int], VisitRecord]:
+        completed: Dict[Tuple[str, int], VisitRecord] = {}
+        if path is None or not path.exists():
+            return completed
+        data = json.loads(path.read_text())
+        if data.get("version") != CHECKPOINT_VERSION:
+            raise ValueError(f"unsupported checkpoint version in {path}")
+        if (
+            data.get("crawler_name") != self.crawler.name
+            or data.get("seed") != self.crawler.seed
+            or data.get("instances") != self.crawler.instances
+        ):
+            raise ValueError(
+                f"checkpoint {path} belongs to a different crawl configuration"
+            )
+        for record_data in data["records"]:
+            record = VisitRecord.from_dict(record_data)
+            completed[(record.domain, record.visit_index)] = record
+        self.clock = VirtualClock(float(data.get("clock_ms", 0.0)))
+        stats = data.get("stats")
+        if stats is not None:
+            self.stats = SupervisorStats(**stats)
+        self.stats.resumed = len(completed)
+        return completed
+
+    def _write_checkpoint(self, path: Path, records: List[VisitRecord]) -> None:
+        payload = {
+            "version": CHECKPOINT_VERSION,
+            "crawler_name": self.crawler.name,
+            "seed": self.crawler.seed,
+            "instances": self.crawler.instances,
+            "clock_ms": self.clock.now(),
+            "stats": asdict(self.stats),
+            "records": [r.to_dict() for r in records],
+        }
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(payload))
+        tmp.replace(path)
+
+
+def visit_coverage(
+    result: CrawlResult, population: Sequence[SiteConfig], instances: int
+) -> float:
+    """Reached visits over the visits a perfect crawler could make
+    (unreachable sites are excluded from the denominator)."""
+    reachable = sum(1 for site in population if not site.unreachable)
+    expected = reachable * instances
+    if expected == 0:
+        return 1.0
+    return len(result.successful_visits) / expected

@@ -11,7 +11,7 @@ how it reacts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -20,6 +20,36 @@ from repro.browser.window import Window
 from repro.crawl.population import DetectionSignal, Reaction, SiteConfig
 from repro.detection.fingerprint import probe_webdriver_flag, run_all_probes
 from repro.spoofing.extension import SpoofingExtension
+
+
+class FailureReason:
+    """The failure taxonomy recorded on unreached visits.
+
+    Separating *site-side* conditions (``UNREACHABLE`` is permanent,
+    ``TRANSIENT`` is per-visit web dynamics) from *crawler-side* faults
+    (the :class:`repro.faults.FaultType` values) is what lets the
+    supervisor retry only what a retry can fix, and lets the evaluation
+    keep crawler failure out of the paper's site-reaction statistics.
+    """
+
+    #: The site never responds (DNS/parking/geo-block) -- permanent.
+    UNREACHABLE = "unreachable"
+    #: A one-off web-dynamics failure -- a retry usually succeeds.
+    TRANSIENT = "transient"
+    #: All retries were consumed without a successful page load.
+    EXHAUSTED_PREFIX = "exhausted:"
+    #: The per-domain circuit breaker refused the visit.
+    CIRCUIT_OPEN = "circuit-open"
+
+    @staticmethod
+    def exhausted(last_reason: str) -> str:
+        """Terminal reason after retries ran out (keeps the last cause)."""
+        return FailureReason.EXHAUSTED_PREFIX + last_reason
+
+    @staticmethod
+    def is_permanent(reason: Optional[str]) -> bool:
+        """Whether retrying this failure cannot help."""
+        return reason == FailureReason.UNREACHABLE
 
 
 @dataclass
@@ -67,12 +97,64 @@ class VisitRecord:
     screenshot: Optional[Screenshot] = None
     #: Whether the site's detector decided "bot" this visit.
     detected_as_bot: bool = False
+    #: Why the visit failed (a :class:`FailureReason` value or a
+    #: :class:`repro.faults.FaultType` value); ``None`` when reached.
+    failure_reason: Optional[str] = None
+    #: Visit attempts actually made (1 without a supervisor).
+    attempts: int = 1
+    #: Whether the visit succeeded only after at least one failed attempt.
+    recovered: bool = False
 
     def first_party_errors(self) -> int:
         return sum(1 for r in self.responses if r.first_party and r.is_error)
 
     def third_party_errors(self) -> int:
         return sum(1 for r in self.responses if not r.first_party and r.is_error)
+
+    # -- checkpoint serialisation ---------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-safe dict (inverse of :meth:`from_dict`)."""
+        return {
+            "domain": self.domain,
+            "rank": self.rank,
+            "visit_index": self.visit_index,
+            "reached": self.reached,
+            "responses": [
+                {"url": r.url, "status": r.status, "first_party": r.first_party}
+                for r in self.responses
+            ],
+            "screenshot": None
+            if self.screenshot is None
+            else {
+                "blocked": self.screenshot.blocked,
+                "captcha": self.screenshot.captcha,
+                "ads_expected": self.screenshot.ads_expected,
+                "ads_shown": self.screenshot.ads_shown,
+                "video_frozen": self.screenshot.video_frozen,
+                "layout_deformed": self.screenshot.layout_deformed,
+            },
+            "detected_as_bot": self.detected_as_bot,
+            "failure_reason": self.failure_reason,
+            "attempts": self.attempts,
+            "recovered": self.recovered,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "VisitRecord":
+        screenshot = data.get("screenshot")
+        return cls(
+            domain=data["domain"],
+            rank=data["rank"],
+            visit_index=data["visit_index"],
+            reached=data["reached"],
+            responses=[HTTPResponse(**r) for r in data.get("responses", [])],
+            screenshot=None if screenshot is None else Screenshot(**screenshot),
+            detected_as_bot=data.get("detected_as_bot", False),
+            failure_reason=data.get("failure_reason"),
+            attempts=data.get("attempts", 1),
+            recovered=data.get("recovered", False),
+        )
 
 
 def _run_site_detector(
@@ -102,19 +184,57 @@ def simulate_visit(
     rng: np.random.Generator,
     reference=None,
     per_visit_failure: float = 0.002,
+    driver=None,
+    injector=None,
 ) -> VisitRecord:
-    """Simulate one crawler visit to ``site``."""
+    """Simulate one crawler visit to ``site``.
+
+    ``driver`` (a :class:`repro.webdriver.driver.WebDriver`) reuses a
+    supervisor-managed browser instance instead of building a fresh
+    window; its caller is then responsible for extension injection.
+    ``injector`` (an armed :class:`repro.faults.FaultInjector`) routes
+    the visit through the real WebDriver command sequence -- navigate,
+    element lookup, scripted scroll -- so scheduled faults surface as
+    the typed exceptions a live crawl would see.
+    """
     record = VisitRecord(
         domain=site.domain, rank=site.rank, visit_index=visit_index, reached=True
     )
-    if site.unreachable or rng.random() < per_visit_failure:
+    if site.unreachable:
         record.reached = False
+        record.failure_reason = FailureReason.UNREACHABLE
+        return record
+    if injector is not None:
+        # Process-level faults (OOM) strike before the browser acts.
+        injector.on_hook("visit")
+    if rng.random() < per_visit_failure:
+        record.reached = False
+        record.failure_reason = FailureReason.TRANSIENT
         return record
 
-    # Build the automated browser and let the extension act on the page.
-    window = Window(profile=NavigatorProfile(webdriver=True))
-    if extension is not None:
-        extension.inject(window)
+    # Build (or reuse) the automated browser and let the extension act
+    # on the page.
+    if driver is not None:
+        window = driver.window
+    else:
+        window = Window(profile=NavigatorProfile(webdriver=True))
+        if injector is not None:
+            from repro.webdriver.driver import WebDriver
+
+            # The driver marks the navigator *before* the extension
+            # spoofs it, as in a real instrumented browser.
+            driver = WebDriver(window)
+        if extension is not None:
+            extension.inject(window)
+    if injector is not None:
+        previous_injector = driver.fault_injector
+        driver.fault_injector = injector
+        try:
+            driver.get(f"https://{site.domain}/")
+            driver.find_elements("tag name", "body")
+            driver.execute_script("window.scrollTo(0, 0)")
+        finally:
+            driver.fault_injector = previous_injector
 
     detected = _run_site_detector(site, window, rng, reference)
     record.detected_as_bot = detected

@@ -1,0 +1,113 @@
+"""Reusable recovery primitives: backoff policy and circuit breaker.
+
+Both are pure state machines over the *simulated* clock -- no wall time,
+no global randomness -- so any crawl built on them stays deterministic
+and replayable.  Later scaling work (sharded crawls, multi-backend
+dispatch) is expected to reuse these unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Exponential backoff with bounded deterministic jitter.
+
+    ``delay_ms(attempt)`` grows as ``base * factor**attempt`` capped at
+    ``max_delay_ms``; when an ``rng`` is supplied the delay is scattered
+    by ``+-jitter`` (a fraction), drawn from that seeded generator so
+    two runs with the same seed back off identically.
+    """
+
+    base_delay_ms: float = 500.0
+    factor: float = 2.0
+    max_delay_ms: float = 30_000.0
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.base_delay_ms < 0 or self.max_delay_ms < 0:
+            raise ValueError("backoff delays must be non-negative")
+        if self.factor < 1.0:
+            raise ValueError("backoff factor must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+    def delay_ms(
+        self, attempt: int, rng: Optional[np.random.Generator] = None
+    ) -> float:
+        """Delay before retry number ``attempt`` (0-based)."""
+        if attempt < 0:
+            raise ValueError("attempt must be non-negative")
+        delay = min(self.base_delay_ms * self.factor**attempt, self.max_delay_ms)
+        if rng is not None and self.jitter:
+            delay *= 1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0)
+        return delay
+
+
+class BreakerState(Enum):
+    """Circuit-breaker states (standard closed/open/half-open machine)."""
+
+    CLOSED = "closed"  # traffic flows, failures counted
+    OPEN = "open"  # traffic short-circuited until cooldown passes
+    HALF_OPEN = "half-open"  # one trial request allowed through
+
+
+class CircuitBreaker:
+    """Per-domain circuit breaker over a simulated timeline.
+
+    After ``failure_threshold`` consecutive failures the breaker opens:
+    requests are refused (the supervisor records them as skipped rather
+    than hammering a dead or hostile host).  Once ``cooldown_ms`` of
+    simulated time passes, one trial request is let through (half-open);
+    its success closes the breaker, its failure re-opens it.
+    """
+
+    def __init__(
+        self, failure_threshold: int = 4, cooldown_ms: float = 300_000.0
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown_ms < 0:
+            raise ValueError("cooldown_ms must be non-negative")
+        self.failure_threshold = failure_threshold
+        self.cooldown_ms = cooldown_ms
+        self._consecutive_failures = 0
+        self._state = BreakerState.CLOSED
+        self._opened_at_ms: Optional[float] = None
+
+    @property
+    def state(self) -> BreakerState:
+        return self._state
+
+    def allow(self, now_ms: float) -> bool:
+        """Whether a request may proceed at simulated time ``now_ms``."""
+        if self._state is BreakerState.CLOSED:
+            return True
+        if self._state is BreakerState.HALF_OPEN:
+            # The single trial slot is taken by the first caller.
+            return False
+        assert self._opened_at_ms is not None
+        if now_ms - self._opened_at_ms >= self.cooldown_ms:
+            self._state = BreakerState.HALF_OPEN
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self._consecutive_failures = 0
+        self._state = BreakerState.CLOSED
+        self._opened_at_ms = None
+
+    def record_failure(self, now_ms: float) -> None:
+        self._consecutive_failures += 1
+        if (
+            self._state is BreakerState.HALF_OPEN
+            or self._consecutive_failures >= self.failure_threshold
+        ):
+            self._state = BreakerState.OPEN
+            self._opened_at_ms = now_ms

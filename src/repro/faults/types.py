@@ -1,0 +1,143 @@
+"""Fault taxonomy: the failure modes a real OpenWPM deployment meets.
+
+Krumnow et al. (*Analysing and strengthening OpenWPM's reliability*)
+catalogue the ways large crawls silently lose data: pages that never
+finish loading, browser processes that crash or hang, stale element
+handles after mid-interaction navigations, connection resets, and
+out-of-memory restarts.  Each becomes a :class:`FaultType` here, raised
+as a typed exception from a well-defined hook point so the supervisor
+can tell crawler-side failure apart from genuine site reactions -- the
+confound that would otherwise bias Table 2 / Fig. 4.
+
+Every fault exception derives from both :class:`FaultError` (so the
+supervisor catches the whole family) and the matching Selenium-style
+error from :mod:`repro.webdriver.errors` (so code written against the
+WebDriver API sees the exception type a real driver would raise).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, Type
+
+from repro.webdriver.errors import (
+    InvalidSessionIdException,
+    StaleElementReferenceException,
+    TimeoutException,
+    WebDriverException,
+)
+
+
+class FaultType(Enum):
+    """One injectable failure mode."""
+
+    #: The page never fires ``load`` within the step budget.
+    PAGE_LOAD_TIMEOUT = "page-load-timeout"
+    #: The browser process dies mid-navigation.
+    DRIVER_CRASH = "driver-crash"
+    #: The driver stops answering commands (watchdog must fire).
+    DRIVER_HANG = "driver-hang"
+    #: An element handle outlives the document it came from.
+    STALE_ELEMENT = "stale-element"
+    #: The TCP connection to the site is reset.
+    NETWORK_RESET = "network-reset"
+    #: The OS kills the browser under memory pressure.
+    OOM_RESTART = "oom-restart"
+
+    @property
+    def hook(self) -> str:
+        """The hook point this fault is raised from."""
+        return _HOOKS[self]
+
+    @property
+    def browser_fatal(self) -> bool:
+        """Whether the browser instance is dead and must be recycled."""
+        return self in (FaultType.DRIVER_CRASH, FaultType.OOM_RESTART)
+
+    @property
+    def exhausts_budget(self) -> bool:
+        """Whether detection costs the full per-visit step budget (the
+        failure is only observed when the watchdog fires)."""
+        return self in (FaultType.PAGE_LOAD_TIMEOUT, FaultType.DRIVER_HANG)
+
+
+#: Hook points: ``visit`` fires before the browser is touched (process
+#: -level faults); the rest fire inside the named WebDriver method.
+_HOOKS: Dict[FaultType, str] = {
+    FaultType.PAGE_LOAD_TIMEOUT: "get",
+    FaultType.DRIVER_CRASH: "get",
+    FaultType.NETWORK_RESET: "get",
+    FaultType.DRIVER_HANG: "execute_script",
+    FaultType.STALE_ELEMENT: "find_element",
+    FaultType.OOM_RESTART: "visit",
+}
+
+
+class FaultError(Exception):
+    """Base class of every injected fault.
+
+    Carries enough context (fault type, site, visit, attempt, hook) for
+    the supervisor to log and classify the failure without parsing
+    messages.
+    """
+
+    def __init__(
+        self,
+        fault_type: FaultType,
+        domain: str,
+        visit_index: int,
+        attempt: int,
+        hook: str,
+    ) -> None:
+        super().__init__(
+            f"{fault_type.value} @ {hook} ({domain} visit {visit_index} "
+            f"attempt {attempt})"
+        )
+        self.fault_type = fault_type
+        self.domain = domain
+        self.visit_index = visit_index
+        self.attempt = attempt
+        self.hook = hook
+
+
+class PageLoadTimeoutFault(FaultError, TimeoutException):
+    """The navigation never completed."""
+
+
+class DriverCrashFault(FaultError, InvalidSessionIdException):
+    """The browser process died; the session id is gone."""
+
+
+class DriverHangFault(FaultError, TimeoutException):
+    """The driver stopped responding; the watchdog killed the command."""
+
+
+class StaleElementFault(FaultError, StaleElementReferenceException):
+    """A held element reference no longer belongs to the document."""
+
+
+class NetworkResetFault(FaultError, WebDriverException):
+    """The connection was reset mid-transfer."""
+
+
+class OOMRestartFault(FaultError, InvalidSessionIdException):
+    """The OS reclaimed the browser's memory; the process was killed."""
+
+
+FAULT_EXCEPTIONS: Dict[FaultType, Type[FaultError]] = {
+    FaultType.PAGE_LOAD_TIMEOUT: PageLoadTimeoutFault,
+    FaultType.DRIVER_CRASH: DriverCrashFault,
+    FaultType.DRIVER_HANG: DriverHangFault,
+    FaultType.STALE_ELEMENT: StaleElementFault,
+    FaultType.NETWORK_RESET: NetworkResetFault,
+    FaultType.OOM_RESTART: OOMRestartFault,
+}
+
+
+def make_fault(
+    fault_type: FaultType, domain: str, visit_index: int, attempt: int
+) -> FaultError:
+    """Instantiate the typed exception for ``fault_type``."""
+    return FAULT_EXCEPTIONS[fault_type](
+        fault_type, domain, visit_index, attempt, fault_type.hook
+    )

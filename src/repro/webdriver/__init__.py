@@ -23,6 +23,9 @@ from repro.webdriver.errors import (
     MoveTargetOutOfBoundsException,
     ElementNotInteractableException,
     InvalidArgumentException,
+    StaleElementReferenceException,
+    TimeoutException,
+    InvalidSessionIdException,
 )
 from repro.webdriver.webelement import WebElement
 from repro.webdriver.action_chains import ActionChains
@@ -37,6 +40,9 @@ __all__ = [
     "MoveTargetOutOfBoundsException",
     "ElementNotInteractableException",
     "InvalidArgumentException",
+    "StaleElementReferenceException",
+    "TimeoutException",
+    "InvalidSessionIdException",
     "WebElement",
     "ActionChains",
     "ActionBuilder",

@@ -31,6 +31,7 @@ class WebDriver:
         window: Optional[Window] = None,
         *,
         profile: Optional[NavigatorProfile] = None,
+        fault_injector=None,
     ) -> None:
         if window is None:
             profile = (profile or NavigatorProfile()).automated()
@@ -45,11 +46,21 @@ class WebDriver:
         #: Optional page loader: maps a URL to a Document (used by the
         #: crawl simulation); ``get`` is a no-op without one.
         self.page_loader: Optional[Callable[[str], Document]] = None
+        #: Optional :class:`repro.faults.FaultInjector` consulted at the
+        #: hook points (get / find_element / execute_script); ``None``
+        #: (or a disarmed injector) leaves the driver fault-free.
+        self.fault_injector = fault_injector
+
+    def _fault_check(self, hook: str) -> None:
+        """Give the fault injector a chance to fail this command."""
+        if self.fault_injector is not None:
+            self.fault_injector.on_hook(hook)
 
     # -- navigation ----------------------------------------------------------
 
     def get(self, url: str) -> None:
         """Navigate to ``url`` via the configured page loader."""
+        self._fault_check("get")
         if self.page_loader is not None:
             document = self.page_loader(url)
             self.load_document(document)
@@ -71,6 +82,7 @@ class WebDriver:
         ``by`` is one of ``"id"``, ``"tag name"``, ``"class name"`` or
         ``"css selector"`` (minimal selectors: ``tag``/``#id``/``.class``).
         """
+        self._fault_check("find_element")
         document = self.window.document
         element: Optional[Element]
         if by == "id":
@@ -89,6 +101,7 @@ class WebDriver:
 
     def find_elements(self, by: str, value: str) -> List[WebElement]:
         """Find all matching elements (empty list if none)."""
+        self._fault_check("find_element")
         document = self.window.document
         if by == "id":
             element = document.get_element_by_id(value)
@@ -130,6 +143,7 @@ class WebDriver:
         how OpenWPM-era studies scroll (and why their scrolling lacks
         wheel events).
         """
+        self._fault_check("execute_script")
         text = script.strip().rstrip(";")
         for name in ("window.scrollTo", "window.scrollBy"):
             if text.startswith(name + "("):

@@ -25,3 +25,11 @@ class InvalidArgumentException(WebDriverException):
 
 class StaleElementReferenceException(WebDriverException):
     """The element is no longer attached to the document."""
+
+
+class TimeoutException(WebDriverException):
+    """A command (navigation, script, wait) exceeded its time budget."""
+
+
+class InvalidSessionIdException(WebDriverException):
+    """The session is gone -- typically the browser process died."""

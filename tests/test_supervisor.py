@@ -1,0 +1,294 @@
+"""The resilient crawl supervisor: retries, recycling, checkpoint/resume."""
+
+import json
+
+import pytest
+
+from repro.crawl import (
+    CrawlSupervisor,
+    FailureReason,
+    OpenWPMCrawler,
+    PopulationConfig,
+    SiteConfig,
+    SupervisorConfig,
+    evaluate_crawl_health,
+    evaluate_screenshots,
+    generate_population,
+    visit_coverage,
+)
+from repro.faults import BackoffPolicy, FaultPlan, FaultType
+from repro.spoofing import SpoofingExtension
+
+
+def small_population(n=60, seed=3):
+    return generate_population(
+        PopulationConfig(
+            n_sites=n,
+            seed=seed,
+            n_no_ads_detectors=1,
+            n_less_ads_detectors=1,
+            n_block_detectors=1,
+            n_captcha_detectors=1,
+            n_freeze_video_detectors=1,
+            n_other_signal_ad_detectors=1,
+            n_side_effect_blockers=1,
+            n_http_only_detectors=3,
+        )
+    )
+
+
+def make_supervisor(plan=None, config=None, seed=7, instances=4, extension="spoof"):
+    crawler = OpenWPMCrawler(
+        "supervised",
+        extension=SpoofingExtension() if extension == "spoof" else None,
+        instances=instances,
+        seed=seed,
+    )
+    return CrawlSupervisor(crawler, config=config, plan=plan)
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical(self):
+        population = small_population()
+        plan_args = dict(rate=0.08, seed=99)
+        a = make_supervisor(FaultPlan.generate(population, 4, **plan_args)).crawl(
+            population
+        )
+        b = make_supervisor(FaultPlan.generate(population, 4, **plan_args)).crawl(
+            population
+        )
+        assert json.dumps(a.to_dict()) == json.dumps(b.to_dict())
+
+    def test_different_seed_differs(self):
+        population = small_population()
+        a = make_supervisor(seed=7).crawl(population)
+        b = make_supervisor(seed=8).crawl(population)
+        assert json.dumps(a.to_dict()) != json.dumps(b.to_dict())
+
+    def test_backoff_advances_simulated_clock_deterministically(self):
+        population = small_population()
+        plan = FaultPlan.generate(population, 2, rate=0.2, seed=5)
+        sup_a = make_supervisor(plan, instances=2)
+        sup_a.crawl(population)
+        sup_b = make_supervisor(FaultPlan.generate(population, 2, rate=0.2, seed=5),
+                                instances=2)
+        sup_b.crawl(population)
+        assert sup_a.stats.retries > 0
+        assert sup_a.clock.now() == sup_b.clock.now()
+        assert sup_a.stats == sup_b.stats
+
+
+class TestCheckpointResume:
+    def test_resume_is_byte_identical(self, tmp_path):
+        population = small_population()
+
+        def fresh():
+            return make_supervisor(FaultPlan.generate(population, 4, rate=0.08, seed=99))
+
+        full = fresh().crawl(population)
+        checkpoint = tmp_path / "crawl.json"
+        fresh().crawl(population[:25], checkpoint_path=checkpoint)  # "interrupted"
+        resumed_sup = fresh()
+        resumed = resumed_sup.crawl(population, checkpoint_path=checkpoint)
+        assert resumed_sup.stats.resumed == 25 * 4
+        assert json.dumps(full.to_dict()) == json.dumps(resumed.to_dict())
+
+    def test_resume_skips_completed_pairs(self, tmp_path):
+        population = small_population(n=20)
+        checkpoint = tmp_path / "crawl.json"
+        first = make_supervisor()
+        first.crawl(population, checkpoint_path=checkpoint)
+        resumed_sup = make_supervisor()
+        resumed_sup.crawl(population, checkpoint_path=checkpoint)
+        assert resumed_sup.stats.resumed == 20 * 4
+        # Stats are restored from the checkpoint and nothing is re-visited.
+        assert resumed_sup.stats.attempts == first.stats.attempts
+
+    def test_checkpoint_file_is_json_with_records(self, tmp_path):
+        population = small_population(n=24)
+        checkpoint = tmp_path / "crawl.json"
+        make_supervisor().crawl(population, checkpoint_path=checkpoint)
+        data = json.loads(checkpoint.read_text())
+        assert data["crawler_name"] == "supervised"
+        assert len(data["records"]) == 24 * 4
+        assert data["clock_ms"] > 0
+
+    def test_mismatched_checkpoint_rejected(self, tmp_path):
+        population = small_population(n=24)
+        checkpoint = tmp_path / "crawl.json"
+        make_supervisor(seed=7).crawl(population, checkpoint_path=checkpoint)
+        with pytest.raises(ValueError):
+            make_supervisor(seed=8).crawl(population, checkpoint_path=checkpoint)
+
+
+class TestFailureTaxonomy:
+    def test_unreachable_not_retried(self):
+        population = [SiteConfig(rank=1, domain="dead.example", unreachable=True)]
+        result = make_supervisor(instances=2).crawl(population)
+        for record in result.records:
+            assert not record.reached
+            assert record.failure_reason == FailureReason.UNREACHABLE
+            assert record.attempts == 1  # permanent -> no retry
+
+    def test_transient_failures_are_retried_and_recovered(self):
+        population = [SiteConfig(rank=1, domain="flaky.example")]
+        config = SupervisorConfig(per_visit_failure=0.5, max_attempts=6)
+        sup = make_supervisor(config=config, instances=8)
+        result = sup.crawl(population)
+        recovered = [r for r in result.records if r.recovered]
+        assert sup.stats.retries > 0
+        assert recovered, "with 50% transient failure some visits must recover"
+        for record in recovered:
+            assert record.reached
+            assert record.attempts > 1
+            assert record.failure_reason is None
+
+    def test_exhausted_reason_keeps_last_cause(self):
+        population = [SiteConfig(rank=1, domain="down.example")]
+        config = SupervisorConfig(per_visit_failure=1.0, max_attempts=3)
+        result = make_supervisor(config=config, instances=1).crawl(population)
+        (record,) = result.records
+        assert not record.reached
+        assert record.attempts == 3
+        assert record.failure_reason == FailureReason.exhausted(FailureReason.TRANSIENT)
+
+    def test_fault_failure_reasons_carry_taxonomy(self):
+        population = small_population(n=30)
+        plan = FaultPlan.generate(
+            population,
+            2,
+            rate=1.0,
+            seed=4,
+            fault_types=[FaultType.DRIVER_CRASH],
+            max_attempts_affected=1,
+        )
+        config = SupervisorConfig(max_attempts=1)  # no retry: every fault is final
+        result = make_supervisor(plan, config=config, instances=2).crawl(population)
+        crashed = [
+            r
+            for r in result.records
+            if r.failure_reason == FailureReason.exhausted(FaultType.DRIVER_CRASH.value)
+        ]
+        reachable = sum(1 for s in population if not s.unreachable)
+        assert len(crashed) == reachable * 2
+
+    def test_failure_counts_accounting(self):
+        population = small_population()
+        result = make_supervisor().crawl(population)
+        counts = result.failure_counts()
+        assert sum(counts.values()) == len(result.failed_visits)
+        unreachable_sites = sum(1 for s in population if s.unreachable)
+        assert counts[FailureReason.UNREACHABLE] == unreachable_sites * 4
+
+
+class TestRecoveryMachinery:
+    def test_browser_recycled_on_fatal_fault(self):
+        population = small_population(n=20)
+        plan = FaultPlan.generate(
+            population,
+            1,
+            rate=1.0,
+            seed=4,
+            fault_types=[FaultType.OOM_RESTART],
+            max_attempts_affected=1,
+        )
+        sup = make_supervisor(plan, instances=1)
+        sup.crawl(population)
+        reachable = sum(1 for s in population if not s.unreachable)
+        assert sup.stats.recycles == reachable  # every OOM kills the browser
+
+    def test_browser_recycled_after_fault_budget(self):
+        population = small_population(n=30)
+        plan = FaultPlan.generate(
+            population,
+            1,
+            rate=1.0,
+            seed=4,
+            fault_types=[FaultType.STALE_ELEMENT],
+            max_attempts_affected=1,
+        )
+        config = SupervisorConfig(recycle_after_faults=3)
+        sup = make_supervisor(plan, config=config, instances=1)
+        sup.crawl(population)
+        assert sup.stats.faults_seen >= 3
+        assert sup.stats.recycles == sup.stats.faults_seen // 3
+
+    def test_circuit_breaker_short_circuits_dead_domain(self):
+        population = [SiteConfig(rank=1, domain="dead.example", unreachable=True)]
+        config = SupervisorConfig(breaker_failure_threshold=3)
+        sup = make_supervisor(config=config, instances=8)
+        result = sup.crawl(population)
+        reasons = [r.failure_reason for r in result.records]
+        assert reasons[:3] == [FailureReason.UNREACHABLE] * 3
+        assert reasons[3:] == [FailureReason.CIRCUIT_OPEN] * 5
+        assert sup.stats.breaker_skips == 5
+
+    def test_hang_costs_the_full_step_budget(self):
+        population = [SiteConfig(rank=1, domain="hang.example")]
+        plan = FaultPlan.generate(
+            population,
+            1,
+            rate=1.0,
+            seed=4,
+            fault_types=[FaultType.DRIVER_HANG],
+            max_attempts_affected=1,
+        )
+        config = SupervisorConfig(
+            visit_budget_ms=60_000.0,
+            visit_cost_ms=8_000.0,
+            backoff=BackoffPolicy(jitter=0.0),
+        )
+        sup = make_supervisor(plan, config=config, instances=1)
+        sup.crawl(population)
+        # budget (hang) + backoff(attempt 0) + clean retry cost.
+        expected = 60_000.0 + config.backoff.delay_ms(0) + 8_000.0
+        assert sup.clock.now() == pytest.approx(expected)
+
+
+class TestCoverageAndHealth:
+    def test_coverage_under_five_percent_faults(self):
+        population = small_population(n=120)
+        plan = FaultPlan.generate(population, 8, rate=0.05, seed=99)
+        sup = make_supervisor(plan, instances=8)
+        result = sup.crawl(population)
+        assert len(plan) > 0
+        assert visit_coverage(result, population, 8) >= 0.99
+        # Every failed record explains itself.
+        for record in result.failed_visits:
+            assert record.failure_reason is not None
+
+    def test_health_report_totals(self):
+        population = small_population()
+        plan = FaultPlan.generate(population, 4, rate=0.1, seed=12)
+        sup = make_supervisor(plan)
+        result = sup.crawl(population)
+        health = evaluate_crawl_health(result)
+        assert health.total_visits == len(population) * 4
+        assert health.reached_visits + health.failed_visits == health.total_visits
+        assert health.recovered_visits == sup.stats.recovered
+        assert health.attempts_total >= health.total_visits
+        assert sum(health.failure_counts.values()) == health.failed_visits
+        labels = [label for label, _ in health.rows()]
+        assert "recovered by retry" in labels
+
+    def test_screenshot_eval_reports_failed_visits(self):
+        population = small_population()
+        result = make_supervisor().crawl(population)
+        evaluation = evaluate_screenshots(result)
+        assert evaluation.failed_visits == len(result.failed_visits)
+        assert evaluation.total_visits + evaluation.failed_visits == len(result.records)
+
+    def test_faulty_crawl_statistics_match_fault_free(self):
+        """A recovered crawl must not bias the Table 2 categories."""
+        population = small_population(n=120)
+        clean = make_supervisor(instances=8).crawl(population)
+        plan = FaultPlan.generate(population, 8, rate=0.05, seed=99)
+        faulty = make_supervisor(plan, instances=8).crawl(population)
+        clean_eval = evaluate_screenshots(clean)
+        faulty_eval = evaluate_screenshots(faulty)
+        assert faulty_eval.blocking_captchas.sites == clean_eval.blocking_captchas.sites
+        assert faulty_eval.missing_ads.sites == clean_eval.missing_ads.sites
+        assert (
+            abs(faulty_eval.total_visits - clean_eval.total_visits)
+            <= 0.01 * clean_eval.total_visits
+        )
