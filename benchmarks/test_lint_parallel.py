@@ -1,0 +1,53 @@
+"""Linter driver: parallel speed-up and serial/parallel equivalence.
+
+The acceptance property of the multiprocess driver is not speed but
+*identity*: ``--jobs N`` must render byte-identical JSON to a serial
+run, or the lint gate itself would be the nondeterminism it polices.
+The benchmark measures the full-tree lint cost alongside, since the CI
+gate pays it on every push.
+"""
+
+import os
+from pathlib import Path
+
+from conftest import print_table
+
+from repro.lint import Baseline, render_json, render_text, run_lint
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = REPO_ROOT / "src" / "repro"
+
+
+def _baseline() -> Baseline:
+    path = REPO_ROOT / "lint-baseline.json"
+    return Baseline.load(path) if path.exists() else Baseline.empty()
+
+
+def test_parallel_driver_matches_serial_byte_for_byte():
+    serial = run_lint([SRC], root=REPO_ROOT, baseline=_baseline(), jobs=1)
+    parallel = run_lint(
+        [SRC],
+        root=REPO_ROOT,
+        baseline=_baseline(),
+        jobs=max(os.cpu_count() or 2, 2),
+    )
+    assert render_json(serial) == render_json(parallel)
+    assert render_text(serial) == render_text(parallel)
+    assert serial.exit_code == parallel.exit_code == 0
+    print_table(
+        "Lint drivers: serial vs parallel",
+        [
+            f"files linted   {serial.files}",
+            f"new findings   {len(serial.new_findings)}",
+            f"baselined      {len(serial.baselined)}",
+            f"suppressed     {serial.suppressed}",
+        ],
+    )
+
+
+def test_perf_full_tree_lint(benchmark):
+    report = benchmark(
+        lambda: run_lint([SRC], root=REPO_ROOT, baseline=_baseline())
+    )
+    assert report.files > 100
+    assert report.exit_code == 0

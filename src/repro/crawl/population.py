@@ -201,7 +201,8 @@ def generate_population(config: Optional[PopulationConfig] = None) -> List[SiteC
     # Unreachable sites are drawn from the *ordinary* population: a site
     # that deploys a bot detector (or breaks under spoofing) evidently
     # responds, so the special roles stay reachable.
-    ordinary = [i for i in range(config.n_sites) if i not in set(chosen)]
+    chosen_set = set(chosen)
+    ordinary = [i for i in range(config.n_sites) if i not in chosen_set]
     n_unreachable = min(
         int(round(config.n_sites * config.unreachable_fraction)), len(ordinary)
     )

@@ -1,0 +1,55 @@
+"""repro.lint: an AST-based invariant linter for the reproduction.
+
+The reproduction's conclusions rest on invariants no unit test checks
+directly: seed determinism (checkpoint/resume is only byte-identical if
+nothing reads the wall clock or global RNG state, and no hash order
+leaks into outputs), fault discipline (hook points raise the typed
+taxonomy from :mod:`repro.faults.types`), and event-protocol
+correctness (simulators emit input through the pipeline, mousemove
+before mousedown, clock-sourced timestamps).  This package checks those
+invariants statically: a pluggable rule registry walks every module's
+AST and reports typed findings, with inline suppressions, a committed
+JSON baseline for grandfathered findings, and serial/parallel drivers
+whose output is byte-identical.
+
+Usage::
+
+    python -m repro.lint [paths] [--format json] [--jobs 8]
+    repro-lint --list-rules
+"""
+
+from repro.lint.baseline import Baseline, fingerprint_findings
+from repro.lint.context import ModuleContext, path_scopes
+from repro.lint.findings import PARSE_ERROR_RULE, Finding
+from repro.lint.registry import Rule, all_rules, register, rules_by_family
+from repro.lint.report import render_json, render_rules, render_text
+from repro.lint.runner import (
+    FileResult,
+    LintReport,
+    collect_files,
+    lint_file,
+    parse_source,
+    run_lint,
+)
+
+__all__ = [
+    "Baseline",
+    "FileResult",
+    "Finding",
+    "LintReport",
+    "ModuleContext",
+    "PARSE_ERROR_RULE",
+    "Rule",
+    "all_rules",
+    "collect_files",
+    "fingerprint_findings",
+    "lint_file",
+    "parse_source",
+    "path_scopes",
+    "register",
+    "render_json",
+    "render_rules",
+    "render_text",
+    "rules_by_family",
+    "run_lint",
+]

@@ -1,0 +1,128 @@
+"""``python -m repro.lint`` / ``repro-lint``: the command-line driver.
+
+Exit codes: 0 clean (or fully baselined), 1 non-baselined findings,
+2 usage errors.  ``--write-baseline`` grandfathers the current findings
+and exits 0, establishing the ratchet a later run is held to.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.lint.baseline import DEFAULT_BASELINE_NAME, Baseline
+from repro.lint.report import render_json, render_rules, render_text
+from repro.lint.runner import run_lint
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based invariant linter: seed determinism (DET), fault "
+            "discipline (FLT), event protocol (EVT), perf (PERF)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="root that report paths are made relative to (default: cwd)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=(
+            "baseline JSON path (default: <root>/lint-baseline.json "
+            "when it exists)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="grandfather the current findings into the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (0 = one per CPU; default: 1, serial)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule reference and exit",
+    )
+    return parser
+
+
+def _resolve_baseline(args, root: Path) -> Optional[Path]:
+    if args.no_baseline:
+        return None
+    if args.baseline is not None:
+        return Path(args.baseline)
+    default = root / DEFAULT_BASELINE_NAME
+    return default if default.exists() else None
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        sys.stdout.write(render_rules())
+        return 0
+
+    root = Path(args.root)
+    jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
+    baseline_path = _resolve_baseline(args, root)
+
+    baseline = Baseline.empty()
+    if baseline_path is not None and not args.write_baseline:
+        if not baseline_path.exists():
+            parser.error(f"baseline file not found: {baseline_path}")
+        try:
+            baseline = Baseline.load(baseline_path)
+        except ValueError as exc:
+            parser.error(str(exc))
+
+    paths = [Path(p) for p in args.paths]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        parser.error(f"no such path(s): {', '.join(missing)}")
+
+    report = run_lint(paths, root=root, baseline=baseline, jobs=jobs)
+
+    if args.write_baseline:
+        target = baseline_path or root / DEFAULT_BASELINE_NAME
+        Baseline.write(target, report.all_findings)
+        sys.stdout.write(
+            f"wrote {len(report.all_findings)} finding(s) to {target}\n"
+        )
+        return 0
+
+    renderer = render_json if args.format == "json" else render_text
+    sys.stdout.write(renderer(report))
+    return report.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,151 @@
+"""Per-module analysis context shared by every rule.
+
+One :class:`ModuleContext` is built per linted file: the parsed AST, a
+parent map (``ast`` has no parent links), an import-alias table so rules
+can resolve ``np.random.seed`` to ``numpy.random.seed`` no matter how
+the module spelled its imports, inline suppressions, and the scope tags
+derived from the file's path (fault-discipline rules only apply to the
+webdriver/crawl/faults layers, event-protocol rules to the simulator
+packages that must go through the input pipeline).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path, PurePosixPath
+from typing import Dict, Iterator, Optional, Set
+
+#: ``# repro-lint: disable=DET001,FLT002`` (or ``disable=all``) on the
+#: offending line suppresses the listed rules for that line.
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+#: Path components -> scope tag.  Matching any component is enough, so
+#: fixture trees in tests (``tmpdir/webdriver/snippet.py``) land in the
+#: same scope as the real package.
+_SCOPE_COMPONENTS: Dict[str, str] = {
+    "webdriver": "faults",
+    "crawl": "faults",
+    "faults": "faults",
+    "humans": "events",
+    "core": "events",
+    "tools": "events",
+}
+
+
+def path_scopes(path: str) -> Set[str]:
+    """Scope tags for a (posix) path, from its directory components."""
+    parts = PurePosixPath(path).parts
+    return {
+        _SCOPE_COMPONENTS[part] for part in parts if part in _SCOPE_COMPONENTS
+    }
+
+
+class ModuleContext:
+    """Everything a rule needs to analyse one module."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.lines = source.splitlines()
+        self.scopes = path_scopes(path)
+        self.suppressions = self._parse_suppressions()
+        self.aliases = self._collect_aliases()
+        self._parents: Dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+
+    @classmethod
+    def from_file(cls, path: Path, display_path: str) -> "ModuleContext":
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        return cls(display_path, source, tree)
+
+    # -- suppressions ----------------------------------------------------
+
+    def _parse_suppressions(self) -> Dict[int, Set[str]]:
+        suppressions: Dict[int, Set[str]] = {}
+        for lineno, line in enumerate(self.lines, start=1):
+            match = _SUPPRESS_RE.search(line)
+            if match:
+                rules = {
+                    token.strip()
+                    for token in match.group(1).split(",")
+                    if token.strip()
+                }
+                suppressions[lineno] = rules
+        return suppressions
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """Whether ``rule_id`` is disabled on ``line`` by an inline comment."""
+        rules = self.suppressions.get(line)
+        if not rules:
+            return False
+        return rule_id in rules or "all" in rules
+
+    # -- source access ---------------------------------------------------
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    # -- structure -------------------------------------------------------
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Walk from ``node``'s parent up to the module root."""
+        current = self._parents.get(node)
+        while current is not None:
+            yield current
+            current = self._parents.get(current)
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> Optional[ast.AST]:
+        """Nearest enclosing function/async-function definition."""
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor
+        return None
+
+    # -- import-alias resolution ----------------------------------------
+
+    def _collect_aliases(self) -> Dict[str, str]:
+        aliases: Dict[str, str] = {}
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    aliases[bound] = target
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                if node.level:  # relative import: keep the tail only
+                    continue
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    aliases[bound] = f"{node.module}.{alias.name}"
+        return aliases
+
+    def dotted_name(self, node: ast.AST) -> Optional[str]:
+        """Resolve a Name/Attribute chain to its imported dotted path.
+
+        ``np.random.seed`` with ``import numpy as np`` resolves to
+        ``numpy.random.seed``; ``Random`` with ``from random import
+        Random`` resolves to ``random.Random``.  Returns ``None`` for
+        expressions that are not plain attribute chains.
+        """
+        parts = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        root = self.aliases.get(current.id, current.id)
+        parts.append(root)
+        return ".".join(reversed(parts))

@@ -1,0 +1,56 @@
+"""Typed findings: what a rule reports and how findings are ordered.
+
+A :class:`Finding` is deliberately flat and picklable so the
+multiprocess driver can ship findings back from worker processes, and
+deliberately *positionless* in identity terms: the committed baseline
+matches findings by rule + path + source-line text + occurrence index
+(see :mod:`repro.lint.baseline`), so unrelated edits that shift line
+numbers do not invalidate grandfathered entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    #: The stripped source line the finding points at (baseline identity,
+    #: and context for the text reporter).
+    snippet: str = ""
+    severity: str = "error"
+    #: Baseline fingerprint; filled in by the runner after fingerprinting.
+    fingerprint: str = field(default="", compare=False)
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        """Deterministic report order: by location, then rule id."""
+        return (self.path, self.line, self.col, self.rule)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint,
+        }
+
+    def render(self) -> str:
+        """``path:line:col: RULE message`` -- the text reporter line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+#: Rule id for files the parser rejects; reported like any other finding
+#: so a syntax error cannot silently shrink the linted surface.
+PARSE_ERROR_RULE = "LNT001"

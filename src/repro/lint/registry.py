@@ -1,0 +1,83 @@
+"""Rule base class and the pluggable registry.
+
+Rules self-register at import time via the :func:`register` decorator;
+:mod:`repro.lint.rules` imports every rule module so that importing the
+package is enough to populate the registry.  Registration order is
+irrelevant -- drivers iterate rules sorted by id, which keeps serial and
+parallel runs byte-identical.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Type
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+
+
+class Rule:
+    """One invariant check.
+
+    Subclasses set the class attributes and implement :meth:`check`,
+    yielding one :class:`Finding` per violation.  ``scope`` restricts a
+    rule to files whose path carries the matching scope tag (see
+    :func:`repro.lint.context.path_scopes`); ``None`` applies everywhere.
+    """
+
+    id: str = ""
+    name: str = ""
+    family: str = ""
+    rationale: str = ""
+    scope: Optional[str] = None
+    severity: str = "error"
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return self.scope is None or self.scope in ctx.scopes
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    # -- helpers shared by concrete rules --------------------------------
+
+    def finding(
+        self, ctx: ModuleContext, node: ast.AST, message: str
+    ) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) + 1
+        return Finding(
+            rule=self.id,
+            path=ctx.path,
+            line=line,
+            col=col,
+            message=message,
+            snippet=ctx.line_text(line),
+            severity=self.severity,
+        )
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the registry (id must be unique)."""
+    if not rule_cls.id:
+        raise ValueError(f"rule {rule_cls.__name__} has no id")
+    if rule_cls.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_cls.id}")
+    _REGISTRY[rule_cls.id] = rule_cls
+    return rule_cls
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, sorted by id."""
+    import repro.lint.rules  # noqa: F401  (populates the registry)
+
+    return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
+
+
+def rules_by_family() -> Dict[str, List[Rule]]:
+    grouped: Dict[str, List[Rule]] = {}
+    for rule in all_rules():
+        grouped.setdefault(rule.family, []).append(rule)
+    return grouped

@@ -1,0 +1,50 @@
+"""Text and JSON reporters.
+
+Both renderers are pure functions of the :class:`LintReport`, with no
+timestamps, absolute paths, or machine state, so two runs over the same
+tree -- serial or parallel -- render byte-identical output.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.registry import all_rules
+from repro.lint.runner import LintReport
+
+REPORT_VERSION = 1
+
+
+def render_text(report: LintReport) -> str:
+    lines = []
+    for finding in report.new_findings:
+        lines.append(finding.render())
+        if finding.snippet:
+            lines.append(f"    {finding.snippet}")
+    summary = (
+        f"{len(report.new_findings)} finding(s) in {report.files} file(s)"
+        f" ({len(report.baselined)} baselined, {report.suppressed} suppressed)"
+    )
+    lines.append(summary)
+    return "\n".join(lines) + "\n"
+
+
+def render_json(report: LintReport) -> str:
+    payload = {
+        "version": REPORT_VERSION,
+        "files": report.files,
+        "findings": [f.to_dict() for f in report.new_findings],
+        "baselined": [f.to_dict() for f in report.baselined],
+        "suppressed": report.suppressed,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def render_rules() -> str:
+    """``--list-rules``: one line per rule, grouped by id order."""
+    lines = []
+    for rule in all_rules():
+        scope = rule.scope or "all"
+        lines.append(f"{rule.id}  [{rule.family}/{scope}]  {rule.name}")
+        lines.append(f"        {rule.rationale}")
+    return "\n".join(lines) + "\n"

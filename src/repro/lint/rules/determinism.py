@@ -1,0 +1,339 @@
+"""DET0xx: seed-determinism rules.
+
+The supervisor's checkpoint/resume contract (PR 1) is *byte-identical*
+output: a resumed crawl must reproduce the uninterrupted run exactly.
+That only holds if no code path reads the wall clock, draws from global
+(unseeded) RNG state, or lets hash-order leak into anything returned or
+serialised.  These rules make each of those a review-time error instead
+of a flaky Wilcoxon statistic.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+#: Wall-clock reads.  ``VirtualClock`` is the only sanctioned time source.
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+    }
+)
+
+_DATETIME_NOW = frozenset(
+    {
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Module-level functions of :mod:`random` that mutate/read the hidden
+#: global Mersenne Twister.
+_RANDOM_GLOBALS = frozenset(
+    {
+        "betavariate",
+        "choice",
+        "choices",
+        "expovariate",
+        "gauss",
+        "getrandbits",
+        "lognormvariate",
+        "normalvariate",
+        "paretovariate",
+        "randbytes",
+        "randint",
+        "random",
+        "randrange",
+        "sample",
+        "seed",
+        "shuffle",
+        "triangular",
+        "uniform",
+        "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+#: ``numpy.random`` module-level functions touching the legacy global
+#: ``RandomState``.  ``default_rng`` / ``Generator`` / ``SeedSequence``
+#: are the sanctioned, explicitly-seeded API and stay allowed.
+_NP_RANDOM_GLOBALS = frozenset(
+    {
+        "beta",
+        "binomial",
+        "choice",
+        "exponential",
+        "get_state",
+        "normal",
+        "permutation",
+        "poisson",
+        "rand",
+        "randint",
+        "randn",
+        "random",
+        "random_sample",
+        "seed",
+        "set_state",
+        "shuffle",
+        "standard_normal",
+        "uniform",
+    }
+)
+
+#: Callables that consume an iterable order-insensitively (or erase
+#: order), making set iteration under them harmless.
+_ORDER_INSENSITIVE_SINKS = frozenset(
+    {"all", "any", "frozenset", "len", "max", "min", "set", "sorted", "sum"}
+)
+
+_FS_ENUMERATORS = frozenset(
+    {"glob.glob", "glob.iglob", "os.listdir", "os.scandir"}
+)
+_FS_ENUMERATOR_METHODS = frozenset({"glob", "iterdir", "rglob"})
+
+
+def _call_name(ctx: ModuleContext, node: ast.Call) -> Optional[str]:
+    return ctx.dotted_name(node.func)
+
+
+@register
+class WallClockRule(Rule):
+    id = "DET001"
+    name = "wall-clock-read"
+    family = "determinism"
+    rationale = (
+        "Wall-clock reads differ between a fresh run and a resumed one, "
+        "breaking byte-identical checkpoint/resume; use VirtualClock."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                name = _call_name(ctx, node)
+                if name in _WALL_CLOCK:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"wall-clock read {name}() -- use the simulated "
+                        "clock (repro.clock.VirtualClock) instead",
+                    )
+
+
+@register
+class DatetimeNowRule(Rule):
+    id = "DET002"
+    name = "datetime-now"
+    family = "determinism"
+    rationale = (
+        "datetime.now()/today() smuggle wall-clock state into records "
+        "and serialised artefacts; derive timestamps from the clock."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                name = _call_name(ctx, node)
+                if name in _DATETIME_NOW:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{name}() reads the wall clock -- pass timestamps "
+                        "in explicitly or use the simulated clock",
+                    )
+
+
+@register
+class GlobalRandomRule(Rule):
+    id = "DET003"
+    name = "global-random"
+    family = "determinism"
+    rationale = (
+        "The random module's global state (and argless Random()) is "
+        "shared and unseeded; every component must draw from an "
+        "explicitly seeded generator."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(ctx, node)
+            if name is None:
+                continue
+            if name == "random.SystemRandom":
+                yield self.finding(
+                    ctx, node, "SystemRandom draws OS entropy and can never "
+                    "be replayed -- use a seeded generator"
+                )
+            elif name == "random.Random" and not node.args:
+                yield self.finding(
+                    ctx, node, "argless random.Random() seeds from the OS -- "
+                    "pass an explicit seed"
+                )
+            elif (
+                name.startswith("random.")
+                and name.count(".") == 1
+                and name.split(".", 1)[1] in _RANDOM_GLOBALS
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{name}() uses the global random state -- draw from an "
+                    "explicitly seeded random.Random or numpy Generator",
+                )
+
+
+@register
+class NumpyGlobalRandomRule(Rule):
+    id = "DET004"
+    name = "numpy-global-random"
+    family = "determinism"
+    rationale = (
+        "numpy.random module-level functions share the legacy global "
+        "RandomState; use numpy.random.default_rng(seed) streams."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(ctx, node)
+            if name is None or not name.startswith("numpy.random."):
+                continue
+            attr = name[len("numpy.random.") :]
+            if attr in _NP_RANDOM_GLOBALS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{name}() touches numpy's global RandomState -- use "
+                    "numpy.random.default_rng(seed)",
+                )
+            elif attr == "RandomState" and not node.args:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "argless numpy.random.RandomState() seeds from the OS "
+                    "-- pass an explicit seed",
+                )
+
+
+def _is_set_expr(ctx: ModuleContext, node: ast.AST) -> bool:
+    """Whether ``node`` evaluates to a set/frozenset (hash-ordered)."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return _call_name(ctx, node) in ("set", "frozenset")
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+    ):
+        return _is_set_expr(ctx, node.left) or _is_set_expr(ctx, node.right)
+    return False
+
+
+@register
+class UnsortedSetIterationRule(Rule):
+    id = "DET005"
+    name = "unsorted-set-iteration"
+    family = "determinism"
+    rationale = (
+        "Set iteration order follows PYTHONHASHSEED; once it reaches a "
+        "returned list, a dict, or serialised output, two identical runs "
+        "disagree.  Wrap the set in sorted() (or sink it into another "
+        "set, where order is erased)."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.For) and _is_set_expr(ctx, node.iter):
+                yield self.finding(
+                    ctx,
+                    node.iter,
+                    "iterating a set in a for loop -- order is hash-"
+                    "dependent; wrap it in sorted()",
+                )
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                for gen in node.generators:
+                    if _is_set_expr(ctx, gen.iter) and not self._order_erased(
+                        ctx, node
+                    ):
+                        yield self.finding(
+                            ctx,
+                            gen.iter,
+                            "comprehension iterates a set whose order "
+                            "reaches an ordered result -- wrap the set in "
+                            "sorted()",
+                        )
+            elif isinstance(node, ast.Call):
+                name = _call_name(ctx, node)
+                if (
+                    name in ("list", "tuple")
+                    and node.args
+                    and _is_set_expr(ctx, node.args[0])
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{name}(set(...)) freezes hash order into a "
+                        "sequence -- use sorted(...)",
+                    )
+
+    @staticmethod
+    def _order_erased(ctx: ModuleContext, comp: ast.AST) -> bool:
+        """Whether the comprehension's order cannot be observed."""
+        if isinstance(comp, ast.SetComp):
+            return True
+        if isinstance(comp, ast.DictComp):
+            return False  # dicts preserve insertion order into JSON output
+        parent = ctx.parent(comp)
+        if isinstance(parent, ast.Call) and comp in parent.args:
+            return ctx.dotted_name(parent.func) in _ORDER_INSENSITIVE_SINKS
+        return False
+
+
+@register
+class FilesystemOrderRule(Rule):
+    id = "DET006"
+    name = "filesystem-order"
+    family = "determinism"
+    rationale = (
+        "Directory enumeration order is filesystem-dependent; a crawl "
+        "checkpoint written on ext4 must resume identically on tmpfs."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(ctx, node)
+            method = (
+                node.func.attr if isinstance(node.func, ast.Attribute) else None
+            )
+            if name in _FS_ENUMERATORS or method in _FS_ENUMERATOR_METHODS:
+                parent = ctx.parent(node)
+                if (
+                    isinstance(parent, ast.Call)
+                    and ctx.dotted_name(parent.func) == "sorted"
+                ):
+                    continue
+                label = name or f".{method}()"
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{label} enumerates the filesystem in platform order "
+                    "-- wrap it in sorted()",
+                )

@@ -1,0 +1,173 @@
+"""EVT0xx: event-protocol rules (humans / core / tools scope).
+
+The paper measures agents *through the DOM event stream* (Fig. 1-2,
+Appendix C/D): detectors key on the pipeline quirks -- pointer/mouse
+twins, mousemove preceding mousedown, clock-quantised timestamps.  Every
+simulated agent must therefore produce input through
+:class:`repro.browser.input_pipeline.InputPipeline`; a simulator that
+dispatches DOM events directly, presses before moving, or hardcodes a
+timestamp silently measures a protocol no real browser emits.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List, Tuple
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+_DISPATCH_METHODS = frozenset({"dispatch", "dispatch_event", "handle_event"})
+
+#: Call names that imply pointer movement happened (directly or via a
+#: helper that replays a path through the pipeline).
+_MOVEMENT_NAME = re.compile(
+    r"move|walk|path|hover|trajectory|approach", re.IGNORECASE
+)
+_MOVEMENT_EVENTS = frozenset({"mousemove", "pointermove"})
+_PRESS_EVENTS = frozenset({"mousedown", "pointerdown"})
+
+
+def _string_args(node: ast.Call) -> Iterator[str]:
+    for arg in list(node.args) + [kw.value for kw in node.keywords]:
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            yield arg.value
+
+
+def _func_label(node: ast.Call) -> str:
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+@register
+class DirectDispatchRule(Rule):
+    id = "EVT001"
+    name = "direct-dispatch"
+    family = "events"
+    scope = "events"
+    rationale = (
+        "dispatch_event() from simulator code bypasses the input "
+        "pipeline, so the agent skips the coalescing, pointer-twin and "
+        "focus semantics every real visitor exhibits -- the exact "
+        "inconsistency detectors key on."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _DISPATCH_METHODS
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f".{node.func.attr}() bypasses the input pipeline -- "
+                    "synthesise input via InputPipeline (move_mouse_to / "
+                    "mouse_down / key_down ...)",
+                )
+
+
+@register
+class PressWithoutMoveRule(Rule):
+    id = "EVT002"
+    name = "press-without-move"
+    family = "events"
+    scope = "events"
+    rationale = (
+        "A mousedown with no preceding mousemove is the protocol "
+        "violation the paper measures for Selenium (Fig. 1): real input "
+        "always moves the pointer to the target first."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            calls: List[Tuple[int, int, ast.Call]] = sorted(
+                (
+                    (node.lineno, node.col_offset, node)
+                    for node in ast.walk(func)
+                    if isinstance(node, ast.Call)
+                ),
+                key=lambda item: (item[0], item[1]),
+            )
+            movement_seen = False
+            for _, _, call in calls:
+                if self._is_movement(call):
+                    movement_seen = True
+                elif self._is_press(call) and not movement_seen:
+                    yield self.finding(
+                        ctx,
+                        call,
+                        "mousedown emitted with no preceding mousemove in "
+                        "this function -- move the pointer to the target "
+                        "first (or factor the movement call above the press)",
+                    )
+
+    @staticmethod
+    def _is_movement(call: ast.Call) -> bool:
+        if _MOVEMENT_NAME.search(_func_label(call)):
+            return True
+        return any(value in _MOVEMENT_EVENTS for value in _string_args(call))
+
+    @staticmethod
+    def _is_press(call: ast.Call) -> bool:
+        if _func_label(call) == "mouse_down":
+            return True
+        return any(value in _PRESS_EVENTS for value in _string_args(call))
+
+
+@register
+class HardcodedTimestampRule(Rule):
+    id = "EVT003"
+    name = "hardcoded-timestamp"
+    family = "events"
+    rationale = (
+        "Event timestamps must come from the (quantising) clock; a "
+        "literal timestamp breaks the inter-event timing distributions "
+        "the Wilcoxon comparisons are computed over."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                for kw in node.keywords:
+                    if kw.arg == "timestamp" and self._is_literal_number(
+                        kw.value
+                    ):
+                        yield self.finding(
+                            ctx,
+                            kw.value,
+                            "hardcoded event timestamp -- take it from "
+                            "clock.event_timestamp()",
+                        )
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and target.attr == "timestamp"
+                        and self._is_literal_number(node.value)
+                    ):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            "hardcoded event timestamp -- take it from "
+                            "clock.event_timestamp()",
+                        )
+
+    @staticmethod
+    def _is_literal_number(node: ast.AST) -> bool:
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+            node = node.operand
+        return (
+            isinstance(node, ast.Constant)
+            and isinstance(node.value, (int, float))
+            and not isinstance(node.value, bool)
+        )

@@ -1,0 +1,207 @@
+"""FLT0xx: fault-discipline rules (webdriver / crawl / faults scope).
+
+PR 1's recovery machinery can only classify failures it can *type*: the
+supervisor tells crawler-side faults from genuine site reactions by
+catching :class:`repro.faults.types.FaultError` subclasses at the hook
+points (``get`` / ``find_element`` / ``execute_script`` /
+``simulate_visit``).  A ``raise RuntimeError`` or an ``except
+Exception`` at those points collapses the taxonomy back into the
+undifferentiated blob that biases Table 2 / Fig. 4, which is exactly
+the confound Krumnow et al. document for OpenWPM.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+#: The fault hook points (see repro.faults.types._HOOKS plus the visit
+#: driver itself).
+HOOK_FUNCTIONS = frozenset(
+    {"get", "find_element", "find_elements", "execute_script", "simulate_visit"}
+)
+
+#: Exception families a hook point may legitimately raise: the typed
+#: fault taxonomy and the Selenium-style errors it derives from.
+_ALLOWED_PREFIXES = ("repro.faults", "repro.webdriver.errors")
+
+#: Generic exception types that erase failure classification when raised
+#: at a hook point.  (ValueError/TypeError/NotImplementedError signal API
+#: misuse, not crawl failure, and stay allowed.)
+_UNTYPED_EXCEPTIONS = frozenset(
+    {
+        "BaseException",
+        "ConnectionError",
+        "ConnectionResetError",
+        "Exception",
+        "IOError",
+        "OSError",
+        "RuntimeError",
+        "SystemError",
+        "TimeoutError",
+    }
+)
+
+#: A retry handler must advance a delay of some kind before looping.
+_BACKOFF_HINT = re.compile(
+    r"backoff|delay|sleep|advance|wait|cooldown", re.IGNORECASE
+)
+
+
+def _is_broad_handler(ctx: ModuleContext, handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    types = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for node in types:
+        if ctx.dotted_name(node) in ("Exception", "BaseException"):
+            return True
+    return False
+
+
+@register
+class BroadExceptRule(Rule):
+    id = "FLT001"
+    name = "broad-except"
+    family = "faults"
+    scope = "faults"
+    rationale = (
+        "except Exception at the recovery layers swallows the typed "
+        "taxonomy: the supervisor can no longer split crawler-side "
+        "faults from site reactions."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and _is_broad_handler(
+                ctx, node
+            ):
+                label = (
+                    "bare except:" if node.type is None else "except Exception"
+                )
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{label} erases failure classification -- catch "
+                    "repro.faults.types.FaultError (or a specific "
+                    "webdriver error) instead",
+                )
+
+
+@register
+class UntypedHookRaiseRule(Rule):
+    id = "FLT002"
+    name = "untyped-hook-raise"
+    family = "faults"
+    scope = "faults"
+    rationale = (
+        "Hook points must raise the typed taxonomy (repro.faults.types) "
+        "or the Selenium-style errors it derives from, so retry and "
+        "recycling policy can dispatch on the exception type."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if func.name not in HOOK_FUNCTIONS:
+                continue
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Raise):
+                    continue
+                if node.exc is None:
+                    if self._inside_broad_handler(ctx, node):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            "bare raise inside a broad handler re-throws an "
+                            "unclassified exception from a hook point",
+                        )
+                    continue
+                name = self._raised_name(ctx, node.exc)
+                if name is None:
+                    continue
+                if name.startswith(_ALLOWED_PREFIXES):
+                    continue
+                if name in _UNTYPED_EXCEPTIONS:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"hook point {func.name}() raises untyped {name} -- "
+                        "raise an exception from repro.faults.types (or "
+                        "repro.webdriver.errors)",
+                    )
+
+    @staticmethod
+    def _raised_name(ctx: ModuleContext, exc: ast.AST) -> Optional[str]:
+        if isinstance(exc, ast.Call):
+            return ctx.dotted_name(exc.func)
+        return ctx.dotted_name(exc)
+
+    @staticmethod
+    def _inside_broad_handler(ctx: ModuleContext, node: ast.AST) -> bool:
+        for ancestor in ctx.ancestors(node):
+            if isinstance(ancestor, ast.ExceptHandler):
+                return _is_broad_handler(ctx, ancestor)
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return False
+        return False
+
+
+@register
+class RetryWithoutBackoffRule(Rule):
+    id = "FLT003"
+    name = "retry-without-backoff"
+    family = "faults"
+    scope = "faults"
+    rationale = (
+        "A retry loop that continues without advancing a backoff delay "
+        "hammers the failing host and distorts the simulated timeline "
+        "the step budgets are accounted on."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for loop in ast.walk(ctx.tree):
+            if not isinstance(loop, (ast.For, ast.While)):
+                continue
+            for stmt in ast.walk(loop):
+                if not isinstance(stmt, ast.Try):
+                    continue
+                for handler in stmt.handlers:
+                    if self._retries_without_backoff(handler):
+                        yield self.finding(
+                            ctx,
+                            handler,
+                            "retry handler continues the loop without any "
+                            "backoff/delay call -- advance the clock via a "
+                            "BackoffPolicy before retrying",
+                        )
+
+    @staticmethod
+    def _retries_without_backoff(handler: ast.ExceptHandler) -> bool:
+        has_continue = any(
+            isinstance(node, ast.Continue) for node in ast.walk(handler)
+        )
+        if not has_continue:
+            return False
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Call):
+                func = node.func
+                name = (
+                    func.attr
+                    if isinstance(func, ast.Attribute)
+                    else func.id
+                    if isinstance(func, ast.Name)
+                    else ""
+                )
+                if _BACKOFF_HINT.search(name):
+                    return False
+        return True

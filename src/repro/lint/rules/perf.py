@@ -1,0 +1,57 @@
+"""PERF0xx: determinism-adjacent performance rules.
+
+One family member so far, born from a real bug: a ``set(...)`` built
+inside a comprehension's ``if`` is rebuilt *per element*, turning a
+linear filter into O(n^2) -- invisible at unit-test scale, dominant at
+the million-site populations the roadmap targets.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+_CONTAINER_BUILDERS = frozenset({"dict", "frozenset", "set"})
+
+
+def _builds_container(ctx: ModuleContext, node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp, ast.Dict, ast.DictComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and ctx.dotted_name(node.func) in _CONTAINER_BUILDERS
+    )
+
+
+@register
+class ContainerInComprehensionConditionRule(Rule):
+    id = "PERF001"
+    name = "container-built-per-element"
+    family = "perf"
+    rationale = (
+        "A set/dict constructed inside a comprehension condition is "
+        "rebuilt for every element; hoist it to a variable before the "
+        "comprehension."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                continue
+            for gen in node.generators:
+                for condition in gen.ifs:
+                    for sub in ast.walk(condition):
+                        if _builds_container(ctx, sub):
+                            yield self.finding(
+                                ctx,
+                                sub,
+                                "container built inside a comprehension "
+                                "condition is reconstructed per element -- "
+                                "hoist it out of the comprehension",
+                            )

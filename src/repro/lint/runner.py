@@ -1,0 +1,141 @@
+"""File collection and the serial / multiprocess lint drivers.
+
+Determinism is self-hosted: files are collected in sorted order,
+per-file findings are sorted before fingerprinting, and the parallel
+driver preserves submission order (``imap`` over sorted files), so a
+``--jobs 8`` run produces byte-identical output to a serial one -- the
+property the acceptance benchmark asserts.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from multiprocessing import Pool
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.lint.baseline import Baseline, fingerprint_findings
+from repro.lint.context import ModuleContext
+from repro.lint.findings import PARSE_ERROR_RULE, Finding
+from repro.lint.registry import all_rules
+
+#: Directories never descended into.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv"})
+
+
+def collect_files(paths: Sequence[Path], root: Path) -> List[Tuple[Path, str]]:
+    """``(file, display_path)`` pairs, sorted by display path.
+
+    Directories are walked recursively; display paths are root-relative
+    posix paths so reports and baselines are machine-independent.
+    """
+    collected = {}
+    for target in paths:
+        target = Path(target)
+        if target.is_dir():
+            candidates: Iterable[Path] = sorted(target.rglob("*.py"))
+        else:
+            candidates = [target]
+        for candidate in candidates:
+            if _SKIP_DIRS.intersection(candidate.parts):
+                continue
+            display = Path(os.path.relpath(candidate, root)).as_posix()
+            collected[display] = candidate
+    return [(collected[display], display) for display in sorted(collected)]
+
+
+@dataclass
+class FileResult:
+    """Outcome of linting one file (picklable for the pool)."""
+
+    display: str
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+
+
+def lint_file(path: Path, display: str) -> FileResult:
+    """Run every applicable rule over one file."""
+    try:
+        ctx = ModuleContext.from_file(path, display)
+    except SyntaxError as exc:
+        finding = Finding(
+            rule=PARSE_ERROR_RULE,
+            path=display,
+            line=exc.lineno or 1,
+            col=(exc.offset or 0) + 1,
+            message=f"file does not parse: {exc.msg}",
+        )
+        return FileResult(display, fingerprint_findings([finding]))
+    raw: List[Finding] = []
+    suppressed = 0
+    for rule in all_rules():
+        if not rule.applies_to(ctx):
+            continue
+        for finding in rule.check(ctx):
+            if ctx.is_suppressed(finding.rule, finding.line):
+                suppressed += 1
+            else:
+                raw.append(finding)
+    raw.sort(key=Finding.sort_key)
+    return FileResult(display, fingerprint_findings(raw), suppressed)
+
+
+def _lint_one(item: Tuple[str, str]) -> FileResult:
+    path, display = item
+    return lint_file(Path(path), display)
+
+
+@dataclass
+class LintReport:
+    """Aggregated outcome of one lint run."""
+
+    files: int = 0
+    new_findings: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+
+    @property
+    def all_findings(self) -> List[Finding]:
+        return sorted(self.new_findings + self.baselined, key=Finding.sort_key)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.new_findings else 0
+
+
+def run_lint(
+    paths: Sequence[Path],
+    root: Path,
+    baseline: Optional[Baseline] = None,
+    jobs: int = 1,
+) -> LintReport:
+    """Lint ``paths`` and split findings against ``baseline``.
+
+    ``jobs > 1`` fans files out over a process pool; results keep file
+    submission order, so output is byte-identical to ``jobs == 1``.
+    """
+    baseline = baseline or Baseline.empty()
+    files = collect_files(paths, root)
+    if jobs > 1 and len(files) > 1:
+        items = [(str(path), display) for path, display in files]
+        with Pool(processes=min(jobs, len(items))) as pool:
+            results = list(pool.imap(_lint_one, items, chunksize=4))
+    else:
+        results = [lint_file(path, display) for path, display in files]
+
+    report = LintReport(files=len(results))
+    for result in results:
+        report.suppressed += result.suppressed
+        for finding in result.findings:
+            if finding.fingerprint in baseline:
+                report.baselined.append(finding)
+            else:
+                report.new_findings.append(finding)
+    return report
+
+
+def parse_source(source: str, display: str = "<string>") -> ModuleContext:
+    """Context for an in-memory snippet (test fixtures, tooling)."""
+    return ModuleContext(display, source, ast.parse(source))
