@@ -11,14 +11,24 @@ benchmarks measure both sides on the same operation:
   study pays.
 """
 
+import time
+
 import numpy as np
 from conftest import print_table
 
 from repro.core.hlisa_action_chains import HLISA_ActionChains
+from repro.crawl import (
+    CrawlSupervisor,
+    OpenWPMCrawler,
+    PopulationConfig,
+    generate_population,
+)
+from repro.faults import FaultPlan
 from repro.geometry import Point
 from repro.models.bezier import hlisa_path
 from repro.models.scroll_cadence import ScrollCadence
 from repro.models.typing_rhythm import TypingRhythm
+from repro.obs.tracer import NULL_TRACER
 from repro.webdriver.action_chains import ActionChains
 from repro.webdriver.driver import make_browser_driver
 
@@ -110,3 +120,58 @@ def test_simulated_time_cost(benchmark):
     print_table("Simulated-time cost of human-likeness", lines)
     assert costs["hlisa_click_ms"] > costs["selenium_click_ms"]
     assert costs["hlisa_typing_ms"] > 10 * costs["selenium_typing_ms"]
+
+
+def test_perf_tracing_overhead(benchmark):
+    """Observability must stay cheap: a fully traced supervised crawl may
+    cost at most 10% more wall clock than the same crawl with tracing off
+    (``NULL_TRACER``).  Runs alternate on/off and the minimum of several
+    rounds is compared, which cancels scheduler noise."""
+
+    population = generate_population(
+        PopulationConfig(
+            n_sites=30,
+            seed=3,
+            n_no_ads_detectors=1,
+            n_less_ads_detectors=1,
+            n_block_detectors=2,
+            n_captcha_detectors=1,
+            n_freeze_video_detectors=0,
+            n_other_signal_ad_detectors=0,
+            n_side_effect_blockers=0,
+            n_http_only_detectors=3,
+        )
+    )
+
+    def crawl(traced: bool):
+        crawler = OpenWPMCrawler("overhead", instances=2, seed=7)
+        plan = FaultPlan.generate(population, 2, rate=0.2, seed=5)
+        supervisor = CrawlSupervisor(
+            crawler, plan=plan, tracer=None if traced else NULL_TRACER
+        )
+        supervisor.crawl(population)
+        return supervisor
+
+    def measure():
+        crawl(True), crawl(False)  # warm-up: caches, allocator, imports
+        traced_s, untraced_s = [], []
+        for _ in range(5):
+            start = time.perf_counter()
+            supervisor = crawl(True)
+            traced_s.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            crawl(False)
+            untraced_s.append(time.perf_counter() - start)
+        return min(traced_s), min(untraced_s), len(supervisor.tracer.spans)
+
+    traced, untraced, n_spans = benchmark.pedantic(measure, rounds=1, iterations=1)
+    overhead = traced / untraced - 1.0
+    print_table(
+        "Tracing overhead on a supervised crawl",
+        [
+            f"{'tracing off (NULL_TRACER)':28s} {untraced * 1e3:8.1f} ms",
+            f"{'tracing on':28s} {traced * 1e3:8.1f} ms  ({n_spans} spans)",
+            f"{'overhead':28s} {overhead:+8.1%}  (budget +10.0%)",
+        ],
+    )
+    assert overhead <= 0.10

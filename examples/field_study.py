@@ -12,10 +12,14 @@ driver crashes/hangs, stale elements, network resets, OOM restarts) and
 a crawl-health report shows the recovery accounting -- demonstrating
 that retried/recycled crawls keep the paper's statistics intact.
 
-Usage: python examples/field_study.py [n_sites] [fault_rate]
+With a trace directory, each supervised crawl exports its deterministic
+JSONL trace there; inspect one with ``python -m repro.obs report``.
+
+Usage: python examples/field_study.py [n_sites] [fault_rate] [trace_dir]
 """
 
 import sys
+from pathlib import Path
 
 from repro.crawl import (
     CrawlSupervisor,
@@ -32,7 +36,9 @@ from repro.faults import FaultPlan
 from repro.spoofing import SpoofingExtension
 
 
-def main(n_sites: int = 1000, fault_rate: float = 0.0) -> None:
+def main(
+    n_sites: int = 1000, fault_rate: float = 0.0, trace_dir: str | None = None
+) -> None:
     if n_sites == 1000:
         population = generate_population()
     else:
@@ -68,20 +74,34 @@ def main(n_sites: int = 1000, fault_rate: float = 0.0) -> None:
             )
             for crawler in (base_crawler, ext_crawler)
         ]
-        baseline, extended = (s.crawl(population) for s in supervisors)
+        trace_paths = [None, None]
+        if trace_dir is not None:
+            out = Path(trace_dir)
+            out.mkdir(parents=True, exist_ok=True)
+            trace_paths = [
+                out / f"{s.crawler.name.replace('+', '-')}.trace.jsonl"
+                for s in supervisors
+            ]
+        baseline, extended = (
+            s.crawl(population, trace_path=path)
+            for s, path in zip(supervisors, trace_paths)
+        )
         print("\ncrawl health (crawler failure kept out of the site statistics)")
         for supervisor, result in zip(supervisors, (baseline, extended)):
-            health = evaluate_crawl_health(result)
+            health = evaluate_crawl_health(result, supervisor.stats)
             coverage = visit_coverage(result, population, supervisor.crawler.instances)
             print(
                 f"  {health.crawler_name:18s} coverage {coverage:6.1%}  "
                 f"recovered {health.recovered_visits:3d}  "
-                f"recycles {supervisor.stats.recycles:3d}  "
-                f"breaker skips {supervisor.stats.breaker_skips:3d}"
+                f"recycles {health.recycles:3d}  "
+                f"breaker skips {health.breaker_skips:3d}"
             )
             for label, count in health.rows():
                 if label.startswith("- "):
                     print(f"      {label} {count}")
+        if trace_dir is not None:
+            for path in trace_paths:
+                print(f"  trace -> {path}  (python -m repro.obs report {path})")
     else:
         print(f"crawling {len(population)} sites x 8 instances, twice ...")
         baseline = base_crawler.crawl(population)
@@ -124,4 +144,5 @@ if __name__ == "__main__":
     main(
         int(sys.argv[1]) if len(sys.argv) > 1 else 1000,
         float(sys.argv[2]) if len(sys.argv) > 2 else 0.0,
+        sys.argv[3] if len(sys.argv) > 3 else None,
     )

@@ -101,6 +101,13 @@ class InputPipeline:
         self.window = window
         self.double_click_interval_ms = double_click_interval_ms
         self.mousemove_min_interval_ms = mousemove_min_interval_ms
+        #: Running count of synthesised events (always on; one int add).
+        #: The observability layer reads deltas around action batches.
+        self.events_dispatched = 0
+        #: Optional :class:`repro.obs.MetricsRegistry`; when set, every
+        #: synthesised event increments an ``events.<type>`` counter.
+        #: Wired by ``WebDriver.tracer``; ``None`` costs nothing.
+        self.metrics = None
         #: Current pointer position in *client* (viewport) coordinates.
         #: Starts at (0, 0) -- the tell-tale the paper's Appendix F notes.
         self.pointer = Point(0.0, 0.0)
@@ -120,6 +127,9 @@ class InputPipeline:
     # -- event construction -----------------------------------------------------
 
     def _base_event(self, event_type: str, target, **kwargs) -> Event:
+        self.events_dispatched += 1
+        if self.metrics is not None:
+            self.metrics.counter("events." + event_type).inc()
         page = self.window.client_to_page(self.pointer)
         fields = dict(
             timestamp=self.window.clock.event_timestamp(),

@@ -13,10 +13,13 @@ and third-party error counts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.crawl.crawler import CrawlResult
 from repro.stats.wilcoxon import WilcoxonResult, wilcoxon_signed_rank
+
+if TYPE_CHECKING:  # avoid a runtime cycle through crawl.supervisor
+    from repro.crawl.supervisor import SupervisorStats
 
 
 @dataclass
@@ -109,6 +112,11 @@ class CrawlHealthReport:
     recovered_visits: int = 0
     attempts_total: int = 0
     failure_counts: Dict[str, int] = field(default_factory=dict)
+    #: Supervisor work-done counters (recycled browsers, circuit-breaker
+    #: skips, faults observed); zero when the crawl ran unsupervised.
+    recycles: int = 0
+    breaker_skips: int = 0
+    faults_seen: int = 0
 
     @property
     def reached_fraction(self) -> float:
@@ -125,6 +133,10 @@ class CrawlHealthReport:
             ("recovered by retry", self.recovered_visits),
             ("attempts (incl. retries)", self.attempts_total),
         ]
+        if self.recycles or self.breaker_skips or self.faults_seen:
+            rows.append(("faults seen", self.faults_seen))
+            rows.append(("browser recycles", self.recycles))
+            rows.append(("breaker skips", self.breaker_skips))
         for reason in sorted(
             self.failure_counts, key=lambda r: -self.failure_counts[r]
         ):
@@ -132,8 +144,15 @@ class CrawlHealthReport:
         return rows
 
 
-def evaluate_crawl_health(result: CrawlResult) -> CrawlHealthReport:
-    """Summarise reachability, recovery and the failure taxonomy."""
+def evaluate_crawl_health(
+    result: CrawlResult, stats: Optional["SupervisorStats"] = None
+) -> CrawlHealthReport:
+    """Summarise reachability, recovery and the failure taxonomy.
+
+    Pass the supervisor's ``stats`` to fold its work-done counters
+    (faults seen, browser recycles, breaker skips) into the report; the
+    visit-facing numbers always come from the ``CrawlResult`` itself.
+    """
     return CrawlHealthReport(
         crawler_name=result.crawler_name,
         total_visits=len(result.records),
@@ -142,6 +161,9 @@ def evaluate_crawl_health(result: CrawlResult) -> CrawlHealthReport:
         recovered_visits=len(result.recovered_visits),
         attempts_total=result.attempts_total(),
         failure_counts=result.failure_counts(),
+        recycles=stats.recycles if stats is not None else 0,
+        breaker_skips=stats.breaker_skips if stats is not None else 0,
+        faults_seen=stats.faults_seen if stats is not None else 0,
     )
 
 

@@ -19,7 +19,12 @@ OpenWPMCrawler` with the recovery behaviour a real field study needs
 - **checkpoint/resume** -- completed records are flushed to JSON at
   site boundaries, so an interrupted crawl resumes without re-visiting
   completed (site, visit_index) pairs, and the resumed result is
-  byte-identical to an uninterrupted run.
+  byte-identical to an uninterrupted run;
+- **observability** -- every crawl builds a :mod:`repro.obs` span tree
+  (crawl -> visit -> attempt -> WebDriver commands) with fault,
+  backoff, recycle and breaker decisions as span events, plus a
+  metrics registry; both are carried through checkpoints, so a resumed
+  crawl's exported trace is byte-identical to an uninterrupted one's.
 
 Determinism is the design constraint throughout: every visit attempt
 draws from its own rng stream derived from ``(seed, rank, visit_index,
@@ -44,11 +49,15 @@ from repro.crawl.population import SiteConfig
 from repro.crawl.visit import FailureReason, VisitRecord, simulate_visit
 from repro.detection.fingerprint import _reference_navigator
 from repro.faults.plan import FaultInjector, FaultPlan
-from repro.faults.recovery import BackoffPolicy, CircuitBreaker
+from repro.faults.recovery import BackoffPolicy, BreakerState, CircuitBreaker
 from repro.faults.types import FaultError
+from repro.obs import CrawlReport, Tracer, build_report, write_trace
+from repro.obs.tracer import NULL_TRACER
 from repro.webdriver.driver import WebDriver
 
-CHECKPOINT_VERSION = 1
+#: Version 2 adds the ``trace`` and ``metrics`` fields that carry the
+#: observability state across interruptions.
+CHECKPOINT_VERSION = 2
 
 #: Sub-stream tags keeping visit and jitter draws on disjoint streams.
 _VISIT_STREAM = 0x51
@@ -88,7 +97,17 @@ class SupervisorConfig:
 
 @dataclass
 class SupervisorStats:
-    """Counters describing one supervised crawl."""
+    """Counters describing one supervised crawl.
+
+    ``visits`` / ``reached`` / ``failed`` / ``resumed`` describe the
+    *result* of the most recent :meth:`CrawlSupervisor.crawl` call: they
+    are reconciled at crawl end from the records actually emitted, so a
+    resumed crawl over a shrunk population never inherits counts for
+    checkpointed visits it dropped.  The remaining counters (attempts,
+    retries, faults_seen, ...) describe the *work done* across the
+    crawl's whole history, including the interrupted portion restored
+    from a checkpoint.
+    """
 
     visits: int = 0
     reached: int = 0
@@ -107,19 +126,21 @@ class BrowserInstance:
 
     Holds the persistent window/driver pair and the fault count that
     triggers recycling.  Recycling re-runs the full spawn sequence:
-    fresh window, fresh driver, extension re-injected.
+    fresh window, fresh driver, extension re-injected -- with the
+    supervisor's tracer re-wired into the fresh driver.
     """
 
-    def __init__(self, index: int, extension=None) -> None:
+    def __init__(self, index: int, extension=None, tracer=None) -> None:
         self.index = index
         self.extension = extension
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.fault_count = 0
         self.recycles = 0
         self._spawn()
 
     def _spawn(self) -> None:
         self.window = Window(profile=NavigatorProfile(webdriver=True))
-        self.driver = WebDriver(self.window)
+        self.driver = WebDriver(self.window, tracer=self.tracer)
         if self.extension is not None:
             self.extension.inject(self.window)
 
@@ -127,6 +148,16 @@ class BrowserInstance:
         """Record one fault; returns the running count."""
         self.fault_count += 1
         return self.fault_count
+
+    def state_dict(self) -> Dict[str, int]:
+        """The recycling state a checkpoint must carry: resumed crawls
+        must reach the fault budget exactly where an uninterrupted one
+        would."""
+        return {"fault_count": self.fault_count, "recycles": self.recycles}
+
+    def load_state(self, state: Dict[str, int]) -> None:
+        self.fault_count = int(state.get("fault_count", 0))
+        self.recycles = int(state.get("recycles", 0))
 
     def recycle(self) -> None:
         """Tear the browser down and spawn a fresh one."""
@@ -148,6 +179,13 @@ class CrawlSupervisor:
     plan:
         Optional :class:`~repro.faults.plan.FaultPlan`; without one the
         supervisor runs fault-free (pure web dynamics).
+    tracer:
+        Observability sink.  Defaults to a fresh :class:`repro.obs.
+        Tracer` over the supervisor's clock; pass
+        :data:`repro.obs.NULL_TRACER` to disable tracing.  A
+        caller-built tracer is re-wired onto the supervisor's clock --
+        spans must be stamped from the one clock checkpoint resume
+        advances in place.
     """
 
     def __init__(
@@ -155,12 +193,34 @@ class CrawlSupervisor:
         crawler: OpenWPMCrawler,
         config: Optional[SupervisorConfig] = None,
         plan: Optional[FaultPlan] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.crawler = crawler
         self.config = config or SupervisorConfig()
         self.injector = FaultInjector(plan) if plan is not None else None
         self.clock = VirtualClock()
+        if tracer is None:
+            tracer = Tracer(self.clock)
+        elif tracer.enabled and tracer.clock is not self.clock:
+            tracer.clock = self.clock
+        self.tracer = tracer
+        self.metrics = tracer.metrics
         self.stats = SupervisorStats()
+        self._instances: Optional[List[BrowserInstance]] = None
+        self._restored_browsers: Optional[List[Dict[str, int]]] = None
+        self._bind_metric_handles()
+
+    def _bind_metric_handles(self) -> None:
+        """Cache per-visit metric handles (one method call on hot paths).
+
+        Must be re-run whenever ``metrics.load_state`` replaces the
+        registry's contents, or the cached handles would keep feeding
+        orphaned objects.
+        """
+        metrics = self.metrics
+        self._visit_ms = metrics.histogram("visit_ms")
+        self._attempt_ms = metrics.histogram("attempt_ms")
+        self._backoff_ms = metrics.histogram("backoff_ms")
 
     # -- main loop -------------------------------------------------------
 
@@ -169,29 +229,50 @@ class CrawlSupervisor:
         population: Sequence[SiteConfig],
         *,
         checkpoint_path: Optional[Union[str, Path]] = None,
+        trace_path: Optional[Union[str, Path]] = None,
     ) -> CrawlResult:
-        """Visit every site ``crawler.instances`` times, resiliently."""
+        """Visit every site ``crawler.instances`` times, resiliently.
+
+        ``trace_path`` additionally exports the crawl's span tree as
+        canonical JSONL (see :mod:`repro.obs.export`) when the crawl
+        completes.
+        """
         config = self.config
         path = checkpoint_path or config.checkpoint_path
         path = Path(path) if path is not None else None
         completed = self._load_checkpoint(path)
+        root = self.tracer.resume_or_start(
+            "crawl",
+            crawler=self.crawler.name,
+            seed=self.crawler.seed,
+            instances=self.crawler.instances,
+        )
 
         instances = [
-            BrowserInstance(i, self.crawler.extension)
+            BrowserInstance(i, self.crawler.extension, tracer=self.tracer)
             for i in range(self.crawler.instances)
         ]
+        if self._restored_browsers is not None:
+            for instance, state in zip(instances, self._restored_browsers):
+                instance.load_state(state)
+            self._restored_browsers = None
+        self._instances = instances
         reference = _reference_navigator()
         records: List[VisitRecord] = []
         fresh_sites = 0
+        reused = 0
         for site in population:
             breaker = CircuitBreaker(
-                config.breaker_failure_threshold, config.breaker_cooldown_ms
+                config.breaker_failure_threshold,
+                config.breaker_cooldown_ms,
+                listener=self._breaker_listener(site.domain),
             )
             site_was_fresh = False
             for visit_index in range(self.crawler.instances):
                 key = (site.domain, visit_index)
                 if key in completed:
                     records.append(completed[key])
+                    reused += 1
                     continue
                 site_was_fresh = True
                 record = self._visit_with_retry(
@@ -209,9 +290,44 @@ class CrawlSupervisor:
                 if fresh_sites >= config.checkpoint_every_sites:
                     self._write_checkpoint(path, records)
                     fresh_sites = 0
+        # Reconcile the result-facing counters from the records actually
+        # emitted: a resumed crawl over a shrunk or reordered population
+        # restores checkpointed stats wholesale, which may count visits
+        # whose records this population no longer produces.
+        self.stats.visits = len(records)
+        self.stats.reached = sum(1 for record in records if record.reached)
+        self.stats.failed = self.stats.visits - self.stats.reached
+        self.stats.resumed = reused
+        self.tracer.end(root)
         if path is not None:
             self._write_checkpoint(path, records)
+        if trace_path is not None:
+            write_trace(trace_path, self.tracer.spans)
         return CrawlResult(crawler_name=self.crawler.name, records=records)
+
+    # -- observability ---------------------------------------------------
+
+    def _breaker_listener(self, domain: str):
+        tracer = self.tracer
+        metrics = self.metrics
+
+        def on_transition(old_state: BreakerState, new_state: BreakerState) -> None:
+            tracer.event(
+                "breaker." + new_state.value,
+                domain=domain,
+                previous=old_state.value,
+            )
+            metrics.counter("breaker." + new_state.value).inc()
+
+        return on_transition
+
+    def export_trace(self, path: Union[str, Path]) -> Path:
+        """Write the crawl's span tree as canonical JSONL."""
+        return write_trace(path, self.tracer.spans)
+
+    def report(self) -> CrawlReport:
+        """Aggregate the crawl's trace and metrics into a report."""
+        return build_report(self.tracer.spans, metrics=self.metrics.state_dict())
 
     # -- one visit, with recovery ---------------------------------------
 
@@ -223,12 +339,40 @@ class CrawlSupervisor:
         breaker: CircuitBreaker,
         reference,
     ) -> VisitRecord:
+        tracer = self.tracer
+        span = tracer.start(
+            "visit", domain=site.domain, rank=site.rank, visit_index=visit_index
+        )
+        start_ms = self.clock.now()
+        try:
+            record = self._run_attempts(
+                site, visit_index, instance, breaker, reference
+            )
+            span.attrs["attempts"] = record.attempts
+            if not record.reached:
+                span.status = "failed:" + (record.failure_reason or "unknown")
+            return record
+        finally:
+            self._visit_ms.observe(self.clock.now() - start_ms)
+            tracer.end(span)
+
+    def _run_attempts(
+        self,
+        site: SiteConfig,
+        visit_index: int,
+        instance: BrowserInstance,
+        breaker: CircuitBreaker,
+        reference,
+    ) -> VisitRecord:
         config = self.config
+        tracer = self.tracer
         last_reason = FailureReason.TRANSIENT
         attempts_made = 0
         for attempt in range(config.max_attempts):
             if not breaker.allow(self.clock.now()):
                 self.stats.breaker_skips += 1
+                tracer.event("breaker.skip", domain=site.domain, attempt=attempt)
+                self.metrics.counter("breaker.skips").inc()
                 return VisitRecord(
                     domain=site.domain,
                     rank=site.rank,
@@ -244,55 +388,64 @@ class CrawlSupervisor:
             )
             if self.injector is not None:
                 self.injector.arm(site.domain, visit_index, attempt)
+            span = tracer.start("attempt", attempt=attempt)
+            attempt_start_ms = self.clock.now()
             try:
-                record = simulate_visit(
-                    site,
-                    extension=self.crawler.extension,
-                    visit_index=visit_index,
-                    rng=rng,
-                    reference=reference,
-                    per_visit_failure=config.per_visit_failure,
-                    driver=instance.driver,
-                    injector=self.injector,
-                )
-            except FaultError as fault:
-                self.stats.faults_seen += 1
-                last_reason = fault.fault_type.value
-                cost = (
-                    config.visit_budget_ms
-                    if fault.fault_type.exhausts_budget
-                    else config.fault_detect_ms
-                )
-                self.clock.advance(min(cost, config.visit_budget_ms))
-                breaker.record_failure(self.clock.now())
-                if fault.fault_type.browser_fatal:
-                    instance.recycle()
-                    self.stats.recycles += 1
-                elif instance.note_fault() >= config.recycle_after_faults:
-                    instance.recycle()
-                    self.stats.recycles += 1
-                self._backoff(site, visit_index, attempt)
-                continue
-            finally:
-                if self.injector is not None:
-                    self.injector.disarm()
+                try:
+                    record = simulate_visit(
+                        site,
+                        extension=self.crawler.extension,
+                        visit_index=visit_index,
+                        rng=rng,
+                        reference=reference,
+                        per_visit_failure=config.per_visit_failure,
+                        driver=instance.driver,
+                        injector=self.injector,
+                    )
+                except FaultError as fault:
+                    self.stats.faults_seen += 1
+                    last_reason = fault.fault_type.value
+                    span.status = "fault:" + last_reason
+                    tracer.event("fault", fault_type=last_reason, hook=fault.hook)
+                    self.metrics.counter("faults." + last_reason).inc()
+                    cost = (
+                        config.visit_budget_ms
+                        if fault.fault_type.exhausts_budget
+                        else config.fault_detect_ms
+                    )
+                    self.clock.advance(min(cost, config.visit_budget_ms))
+                    breaker.record_failure(self.clock.now())
+                    if fault.fault_type.browser_fatal:
+                        self._recycle(instance, "fatal-fault")
+                    elif instance.note_fault() >= config.recycle_after_faults:
+                        self._recycle(instance, "fault-budget")
+                    self._backoff(site, visit_index, attempt)
+                    continue
+                finally:
+                    if self.injector is not None:
+                        self.injector.disarm()
 
-            record.attempts = attempts_made
-            if record.reached:
-                record.recovered = attempts_made > 1
+                record.attempts = attempts_made
+                if record.reached:
+                    record.recovered = attempts_made > 1
+                    self.clock.advance(config.visit_cost_ms)
+                    breaker.record_success()
+                    if record.recovered:
+                        self.stats.recovered += 1
+                    return record
+
+                # Site-side failure: permanent conditions are not retried.
                 self.clock.advance(config.visit_cost_ms)
-                breaker.record_success()
-                if record.recovered:
-                    self.stats.recovered += 1
-                return record
-
-            # Site-side failure: permanent conditions are not retried.
-            self.clock.advance(config.visit_cost_ms)
-            breaker.record_failure(self.clock.now())
-            if FailureReason.is_permanent(record.failure_reason):
-                return record
-            last_reason = record.failure_reason or last_reason
-            self._backoff(site, visit_index, attempt)
+                breaker.record_failure(self.clock.now())
+                if FailureReason.is_permanent(record.failure_reason):
+                    span.status = "failed:" + record.failure_reason
+                    return record
+                last_reason = record.failure_reason or last_reason
+                span.status = "failed:" + last_reason
+                self._backoff(site, visit_index, attempt)
+            finally:
+                self._attempt_ms.observe(self.clock.now() - attempt_start_ms)
+                tracer.end(span)
 
         return VisitRecord(
             domain=site.domain,
@@ -303,12 +456,21 @@ class CrawlSupervisor:
             attempts=attempts_made,
         )
 
+    def _recycle(self, instance: BrowserInstance, reason: str) -> None:
+        instance.recycle()
+        self.stats.recycles += 1
+        self.tracer.event("browser.recycle", browser=instance.index, reason=reason)
+        self.metrics.counter("recycles").inc()
+
     def _backoff(self, site: SiteConfig, visit_index: int, attempt: int) -> None:
         """Advance the simulated clock by the jittered retry delay."""
         rng = np.random.default_rng(
             [self.crawler.seed, _JITTER_STREAM, site.rank, visit_index, attempt]
         )
-        self.clock.advance(self.config.backoff.delay_ms(attempt, rng))
+        delay_ms = self.config.backoff.delay_ms(attempt, rng)
+        self.tracer.event("backoff", delay_ms=delay_ms, attempt=attempt)
+        self._backoff_ms.observe(delay_ms)
+        self.clock.advance(delay_ms)
         self.stats.retries += 1
 
     # -- checkpointing ---------------------------------------------------
@@ -333,11 +495,29 @@ class CrawlSupervisor:
         for record_data in data["records"]:
             record = VisitRecord.from_dict(record_data)
             completed[(record.domain, record.visit_index)] = record
-        self.clock = VirtualClock(float(data.get("clock_ms", 0.0)))
+        # Advance the one shared clock in place.  The tracer, breakers
+        # and any collaborator wired before resume hold *references* to
+        # this clock; rebinding a fresh VirtualClock here would leave
+        # them all ticking a stale timeline.
+        behind = float(data.get("clock_ms", 0.0)) - self.clock.now()
+        if behind < 0:
+            raise ValueError(
+                f"checkpoint {path} is older than this supervisor's clock; "
+                "resume with a fresh supervisor"
+            )
+        self.clock.advance(behind)
+        self._restored_browsers = data.get("browsers")
         stats = data.get("stats")
         if stats is not None:
             self.stats = SupervisorStats(**stats)
         self.stats.resumed = len(completed)
+        trace_state = data.get("trace")
+        if trace_state is not None:
+            self.tracer.load_state(trace_state)
+        metrics_state = data.get("metrics")
+        if metrics_state is not None:
+            self.metrics.load_state(metrics_state)
+            self._bind_metric_handles()
         return completed
 
     def _write_checkpoint(self, path: Path, records: List[VisitRecord]) -> None:
@@ -348,6 +528,11 @@ class CrawlSupervisor:
             "instances": self.crawler.instances,
             "clock_ms": self.clock.now(),
             "stats": asdict(self.stats),
+            "browsers": [
+                instance.state_dict() for instance in self._instances or []
+            ],
+            "trace": self.tracer.state_dict(),
+            "metrics": self.metrics.state_dict(),
             "records": [r.to_dict() for r in records],
         }
         tmp = path.with_name(path.name + ".tmp")

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -66,10 +66,20 @@ class CircuitBreaker:
     than hammering a dead or hostile host).  Once ``cooldown_ms`` of
     simulated time passes, one trial request is let through (half-open);
     its success closes the breaker, its failure re-opens it.
+
+    ``listener`` (if given) is called as ``listener(old_state,
+    new_state)`` on every state *transition* -- the observability layer
+    turns these into trace events.  Repeated successes in CLOSED (or
+    failures while already OPEN) fire nothing.
     """
 
     def __init__(
-        self, failure_threshold: int = 4, cooldown_ms: float = 300_000.0
+        self,
+        failure_threshold: int = 4,
+        cooldown_ms: float = 300_000.0,
+        listener: Optional[
+            Callable[["BreakerState", "BreakerState"], None]
+        ] = None,
     ) -> None:
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be >= 1")
@@ -77,6 +87,7 @@ class CircuitBreaker:
             raise ValueError("cooldown_ms must be non-negative")
         self.failure_threshold = failure_threshold
         self.cooldown_ms = cooldown_ms
+        self.listener = listener
         self._consecutive_failures = 0
         self._state = BreakerState.CLOSED
         self._opened_at_ms: Optional[float] = None
@@ -84,6 +95,14 @@ class CircuitBreaker:
     @property
     def state(self) -> BreakerState:
         return self._state
+
+    def _transition(self, new_state: BreakerState) -> None:
+        if new_state is self._state:
+            return
+        old_state = self._state
+        self._state = new_state
+        if self.listener is not None:
+            self.listener(old_state, new_state)
 
     def allow(self, now_ms: float) -> bool:
         """Whether a request may proceed at simulated time ``now_ms``."""
@@ -94,14 +113,14 @@ class CircuitBreaker:
             return False
         assert self._opened_at_ms is not None
         if now_ms - self._opened_at_ms >= self.cooldown_ms:
-            self._state = BreakerState.HALF_OPEN
+            self._transition(BreakerState.HALF_OPEN)
             return True
         return False
 
     def record_success(self) -> None:
         self._consecutive_failures = 0
-        self._state = BreakerState.CLOSED
         self._opened_at_ms = None
+        self._transition(BreakerState.CLOSED)
 
     def record_failure(self, now_ms: float) -> None:
         self._consecutive_failures += 1
@@ -109,5 +128,5 @@ class CircuitBreaker:
             self._state is BreakerState.HALF_OPEN
             or self._consecutive_failures >= self.failure_threshold
         ):
-            self._state = BreakerState.OPEN
             self._opened_at_ms = now_ms
+            self._transition(BreakerState.OPEN)

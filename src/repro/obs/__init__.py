@@ -1,0 +1,54 @@
+"""``repro.obs``: deterministic observability for the crawl stack.
+
+Spans (a per-visit tree over the virtual clock), a metrics registry
+(counters + fixed-bucket histograms), byte-stable JSONL trace export,
+and an aggregate crawl report -- all seed- and clock-deterministic, so
+traces are byte-identical across identical runs and across
+interrupt/resume (docs/OBSERVABILITY.md).
+
+The motivating literature: Krumnow et al. show unobserved crawler-side
+behaviour silently biases crawl statistics; this package makes every
+supervised visit's timeline observable without breaking the
+reproduction's determinism contract.
+"""
+
+from repro.obs.export import (
+    parse_trace,
+    read_trace,
+    span_to_json,
+    trace_to_jsonl,
+    write_trace,
+)
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    NULL_METRICS,
+)
+from repro.obs.report import CrawlReport, SpanAggregate, build_report
+from repro.obs.span import Span, SpanEvent
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "Span",
+    "SpanEvent",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "span_to_json",
+    "trace_to_jsonl",
+    "write_trace",
+    "parse_trace",
+    "read_trace",
+    "CrawlReport",
+    "SpanAggregate",
+    "build_report",
+]

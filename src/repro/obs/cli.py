@@ -1,0 +1,66 @@
+"""``python -m repro.obs`` -- read traces, print crawl reports.
+
+Usage::
+
+    python -m repro.obs report trace.jsonl            # text report
+    python -m repro.obs report trace.jsonl --format json
+    python -m repro.obs report trace.jsonl --out report.json --format json
+
+The trace is the JSONL file written by ``CrawlSupervisor.crawl(...,
+trace_path=...)`` (or :func:`repro.obs.export.write_trace`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.obs.export import read_trace
+from repro.obs.report import build_report
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.obs",
+        description="Deterministic crawl observability: trace reports.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    report = subparsers.add_parser(
+        "report", help="aggregate a JSONL trace into a crawl report"
+    )
+    report.add_argument("trace", help="path to the JSONL trace file")
+    report.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    report.add_argument(
+        "--out",
+        default=None,
+        help="write the report here instead of stdout",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    trace_path = Path(args.trace)
+    if not trace_path.exists():
+        print(f"error: no such trace file: {trace_path}", file=sys.stderr)
+        return 1
+    report = build_report(read_trace(trace_path))
+    rendered = (
+        report.render_json() if args.format == "json" else report.render_text()
+    )
+    if args.out is not None:
+        Path(args.out).write_text(rendered)
+    else:
+        sys.stdout.write(rendered)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,203 @@
+"""The crawl report: aggregate a span tree into readable accounting.
+
+``build_report`` walks an exported (or in-memory) trace and produces the
+numbers a field-study reader needs before trusting Table 2 / Fig. 4:
+how many visits ran, how many attempts and retries they cost, where the
+virtual-clock time went (navigation vs. interaction vs. recovery), and
+the fault / breaker / recycle distributions.  Everything derives from
+the trace alone, so ``python -m repro.obs report trace.jsonl`` works on
+any machine without the original crawl objects.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.span import Span
+
+#: Span names emitted by the instrumented stack (docs/OBSERVABILITY.md).
+SPAN_CRAWL = "crawl"
+SPAN_VISIT = "visit"
+SPAN_ATTEMPT = "attempt"
+SPAN_HLISA_PERFORM = "hlisa.perform"
+SPAN_WEBDRIVER_PREFIX = "webdriver."
+
+EVENT_FAULT = "fault"
+EVENT_BACKOFF = "backoff"
+EVENT_RECYCLE = "browser.recycle"
+EVENT_BREAKER_SKIP = "breaker.skip"
+EVENT_BREAKER_PREFIX = "breaker."
+
+
+@dataclass
+class SpanAggregate:
+    """Count and virtual-clock totals for one span name."""
+
+    count: int = 0
+    total_ms: float = 0.0
+    max_ms: float = 0.0
+
+    def add(self, duration_ms: float) -> None:
+        self.count += 1
+        self.total_ms += duration_ms
+        if duration_ms > self.max_ms:
+            self.max_ms = duration_ms
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "total_ms": self.total_ms,
+            "max_ms": self.max_ms,
+        }
+
+
+@dataclass
+class CrawlReport:
+    """Everything the trace says about one crawl."""
+
+    crawl_ms: float = 0.0
+    visits: int = 0
+    reached: int = 0
+    failed: int = 0
+    attempts: int = 0
+    retries: int = 0
+    #: Virtual-clock attribution: successful attempts, faulted/failed
+    #: attempts (recovery), and -- overlapping the latter -- backoff.
+    attempt_ok_ms: float = 0.0
+    attempt_failed_ms: float = 0.0
+    backoff_ms: float = 0.0
+    faults: Dict[str, int] = field(default_factory=dict)
+    breaker_events: Dict[str, int] = field(default_factory=dict)
+    recycles: int = 0
+    #: ``(attempts, visits)`` pairs, sorted by attempt count.
+    attempts_per_visit: List[Tuple[int, int]] = field(default_factory=list)
+    span_totals: Dict[str, SpanAggregate] = field(default_factory=dict)
+    event_counts: Dict[str, int] = field(default_factory=dict)
+    #: Optional metrics-registry snapshot (``MetricsRegistry.state_dict``).
+    metrics: Optional[Dict[str, Any]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "crawl_ms": self.crawl_ms,
+            "visits": self.visits,
+            "reached": self.reached,
+            "failed": self.failed,
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "attempt_ok_ms": self.attempt_ok_ms,
+            "attempt_failed_ms": self.attempt_failed_ms,
+            "backoff_ms": self.backoff_ms,
+            "faults": {k: self.faults[k] for k in sorted(self.faults)},
+            "breaker_events": {
+                k: self.breaker_events[k] for k in sorted(self.breaker_events)
+            },
+            "recycles": self.recycles,
+            "attempts_per_visit": [list(p) for p in self.attempts_per_visit],
+            "span_totals": {
+                name: self.span_totals[name].to_dict()
+                for name in sorted(self.span_totals)
+            },
+            "event_counts": {
+                k: self.event_counts[k] for k in sorted(self.event_counts)
+            },
+            "metrics": self.metrics,
+        }
+
+    def render_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+    def render_text(self) -> str:
+        lines = ["crawl report", "============"]
+        lines.append(f"{'crawl duration':28s} {self.crawl_ms:12.1f} ms")
+        lines.append(f"{'visits':28s} {self.visits:12d}")
+        lines.append(f"{'  reached':28s} {self.reached:12d}")
+        lines.append(f"{'  failed':28s} {self.failed:12d}")
+        lines.append(f"{'attempts (incl. retries)':28s} {self.attempts:12d}")
+        lines.append(f"{'retries':28s} {self.retries:12d}")
+        lines.append("")
+        lines.append("virtual-clock attribution")
+        lines.append(f"{'  successful attempts':28s} {self.attempt_ok_ms:12.1f} ms")
+        lines.append(
+            f"{'  failed attempts (recovery)':28s} {self.attempt_failed_ms:12.1f} ms"
+        )
+        lines.append(f"{'    of which backoff':28s} {self.backoff_ms:12.1f} ms")
+        if self.faults:
+            lines.append("")
+            lines.append("faults injected")
+            for name in sorted(self.faults):
+                lines.append(f"{'  ' + name:28s} {self.faults[name]:12d}")
+        if self.recycles:
+            lines.append(f"{'browser recycles':28s} {self.recycles:12d}")
+        if self.breaker_events:
+            lines.append("")
+            lines.append("circuit breaker")
+            for name in sorted(self.breaker_events):
+                lines.append(
+                    f"{'  ' + name:28s} {self.breaker_events[name]:12d}"
+                )
+        if self.attempts_per_visit:
+            lines.append("")
+            lines.append("attempts per visit")
+            for attempts, visits in self.attempts_per_visit:
+                lines.append(f"{'  ' + str(attempts) + ' attempt(s)':28s} {visits:12d}")
+        lines.append("")
+        lines.append("span totals")
+        for name in sorted(self.span_totals):
+            aggregate = self.span_totals[name]
+            lines.append(
+                f"{'  ' + name:28s} {aggregate.count:8d} x "
+                f"{aggregate.total_ms:12.1f} ms total"
+            )
+        return "\n".join(lines) + "\n"
+
+
+def build_report(
+    spans: List[Span], metrics: Optional[Dict[str, Any]] = None
+) -> CrawlReport:
+    """Aggregate a trace (see :mod:`repro.obs.export`) into a report."""
+    report = CrawlReport(metrics=metrics)
+    attempts_histogram: Dict[int, int] = {}
+    for span in spans:
+        aggregate = report.span_totals.get(span.name)
+        if aggregate is None:
+            aggregate = report.span_totals[span.name] = SpanAggregate()
+        aggregate.add(span.duration_ms)
+
+        if span.name == SPAN_CRAWL:
+            report.crawl_ms += span.duration_ms
+        elif span.name == SPAN_VISIT:
+            report.visits += 1
+            if span.status == "ok":
+                report.reached += 1
+            else:
+                report.failed += 1
+            attempts = int(span.attrs.get("attempts", 1))
+            attempts_histogram[attempts] = attempts_histogram.get(attempts, 0) + 1
+        elif span.name == SPAN_ATTEMPT:
+            report.attempts += 1
+            if span.status == "ok":
+                report.attempt_ok_ms += span.duration_ms
+            else:
+                report.attempt_failed_ms += span.duration_ms
+
+        for event in span.events or []:
+            report.event_counts[event.name] = (
+                report.event_counts.get(event.name, 0) + 1
+            )
+            if event.name == EVENT_FAULT:
+                fault_type = str(event.attrs.get("fault_type", "unknown"))
+                report.faults[fault_type] = report.faults.get(fault_type, 0) + 1
+            elif event.name == EVENT_BACKOFF:
+                report.retries += 1
+                report.backoff_ms += float(event.attrs.get("delay_ms", 0.0))
+            elif event.name == EVENT_RECYCLE:
+                report.recycles += 1
+            elif event.name.startswith(EVENT_BREAKER_PREFIX):
+                key = event.name[len(EVENT_BREAKER_PREFIX) :]
+                report.breaker_events[key] = (
+                    report.breaker_events.get(key, 0) + 1
+                )
+    report.attempts_per_visit = sorted(attempts_histogram.items())
+    return report

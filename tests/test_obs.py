@@ -1,0 +1,425 @@
+"""repro.obs: deterministic spans, metrics, trace export, crawl report."""
+
+import json
+
+import pytest
+
+from repro.clock import VirtualClock
+from repro.crawl import (
+    CrawlSupervisor,
+    OpenWPMCrawler,
+    PopulationConfig,
+    SupervisorConfig,
+    generate_population,
+)
+from repro.faults import FaultPlan
+from repro.faults.types import FaultError, FaultType, NetworkResetFault
+from repro.obs import (
+    NULL_TRACER,
+    MetricsRegistry,
+    Span,
+    Tracer,
+    build_report,
+    parse_trace,
+    read_trace,
+    trace_to_jsonl,
+    write_trace,
+)
+from repro.obs.cli import main as obs_main
+from repro.webdriver.driver import make_browser_driver
+
+
+def tiny_population(n=10, seed=3):
+    return generate_population(
+        PopulationConfig(
+            n_sites=n,
+            seed=seed,
+            n_no_ads_detectors=0,
+            n_less_ads_detectors=0,
+            n_block_detectors=1,
+            n_captcha_detectors=0,
+            n_freeze_video_detectors=0,
+            n_other_signal_ad_detectors=0,
+            n_side_effect_blockers=0,
+            n_http_only_detectors=1,
+        )
+    )
+
+
+def make_supervisor(population, fault_rate=0.2, seed=7, instances=2, **config):
+    crawler = OpenWPMCrawler("obs", instances=instances, seed=seed)
+    plan = FaultPlan.generate(population, instances, rate=fault_rate, seed=5)
+    return CrawlSupervisor(crawler, config=SupervisorConfig(**config), plan=plan)
+
+
+class TestSpans:
+    def test_nesting_parent_ids_and_start_order(self):
+        clock = VirtualClock()
+        tracer = Tracer(clock)
+        a = tracer.start("crawl")
+        b = tracer.start("visit")
+        clock.advance(5.0)
+        c = tracer.start("attempt")
+        tracer.end(c)
+        tracer.end(b)
+        d = tracer.start("visit")
+        tracer.end(d)
+        tracer.end(a)
+        assert [s.span_id for s in tracer.spans] == [1, 2, 3, 4]
+        assert a.parent_id == 0
+        assert b.parent_id == a.span_id
+        assert c.parent_id == b.span_id
+        assert d.parent_id == a.span_id
+        assert c.start_ms == 5.0 and b.duration_ms == 5.0
+
+    def test_end_enforces_lifo_discipline(self):
+        tracer = Tracer(VirtualClock())
+        outer = tracer.start("outer")
+        tracer.start("inner")
+        with pytest.raises(ValueError):
+            tracer.end(outer)
+
+    def test_events_attach_to_innermost_open_span(self):
+        clock = VirtualClock()
+        tracer = Tracer(clock)
+        outer = tracer.start("outer")
+        inner = tracer.start("inner")
+        clock.advance(3.0)
+        tracer.event("fault", fault_type="driver-crash")
+        tracer.end(inner)
+        tracer.event("backoff", delay_ms=500.0)
+        tracer.end(outer)
+        assert [e.name for e in inner.events] == ["fault"]
+        assert inner.events[0].ts_ms == 3.0
+        assert [e.name for e in outer.events] == ["backoff"]
+
+    def test_context_manager_marks_error_status(self):
+        tracer = Tracer(VirtualClock())
+        with pytest.raises(RuntimeError):
+            with tracer.span("risky"):
+                raise RuntimeError("boom")
+        (span,) = tracer.spans
+        assert span.status == "error:RuntimeError"
+        assert not span.open
+
+    def test_state_roundtrip_preserves_open_stack(self):
+        clock = VirtualClock()
+        tracer = Tracer(clock)
+        tracer.start("crawl")
+        tracer.start("visit")
+        clock.advance(7.0)
+        state = json.loads(json.dumps(tracer.state_dict()))
+        other = Tracer(VirtualClock(clock.now()))
+        other.load_state(state)
+        assert [s.to_dict() for s in other.spans] == [
+            s.to_dict() for s in tracer.spans
+        ]
+        assert [s.span_id for s in other.open_spans] == [1, 2]
+        other.end(other.open_spans[-1])
+        assert other.spans[1].end_ms == 7.0
+
+    def test_resume_or_start_reopens_closed_root(self):
+        clock = VirtualClock()
+        tracer = Tracer(clock)
+        root = tracer.start("crawl")
+        clock.advance(10.0)
+        tracer.end(root)
+        again = tracer.resume_or_start("crawl")
+        assert again is root and root.open
+        clock.advance(5.0)
+        tracer.end(root)
+        assert root.end_ms == 15.0
+        assert len(tracer.spans) == 1  # no second root forked
+
+    def test_null_tracer_records_nothing(self):
+        NULL_TRACER.start("x")
+        NULL_TRACER.event("y")
+        assert NULL_TRACER.spans == []
+        assert NULL_TRACER.state_dict() is None
+        assert not NULL_TRACER.enabled
+
+
+class TestMetrics:
+    def test_counter_and_histogram_accumulate(self):
+        metrics = MetricsRegistry()
+        metrics.counter("faults").inc()
+        metrics.counter("faults").inc(2)
+        assert metrics.counter_value("faults") == 3
+        hist = metrics.histogram("latency", bounds=(10.0, 100.0))
+        for value in (5.0, 10.0, 11.0, 250.0):
+            hist.observe(value)
+        # Inclusive upper bounds plus one overflow bucket.
+        assert hist.bucket_counts == [2, 1, 1]
+        assert hist.count == 4
+        assert hist.mean == pytest.approx((5 + 10 + 11 + 250) / 4.0)
+
+    def test_counters_reject_negative_increments(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_state_dict_sorted_and_creation_order_independent(self):
+        a = MetricsRegistry()
+        a.counter("zeta").inc()
+        a.counter("alpha").inc()
+        b = MetricsRegistry()
+        b.counter("alpha").inc()
+        b.counter("zeta").inc()
+        assert json.dumps(a.state_dict()) == json.dumps(b.state_dict())
+        assert list(a.state_dict()["counters"]) == ["alpha", "zeta"]
+
+    def test_state_roundtrip(self):
+        metrics = MetricsRegistry()
+        metrics.counter("visits").inc(4)
+        metrics.histogram("ms").observe(42.0)
+        restored = MetricsRegistry()
+        restored.load_state(json.loads(json.dumps(metrics.state_dict())))
+        assert restored.state_dict() == metrics.state_dict()
+        restored.histogram("ms").observe(42.0)
+        assert restored.histogram("ms").count == 2
+
+
+class TestExport:
+    def test_jsonl_roundtrip_and_byte_identity(self):
+        clock = VirtualClock()
+        tracer = Tracer(clock)
+        with tracer.span("crawl", seed=7):
+            with tracer.span("visit", domain="a.example"):
+                clock.advance(12.5)
+                tracer.event("fault", fault_type="driver-crash")
+        text = trace_to_jsonl(tracer.spans)
+        assert text.endswith("\n") and len(text.splitlines()) == 2
+        spans = parse_trace(text)
+        assert spans == tracer.spans
+        assert trace_to_jsonl(spans) == text  # canonical: fixed point
+
+    def test_write_and_read_trace_files(self, tmp_path):
+        tracer = Tracer(VirtualClock())
+        span = tracer.start("crawl")
+        tracer.end(span)
+        path = write_trace(tmp_path / "trace.jsonl", tracer.spans)
+        assert read_trace(path) == tracer.spans
+
+    def test_empty_trace_serialises_to_empty_string(self):
+        assert trace_to_jsonl([]) == ""
+        assert parse_trace("") == []
+
+
+class TestReport:
+    def trace(self):
+        clock = VirtualClock()
+        tracer = Tracer(clock)
+        root = tracer.start("crawl")
+        visit = tracer.start("visit", domain="a.example", attempts=2)
+        bad = tracer.start("attempt", attempt=0)
+        clock.advance(2_000.0)
+        tracer.event("fault", fault_type="driver-crash", hook="get")
+        tracer.event("browser.recycle", browser=0, reason="fatal-fault")
+        tracer.event("backoff", delay_ms=500.0, attempt=0)
+        clock.advance(500.0)
+        bad.status = "fault:driver-crash"
+        tracer.end(bad)
+        good = tracer.start("attempt", attempt=1)
+        clock.advance(8_000.0)
+        tracer.end(good)
+        tracer.end(visit)
+        tracer.end(root)
+        return tracer.spans
+
+    def test_build_report_aggregates(self):
+        report = build_report(self.trace())
+        assert report.visits == 1 and report.reached == 1 and report.failed == 0
+        assert report.attempts == 2 and report.retries == 1
+        assert report.faults == {"driver-crash": 1}
+        assert report.recycles == 1
+        assert report.backoff_ms == 500.0
+        assert report.attempt_failed_ms == 2_500.0
+        assert report.attempt_ok_ms == 8_000.0
+        assert report.attempts_per_visit == [(2, 1)]
+        assert report.span_totals["attempt"].count == 2
+
+    def test_render_text_and_json(self):
+        report = build_report(self.trace())
+        text = report.render_text()
+        assert "crawl report" in text and "driver-crash" in text
+        data = json.loads(report.render_json())
+        assert data["visits"] == 1 and data["faults"] == {"driver-crash": 1}
+
+    def test_report_matches_supervisor_stats(self):
+        population = tiny_population()
+        sup = make_supervisor(population)
+        sup.crawl(population)
+        report = sup.report()
+        assert report.visits == sup.stats.visits
+        assert report.reached == sup.stats.reached
+        assert report.failed == sup.stats.failed
+        assert report.attempts == sup.stats.attempts
+        assert report.retries == sup.stats.retries
+        assert report.recycles == sup.stats.recycles
+        assert sum(report.faults.values()) == sup.stats.faults_seen
+        assert report.metrics == sup.metrics.state_dict()
+
+
+class TestCli:
+    def trace_file(self, tmp_path):
+        population = tiny_population()
+        sup = make_supervisor(population)
+        path = tmp_path / "trace.jsonl"
+        sup.crawl(population, trace_path=path)
+        return path, sup
+
+    def test_report_text_to_stdout(self, tmp_path, capsys):
+        path, _ = self.trace_file(tmp_path)
+        assert obs_main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "crawl report" in out and "visits" in out
+
+    def test_report_json_to_file(self, tmp_path):
+        path, sup = self.trace_file(tmp_path)
+        out = tmp_path / "report.json"
+        assert (
+            obs_main(["report", str(path), "--format", "json", "--out", str(out)])
+            == 0
+        )
+        data = json.loads(out.read_text())
+        assert data["visits"] == sup.stats.visits
+
+    def test_missing_trace_errors(self, tmp_path, capsys):
+        assert obs_main(["report", str(tmp_path / "nope.jsonl")]) == 1
+        assert "no such trace" in capsys.readouterr().err
+
+
+class TestInstrumentation:
+    def test_webdriver_commands_become_spans(self):
+        driver = make_browser_driver()
+        driver.tracer = Tracer(driver.window.clock)
+        driver.get("https://a.example/")
+        driver.find_element("id", "submit")
+        driver.execute_script("window.scrollTo(0, 0)")
+        names = [s.name for s in driver.tracer.spans]
+        assert names == [
+            "webdriver.get",
+            "webdriver.find_element",
+            "webdriver.execute_script",
+        ]
+        assert all(not s.open and s.status == "ok" for s in driver.tracer.spans)
+        assert driver.tracer.spans[0].attrs == {"url": "https://a.example/"}
+
+    def test_fault_marks_webdriver_span_status(self):
+        class RaisingInjector:
+            def on_hook(self, hook):
+                if hook == "get":
+                    raise NetworkResetFault(
+                        FaultType.NETWORK_RESET, "a.example", 0, 0, "get"
+                    )
+
+        driver = make_browser_driver()
+        driver.tracer = Tracer(driver.window.clock)
+        driver.fault_injector = RaisingInjector()
+        with pytest.raises(FaultError):
+            driver.get("https://a.example/")
+        (span,) = driver.tracer.spans
+        assert span.status == "fault:network-reset"
+        assert not span.open  # ended despite the exception
+
+    def test_hlisa_perform_span_counts_pipeline_events(self):
+        from repro.core.hlisa_action_chains import HLISA_ActionChains
+
+        driver = make_browser_driver()
+        driver.tracer = Tracer(driver.window.clock)
+        chain = HLISA_ActionChains(driver, seed=11)
+        chain.move_by_offset(120, 90).perform()
+        spans = [s for s in driver.tracer.spans if s.name == "hlisa.perform"]
+        assert len(spans) == 1
+        assert spans[0].attrs["actions"] == 1
+        assert spans[0].attrs["events"] > 0
+        assert spans[0].duration_ms > 0
+        # The pipeline counted per-event-type metrics through the tracer.
+        state = driver.tracer.metrics.state_dict()
+        assert state["counters"].get("events.mousemove", 0) > 0
+
+    def test_untraced_driver_costs_no_spans_or_metrics(self):
+        driver = make_browser_driver()
+        driver.get("https://a.example/")
+        assert driver.tracer is NULL_TRACER
+        assert driver.pipeline.metrics is None
+        assert driver.tracer.spans == []
+
+
+class TestCrawlTraceDeterminism:
+    def test_same_seed_traces_are_byte_identical(self, tmp_path):
+        population = tiny_population()
+        make_supervisor(population).crawl(
+            population, trace_path=tmp_path / "a.jsonl"
+        )
+        make_supervisor(population).crawl(
+            population, trace_path=tmp_path / "b.jsonl"
+        )
+        a = (tmp_path / "a.jsonl").read_bytes()
+        assert a == (tmp_path / "b.jsonl").read_bytes()
+        assert len(a) > 0
+
+    def test_resumed_trace_equals_uninterrupted(self, tmp_path):
+        population = tiny_population()
+        make_supervisor(population).crawl(
+            population, trace_path=tmp_path / "full.jsonl"
+        )
+        checkpoint = tmp_path / "ck.json"
+        make_supervisor(population).crawl(
+            population[:4], checkpoint_path=checkpoint
+        )
+        resumed = make_supervisor(population)
+        resumed.crawl(
+            population, checkpoint_path=checkpoint, trace_path=tmp_path / "r.jsonl"
+        )
+        assert (
+            (tmp_path / "r.jsonl").read_bytes()
+            == (tmp_path / "full.jsonl").read_bytes()
+        )
+
+    def test_resumed_metrics_equal_uninterrupted(self, tmp_path):
+        population = tiny_population()
+        full = make_supervisor(population)
+        full.crawl(population)
+        checkpoint = tmp_path / "ck.json"
+        make_supervisor(population).crawl(
+            population[:7], checkpoint_path=checkpoint
+        )
+        resumed = make_supervisor(population)
+        resumed.crawl(population, checkpoint_path=checkpoint)
+        assert resumed.metrics.state_dict() == full.metrics.state_dict()
+
+    def test_span_tree_covers_the_stack(self):
+        population = tiny_population()
+        sup = make_supervisor(population)
+        sup.crawl(population)
+        spans = sup.tracer.spans
+        by_id = {s.span_id: s for s in spans}
+        names = {s.name for s in spans}
+        assert {"crawl", "visit", "attempt", "webdriver.get"} <= names
+        roots = [s for s in spans if s.parent_id == 0]
+        assert [s.name for s in roots] == ["crawl"]
+        for span in spans:
+            assert span.parent_id == 0 or span.parent_id in by_id
+            assert not span.open
+        for visit in (s for s in spans if s.name == "visit"):
+            assert by_id[visit.parent_id].name == "crawl"
+        for attempt in (s for s in spans if s.name == "attempt"):
+            assert by_id[attempt.parent_id].name == "visit"
+        for command in (s for s in spans if s.name.startswith("webdriver.")):
+            assert by_id[command.parent_id].name == "attempt"
+
+    def test_null_tracer_crawl_produces_identical_records(self):
+        population = tiny_population()
+        traced = make_supervisor(population)
+        res_traced = traced.crawl(population)
+        untraced_sup = CrawlSupervisor(
+            OpenWPMCrawler("obs", instances=2, seed=7),
+            config=SupervisorConfig(),
+            plan=FaultPlan.generate(population, 2, rate=0.2, seed=5),
+            tracer=NULL_TRACER,
+        )
+        res_untraced = untraced_sup.crawl(population)
+        assert json.dumps(res_traced.to_dict()) == json.dumps(
+            res_untraced.to_dict()
+        )
+        assert untraced_sup.tracer.spans == []

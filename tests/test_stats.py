@@ -18,6 +18,7 @@ from repro.stats import (
     summarize,
     wilcoxon_signed_rank,
 )
+from repro.stats.wilcoxon import _signed_ranks
 
 scipy_stats = pytest.importorskip("scipy.stats")
 
@@ -118,6 +119,49 @@ class TestWilcoxon:
         ours = wilcoxon_signed_rank(x, y)
         theirs = scipy_stats.wilcoxon(x, y)
         assert ours.p_value == pytest.approx(theirs.pvalue, rel=0.02)
+
+    def test_ties_at_small_n_use_the_exact_distribution(self):
+        """Regression: any tie at small n used to abandon the exact
+        branch for the normal approximation, which is worst exactly
+        there.  The sample of test_matches_scipy_exact has tied
+        |differences|, so it must now report method == "exact" and hit
+        scipy's p (which enumerates the tied-rank null here) dead on."""
+        x = [125, 115, 130, 140, 140, 115, 140, 125, 140, 135]
+        y = [110, 122, 125, 120, 140, 124, 123, 137, 135, 145]
+        ours = wilcoxon_signed_rank(x, y)
+        assert ours.method == "exact"
+        theirs = scipy_stats.wilcoxon(x, y)
+        assert ours.p_value == pytest.approx(theirs.pvalue, abs=1e-12)
+
+    def test_two_tied_pairs_exact_p_is_half(self):
+        """n=2 with equal |differences|, both positive: W+ sits at the
+        distribution's maximum.  Exact two-sided p is 2 * P(W+ >= 3) =
+        2 * 1/4 = 0.5; the pre-fix normal approximation gave ~0.35."""
+        result = wilcoxon_signed_rank([2.0, 3.0], [1.0, 2.0])
+        assert result.method == "exact"
+        assert result.p_value == pytest.approx(0.5)
+
+    def test_exact_with_ties_matches_brute_force(self):
+        """Enumerate all sign assignments over the tie-averaged ranks."""
+        import itertools
+
+        x = [4.0, 6.0, 1.0, 9.0, 5.0, 2.0, 8.0]
+        y = [3.0, 4.0, 2.0, 6.0, 7.0, 4.0, 7.0]
+        result = wilcoxon_signed_rank(x, y)
+        assert result.method == "exact"
+        d = np.asarray(x) - np.asarray(y)
+        d = d[d != 0]
+        ranks = np.abs(_signed_ranks(d))
+        dist = np.array(
+            [
+                sum(rank for rank, up in zip(ranks, signs) if up)
+                for signs in itertools.product([False, True], repeat=d.size)
+            ]
+        )
+        p_le = np.mean(dist <= result.w_plus + 1e-9)
+        p_ge = np.mean(dist >= result.w_plus - 1e-9)
+        expected = min(1.0, 2.0 * min(p_le, p_ge))
+        assert result.p_value == pytest.approx(expected, abs=1e-12)
 
     def test_matches_scipy_large_sample(self):
         rng = np.random.default_rng(6)

@@ -120,6 +120,82 @@ class TestCheckpointResume:
         with pytest.raises(ValueError):
             make_supervisor(seed=8).crawl(population, checkpoint_path=checkpoint)
 
+    def test_interrupt_at_every_site_boundary_is_byte_identical(self, tmp_path):
+        """Result AND trace must match the uninterrupted run for every cut."""
+        population = small_population(n=12)
+
+        def fresh():
+            plan = FaultPlan.generate(population, 2, rate=0.25, seed=5)
+            config = SupervisorConfig(checkpoint_every_sites=3)
+            return make_supervisor(plan, config=config, instances=2)
+
+        full_trace = tmp_path / "full.jsonl"
+        full = fresh().crawl(population, trace_path=full_trace)
+        full_json = json.dumps(full.to_dict())
+        full_bytes = full_trace.read_bytes()
+        for cut in range(1, len(population) + 1):
+            checkpoint = tmp_path / f"ck{cut}.json"
+            fresh().crawl(population[:cut], checkpoint_path=checkpoint)
+            resumed_trace = tmp_path / f"resumed{cut}.jsonl"
+            resumed = fresh().crawl(
+                population, checkpoint_path=checkpoint, trace_path=resumed_trace
+            )
+            assert json.dumps(resumed.to_dict()) == full_json, f"cut={cut}"
+            assert resumed_trace.read_bytes() == full_bytes, f"cut={cut}"
+
+    def test_resume_advances_the_shared_clock_in_place(self, tmp_path):
+        """Regression: _load_checkpoint used to rebind ``self.clock`` to a
+        fresh VirtualClock, leaving collaborators that captured the old
+        reference (the tracer, notably) on a stale timeline."""
+        population = small_population(n=20)
+        checkpoint = tmp_path / "crawl.json"
+        make_supervisor().crawl(population[:10], checkpoint_path=checkpoint)
+        resumed = make_supervisor()
+        clock_before = resumed.clock
+        tracer_clock_before = resumed.tracer.clock
+        resumed.crawl(population, checkpoint_path=checkpoint)
+        assert resumed.clock is clock_before
+        assert resumed.tracer.clock is resumed.clock
+        assert tracer_clock_before is resumed.clock
+        # The span timeline actually advanced past the checkpointed time.
+        assert resumed.tracer.spans[0].end_ms == resumed.clock.now()
+
+    def test_stale_checkpoint_behind_supervisor_clock_rejected(self, tmp_path):
+        population = small_population(n=12)
+        checkpoint = tmp_path / "crawl.json"
+        make_supervisor().crawl(population, checkpoint_path=checkpoint)
+        reused = make_supervisor()
+        reused.clock.advance(10_000_000_000.0)  # way past the checkpoint
+        with pytest.raises(ValueError):
+            reused.crawl(population, checkpoint_path=checkpoint)
+
+    def test_resume_with_shrunk_population_reconciles_stats(self, tmp_path):
+        """Regression: restored stats counted checkpointed visits whose
+        sites a shrunk population no longer contains, so ``stats`` and
+        ``CrawlResult.records`` disagreed."""
+        population = small_population(n=12)
+        checkpoint = tmp_path / "crawl.json"
+        make_supervisor().crawl(population, checkpoint_path=checkpoint)
+        shrunk = population[:5] + population[6:]  # one checkpointed site gone
+        resumed = make_supervisor()
+        result = resumed.crawl(shrunk, checkpoint_path=checkpoint)
+        assert len(result.records) == len(shrunk) * 4
+        assert resumed.stats.visits == len(result.records)
+        assert resumed.stats.reached == len(result.successful_visits)
+        assert resumed.stats.failed == len(result.failed_visits)
+        assert resumed.stats.resumed == len(shrunk) * 4
+
+    def test_checkpoint_carries_observability_state(self, tmp_path):
+        population = small_population(n=24)
+        checkpoint = tmp_path / "crawl.json"
+        sup = make_supervisor(FaultPlan.generate(population, 4, rate=0.1, seed=2))
+        sup.crawl(population, checkpoint_path=checkpoint)
+        data = json.loads(checkpoint.read_text())
+        assert data["version"] == 2
+        assert len(data["trace"]["spans"]) == len(sup.tracer.spans)
+        assert data["metrics"] == sup.metrics.state_dict()
+        assert len(data["browsers"]) == 4
+
 
 class TestFailureTaxonomy:
     def test_unreachable_not_retried(self):
