@@ -214,14 +214,26 @@ class Navigator(JSObject):
         self.profile = profile
 
 
-def make_navigator(profile: NavigatorProfile = None) -> Navigator:
+def make_navigator(
+    profile: NavigatorProfile = None, ledger=None, label: str = "navigator"
+) -> Navigator:
     """Build a complete navigator (fresh prototype chain each call).
 
     A fresh chain per browser instance keeps spoofing experiments
     independent: patching one browser's ``Navigator.prototype`` must not
     leak into another's.
+
+    ``ledger`` (a :class:`repro.obs.probes.ProbeLedger`) instruments the
+    fresh chain before it is returned: the navigator, its prototypes and
+    every method/accessor record their fundamental operations under
+    ``label``.  Attachment itself records nothing.
     """
     profile = profile or NavigatorProfile()
     object_proto = make_object_prototype()
     navigator_proto = make_navigator_prototype(object_proto)
-    return Navigator(navigator_proto, profile)
+    navigator = Navigator(navigator_proto, profile)
+    if ledger is not None:
+        from repro.obs.probes import instrument
+
+        instrument(navigator, ledger, label)
+    return navigator

@@ -46,6 +46,11 @@ class Window(EventTarget):
         #: The navigator slot.  Spoofing replaces this with a wrapped or
         #: patched object; page scripts read ``window.navigator``.
         self.navigator: Any = make_navigator(profile)
+        #: Opt-in :class:`repro.obs.probes.ProbeLedger`.  When set (via
+        #: :func:`repro.obs.probes.instrument_window` or a supervisor),
+        #: detection probes record every navigator access they make --
+        #: and survive spoofing swapping the navigator object out.
+        self.probe_ledger: Any = None
         self.viewport_width = viewport_width
         self.viewport_height = viewport_height
         self.scroll_x = 0.0

@@ -52,11 +52,14 @@ from repro.faults.plan import FaultInjector, FaultPlan
 from repro.faults.recovery import BackoffPolicy, BreakerState, CircuitBreaker
 from repro.faults.types import FaultError
 from repro.obs import CrawlReport, Tracer, build_report, write_trace
+from repro.obs.probes import ProbeLedger, write_ledger
 from repro.obs.tracer import NULL_TRACER
 from repro.webdriver.driver import WebDriver
 
 #: Version 2 adds the ``trace`` and ``metrics`` fields that carry the
-#: observability state across interruptions.
+#: observability state across interruptions.  The optional ``ledger``
+#: field (present only when the supervisor was built with a probe
+#: ledger) rides within version 2: default-off checkpoints are unchanged.
 CHECKPOINT_VERSION = 2
 
 #: Sub-stream tags keeping visit and jitter draws on disjoint streams.
@@ -130,16 +133,22 @@ class BrowserInstance:
     supervisor's tracer re-wired into the fresh driver.
     """
 
-    def __init__(self, index: int, extension=None, tracer=None) -> None:
+    def __init__(self, index: int, extension=None, tracer=None, ledger=None) -> None:
         self.index = index
         self.extension = extension
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.ledger = ledger
         self.fault_count = 0
         self.recycles = 0
         self._spawn()
 
     def _spawn(self) -> None:
         self.window = Window(profile=NavigatorProfile(webdriver=True))
+        # Only *attach* the ledger here -- instrumentation happens lazily
+        # at probe time (see ``fingerprint._window_ledger``), so spawning,
+        # recycling and resume-respawning record no entries and the ledger
+        # stays byte-identical across interrupt/resume.
+        self.window.probe_ledger = self.ledger
         self.driver = WebDriver(self.window, tracer=self.tracer)
         if self.extension is not None:
             self.extension.inject(self.window)
@@ -186,6 +195,11 @@ class CrawlSupervisor:
         caller-built tracer is re-wired onto the supervisor's clock --
         spans must be stamped from the one clock checkpoint resume
         advances in place.
+    probe_ledger:
+        Optional :class:`repro.obs.probes.ProbeLedger` (off by default).
+        When given it is re-wired onto the supervisor's clock and metrics
+        registry, attached to every browser window, carried through
+        checkpoints, and exportable via ``crawl(ledger_path=...)``.
     """
 
     def __init__(
@@ -194,6 +208,7 @@ class CrawlSupervisor:
         config: Optional[SupervisorConfig] = None,
         plan: Optional[FaultPlan] = None,
         tracer: Optional[Tracer] = None,
+        probe_ledger: Optional[ProbeLedger] = None,
     ) -> None:
         self.crawler = crawler
         self.config = config or SupervisorConfig()
@@ -205,6 +220,14 @@ class CrawlSupervisor:
             tracer.clock = self.clock
         self.tracer = tracer
         self.metrics = tracer.metrics
+        # Opt-in probe ledger (off by default): re-wired onto the one
+        # shared clock and the tracer's metrics registry, so ledger
+        # timestamps live on the checkpointed timeline and per-trap
+        # counters land next to the crawl's other metrics.
+        self.ledger = probe_ledger
+        if probe_ledger is not None:
+            probe_ledger.clock = self.clock
+            probe_ledger.metrics = self.metrics
         self.stats = SupervisorStats()
         self._instances: Optional[List[BrowserInstance]] = None
         self._restored_browsers: Optional[List[Dict[str, int]]] = None
@@ -230,13 +253,20 @@ class CrawlSupervisor:
         *,
         checkpoint_path: Optional[Union[str, Path]] = None,
         trace_path: Optional[Union[str, Path]] = None,
+        ledger_path: Optional[Union[str, Path]] = None,
     ) -> CrawlResult:
         """Visit every site ``crawler.instances`` times, resiliently.
 
         ``trace_path`` additionally exports the crawl's span tree as
         canonical JSONL (see :mod:`repro.obs.export`) when the crawl
-        completes.
+        completes; ``ledger_path`` does the same for the probe ledger
+        (requires a supervisor constructed with ``probe_ledger=``).
         """
+        if ledger_path is not None and self.ledger is None:
+            raise ValueError(
+                "ledger_path given but this supervisor has no probe ledger; "
+                "construct it with CrawlSupervisor(..., probe_ledger=...)"
+            )
         config = self.config
         path = checkpoint_path or config.checkpoint_path
         path = Path(path) if path is not None else None
@@ -249,7 +279,9 @@ class CrawlSupervisor:
         )
 
         instances = [
-            BrowserInstance(i, self.crawler.extension, tracer=self.tracer)
+            BrowserInstance(
+                i, self.crawler.extension, tracer=self.tracer, ledger=self.ledger
+            )
             for i in range(self.crawler.instances)
         ]
         if self._restored_browsers is not None:
@@ -303,6 +335,8 @@ class CrawlSupervisor:
             self._write_checkpoint(path, records)
         if trace_path is not None:
             write_trace(trace_path, self.tracer.spans)
+        if ledger_path is not None:
+            write_ledger(ledger_path, self.ledger)
         return CrawlResult(crawler_name=self.crawler.name, records=records)
 
     # -- observability ---------------------------------------------------
@@ -518,6 +552,9 @@ class CrawlSupervisor:
         if metrics_state is not None:
             self.metrics.load_state(metrics_state)
             self._bind_metric_handles()
+        ledger_state = data.get("ledger")
+        if ledger_state is not None and self.ledger is not None:
+            self.ledger.load_state(ledger_state)
         return completed
 
     def _write_checkpoint(self, path: Path, records: List[VisitRecord]) -> None:
@@ -535,6 +572,10 @@ class CrawlSupervisor:
             "metrics": self.metrics.state_dict(),
             "records": [r.to_dict() for r in records],
         }
+        # Only a ledger-enabled supervisor writes the key: default-off
+        # checkpoints stay byte-identical to pre-ledger ones.
+        if self.ledger is not None:
+            payload["ledger"] = self.ledger.state_dict()
         tmp = path.with_name(path.name + ".tmp")
         tmp.write_text(json.dumps(payload))
         tmp.replace(path)

@@ -236,7 +236,16 @@ def simulate_visit(
         finally:
             driver.fault_injector = previous_injector
 
+    ledger = getattr(window, "probe_ledger", None)
+    ledger_start = len(ledger) if ledger is not None else 0
     detected = _run_site_detector(site, window, rng, reference)
+    if ledger is not None and driver is not None:
+        delta = len(ledger) - ledger_start
+        if delta:
+            # Tie the visit's ledger slice into the span tree: the event
+            # carries the entry-count delta, the ledger itself carries
+            # the per-access detail.
+            driver.tracer.event("probe.ledger", entries=delta)
     record.detected_as_bot = detected
     reaction = site.detector.reaction if (site.detector and detected) else None
 

@@ -36,9 +36,20 @@ from repro.jsobject import (
     get_own_property_names,
     object_keys,
 )
+from repro.obs.probes import (
+    PROBE_SCOPE_PREFIX,
+    REFERENCE_LABEL_PREFIX,
+    LedgerEntry,
+    ProbeLedger,
+    instrument,
+)
 
 #: Function-valued navigator properties the ``toString`` probe inspects.
 PROBED_FUNCTIONS = ("toString", "hasOwnProperty", "javaEnabled", "sendBeacon")
+
+#: Ledger probe name for the plain ``navigator.webdriver`` read (the five
+#: Table 1 probes are named after their :class:`SideEffect`).
+PROBE_WEBDRIVER_FLAG = "WEBDRIVER_FLAG"
 
 
 class SideEffect(Enum):
@@ -59,6 +70,12 @@ class FingerprintProbeResult:
     webdriver_value: Optional[bool]
     #: Side effects revealing a spoofing attempt.
     side_effects: Set[SideEffect] = field(default_factory=set)
+    #: With an instrumented window: per fired side effect, the ledger
+    #: slice (the exact accesses) of the probe that revealed it.
+    ledger_slices: Dict[SideEffect, List[LedgerEntry]] = field(default_factory=dict)
+    #: With an instrumented window: every probe's ledger slice, fired or
+    #: not, keyed by probe name (``SideEffect.name`` / ``WEBDRIVER_FLAG``).
+    probe_slices: Dict[str, List[LedgerEntry]] = field(default_factory=dict)
 
     @property
     def webdriver_visible(self) -> bool:
@@ -86,12 +103,59 @@ def _reference_navigator():
     return make_navigator(NavigatorProfile())
 
 
+# -- probe-ledger plumbing ----------------------------------------------------
+
+
+def _window_ledger(window) -> Optional[ProbeLedger]:
+    """The probe ledger attached to a window, re-instrumenting on use.
+
+    A window is instrumented either explicitly
+    (:func:`repro.obs.probes.instrument_window`) or by a supervisor that
+    sets ``window.probe_ledger`` at browser spawn.  Because spoofing may
+    have replaced ``window.navigator`` (method 4) or its prototype
+    (method 3) since, the navigator graph is re-walked here; attaching
+    records nothing and is idempotent, so probes see a fully instrumented
+    graph without the ledger observing its own bookkeeping.
+    """
+    navigator = window.navigator
+    ledger = getattr(window, "probe_ledger", None)
+    if ledger is None:
+        ledger = getattr(navigator, "_probe_ledger", None)
+    if ledger is not None and (
+        navigator._probe_ledger is not ledger
+        or navigator._probe_label != "navigator"
+    ):
+        # Only walk when the root is not yet carrying this ledger: every
+        # graph mutation (spoofing install, proxy swap) re-instruments
+        # its result, so an already-attached root means an attached graph.
+        instrument(navigator, ledger, "navigator")
+    return ledger
+
+
+def _instrument_reference(reference, ledger: ProbeLedger) -> None:
+    """Instrument the pristine comparison navigator with ``ref:`` labels,
+    so both access streams of a comparison probe land in one ledger."""
+    if getattr(reference, "_probe_ledger", None) is not ledger:
+        instrument(reference, ledger, REFERENCE_LABEL_PREFIX + "navigator")
+
+
 # -- individual probes ------------------------------------------------------
 
 
 def probe_webdriver_flag(window) -> Optional[bool]:
     """Read ``navigator.webdriver`` as page JavaScript would."""
-    value = window.navigator.get("webdriver")
+    ledger = _window_ledger(window)
+    if ledger is None:
+        value = window.navigator.get("webdriver")
+    else:
+        with ledger.scope(PROBE_SCOPE_PREFIX + PROBE_WEBDRIVER_FLAG):
+            value = window.navigator.get("webdriver")
+            ledger.record(
+                "probe.result",
+                "detector",
+                key=PROBE_WEBDRIVER_FLAG,
+                detail={"fired": value is True},
+            )
     if isinstance(value, bool):
         return value
     return None
@@ -189,23 +253,52 @@ def probe_frozen_navigator(window) -> bool:
 
 
 def run_all_probes(window, reference=None) -> FingerprintProbeResult:
-    """Run the webdriver check and all five Table 1 probes."""
+    """Run the webdriver check and all five Table 1 probes.
+
+    On an instrumented window (see :mod:`repro.obs.probes`), every
+    probe's accesses are recorded under a ``detector.probe:<NAME>`` scope
+    -- both on the probed navigator and, for comparison probes, on the
+    ``ref:``-labelled reference -- and each fired side effect carries its
+    ledger slice in the result.  Probe outcomes are identical either way:
+    instrumentation only observes.
+    """
     reference = reference or _reference_navigator()
-    side_effects: Set[SideEffect] = set()
-    if probe_property_order(window, reference):
-        side_effects.add(SideEffect.INCORRECT_PROPERTY_ORDER)
-    if probe_property_count(window, reference):
-        side_effects.add(SideEffect.MODIFIED_LENGTH)
-    if probe_object_keys(window, reference):
-        side_effects.add(SideEffect.NEW_OBJECT_KEYS)
-    if probe_proto_webdriver(window):
-        side_effects.add(SideEffect.PROTO_WEBDRIVER_DEFINED)
-    if probe_function_tostring(window):
-        side_effects.add(SideEffect.UNNAMED_FUNCTIONS)
-    return FingerprintProbeResult(
-        webdriver_value=probe_webdriver_flag(window),
-        side_effects=side_effects,
+    ledger = _window_ledger(window)
+    probes = (
+        (SideEffect.INCORRECT_PROPERTY_ORDER, lambda: probe_property_order(window, reference)),
+        (SideEffect.MODIFIED_LENGTH, lambda: probe_property_count(window, reference)),
+        (SideEffect.NEW_OBJECT_KEYS, lambda: probe_object_keys(window, reference)),
+        (SideEffect.PROTO_WEBDRIVER_DEFINED, lambda: probe_proto_webdriver(window)),
+        (SideEffect.UNNAMED_FUNCTIONS, lambda: probe_function_tostring(window)),
     )
+    side_effects: Set[SideEffect] = set()
+    result = FingerprintProbeResult(webdriver_value=None, side_effects=side_effects)
+    if ledger is None:
+        for effect, probe in probes:
+            if probe():
+                side_effects.add(effect)
+        result.webdriver_value = probe_webdriver_flag(window)
+        return result
+    _instrument_reference(reference, ledger)
+    for effect, probe in probes:
+        with ledger.scope(PROBE_SCOPE_PREFIX + effect.name):
+            start = len(ledger)
+            fired = probe()
+            ledger.record(
+                "probe.result",
+                "detector",
+                key=effect.name,
+                detail={"fired": bool(fired)},
+            )
+            entries = ledger.slice_from(start)
+        result.probe_slices[effect.name] = entries
+        if fired:
+            side_effects.add(effect)
+            result.ledger_slices[effect] = entries
+    start = len(ledger)
+    result.webdriver_value = probe_webdriver_flag(window)
+    result.probe_slices[PROBE_WEBDRIVER_FLAG] = ledger.slice_from(start)
+    return result
 
 
 # -- template attack ----------------------------------------------------------

@@ -29,9 +29,23 @@ from typing import Any, Callable, Optional
 class JSFunction:
     """A plain (script-level) JavaScript function."""
 
+    #: Opt-in probe ledger (:mod:`repro.obs.probes`): ``toString``
+    #: renderings and brand checks are the paper's Listing 1 probes, so
+    #: instrumented functions record them.  Class attributes keep the
+    #: uninstrumented cost to one check.
+    _probe_ledger = None
+    _probe_label = None
+
     def __init__(self, fn: Callable, name: str = "") -> None:
         self._fn = fn
         self.name = name
+
+    def _record_to_string(self, native: bool) -> None:
+        self._probe_ledger.record(
+            "toString",
+            self._probe_label,
+            detail={"name": self.name, "native": native},
+        )
 
     def call(self, this: Any, *args: Any) -> Any:
         """Invoke the function with an explicit ``this``."""
@@ -39,6 +53,8 @@ class JSFunction:
 
     def to_string(self) -> str:
         """JS ``Function.prototype.toString`` for a script function."""
+        if self._probe_ledger is not None:
+            self._record_to_string(native=False)
         return f"function {self.name}() {{\n    [user code]\n}}"
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -76,11 +92,15 @@ class NativeFunction(JSFunction):
                 # check: the proxy is not a platform object.  Stealth
                 # proxies avoid this by *binding* wrapped methods to the
                 # target -- which is what creates anonymous wrappers.
+                if self._probe_ledger is not None:
+                    self._record_brand_check(passed=False)
                 raise JSTypeError(
                     f"'{self.name}' called on an object that does not "
                     f"implement interface {self.brand}."
                 )
             actual = getattr(this, "js_class", None)
+            if self._probe_ledger is not None:
+                self._record_brand_check(passed=actual == self.brand)
             if actual != self.brand:
                 raise JSTypeError(
                     f"'{self.name}' called on an object that does not "
@@ -88,8 +108,18 @@ class NativeFunction(JSFunction):
                 )
         return self._fn(this, *args)
 
+    def _record_brand_check(self, passed: bool) -> None:
+        self._probe_ledger.record(
+            "brandCheck",
+            self._probe_label,
+            key=self.name,
+            detail={"brand": self.brand, "result": "ok" if passed else "throw"},
+        )
+
     def to_string(self) -> str:
         """Native stub: ``function <name>() { [native code] }``."""
+        if self._probe_ledger is not None:
+            self._record_to_string(native=True)
         return f"function {self.name}() {{\n    [native code]\n}}"
 
     def bound_anonymous(self, this: Any) -> "NativeFunction":
@@ -104,7 +134,12 @@ class NativeFunction(JSFunction):
         def _call_bound(_ignored_this: Any, *args: Any) -> Any:
             return inner.call(this, *args)
 
-        return NativeFunction(_call_bound, name="", brand=None)
+        wrapper = NativeFunction(_call_bound, name="", brand=None)
+        # Propagate instrumentation: the wrapper's anonymous ``toString``
+        # is precisely the culprit access the ledger must capture.
+        wrapper._probe_ledger = self._probe_ledger
+        wrapper._probe_label = self._probe_label
+        return wrapper
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"NativeFunction({self.name or '<anonymous>'})"
@@ -116,6 +151,10 @@ class NativeAccessor:
     Used as the ``get``/``set`` of accessor :class:`PropertyDescriptor`\\ s
     on interface prototype objects (e.g. ``Navigator.prototype.webdriver``).
     """
+
+    #: Opt-in probe ledger (see :class:`JSFunction`).
+    _probe_ledger = None
+    _probe_label = None
 
     def __init__(
         self,
@@ -135,10 +174,24 @@ class NativeAccessor:
             lambda this: self(this), name=f"get {name}", brand=brand
         )
 
+    def _record_brand_check(self, accessor: str, passed: bool) -> None:
+        self._probe_ledger.record(
+            "brandCheck",
+            self._probe_label,
+            key=self.name,
+            detail={
+                "accessor": accessor,
+                "brand": self.brand,
+                "result": "ok" if passed else "throw",
+            },
+        )
+
     def __call__(self, this: Any) -> Any:
         from repro.jsobject.errors import JSTypeError
 
         actual = getattr(this, "js_class", None)
+        if self._probe_ledger is not None:
+            self._record_brand_check("get", passed=actual == self.brand)
         if actual != self.brand:
             raise JSTypeError(
                 f"'get {self.name}' called on an object that does not "
@@ -152,6 +205,8 @@ class NativeAccessor:
         if self._setter is None:
             raise JSTypeError(f"setting getter-only property \"{self.name}\"")
         actual = getattr(this, "js_class", None)
+        if self._probe_ledger is not None:
+            self._record_brand_check("set", passed=actual == self.brand)
         if actual != self.brand:
             raise JSTypeError(
                 f"'set {self.name}' called on an object that does not "

@@ -81,6 +81,14 @@ class JSObject:
         brand checks; plain objects use ``"Object"``.
     """
 
+    #: Opt-in probe ledger (:mod:`repro.obs.probes`).  Class attributes so
+    #: uninstrumented objects pay one attribute check per operation and
+    #: this module never imports ``repro.obs``.  Hooks fire at the public
+    #: operation granularity page script observes (``[[Get]]`` on the
+    #: receiver, not each internal chain step).
+    _probe_ledger = None
+    _probe_label = None
+
     def __init__(
         self,
         proto: Optional["JSObject"] = None,
@@ -95,16 +103,20 @@ class JSObject:
 
     @property
     def proto(self) -> Optional["JSObject"]:
-        """The object's prototype (JS ``__proto__``)."""
+        """The object's prototype (JS ``__proto__`` / ``getPrototypeOf``)."""
+        if self._probe_ledger is not None:
+            self._probe_ledger.record("getPrototypeOf", self._probe_label)
         return self._proto
 
     def set_prototype_of(self, proto: Optional["JSObject"]) -> None:
         """``Object.setPrototypeOf`` (cycle-checked)."""
+        if self._probe_ledger is not None:
+            self._probe_ledger.record("setPrototypeOf", self._probe_label)
         seen = proto
         while seen is not None:
             if seen is self:
                 raise JSTypeError("cyclic prototype chain")
-            seen = seen.proto
+            seen = seen._proto
         if not self.extensible:
             raise JSTypeError("cannot change prototype of a non-extensible object")
         self._proto = proto
@@ -115,7 +127,7 @@ class JSObject:
         node = self._proto
         while node is not None:
             chain.append(node)
-            node = node.proto
+            node = node._proto
         return chain
 
     # -- property lookup ----------------------------------------------------
@@ -126,16 +138,27 @@ class JSObject:
 
     def has_own(self, name: str) -> bool:
         """JS ``Object.prototype.hasOwnProperty``."""
+        if self._probe_ledger is not None:
+            self._probe_ledger.record(
+                "hasOwn", self._probe_label, key=name,
+                detail={"result": name in self._own},
+            )
         return name in self._own
 
     def has(self, name: str) -> bool:
         """JS ``in`` operator: own or inherited."""
         obj: Optional[JSObject] = self
+        found = False
         while obj is not None:
-            if obj.has_own(name):
-                return True
-            obj = obj.proto
-        return False
+            if name in obj._own:
+                found = True
+                break
+            obj = obj._proto
+        if self._probe_ledger is not None:
+            self._probe_ledger.record(
+                "has", self._probe_label, key=name, detail={"result": found}
+            )
+        return found
 
     def get(self, name: str, receiver: Any = None) -> Any:
         """JS ``[[Get]]``: walk the prototype chain, invoking getters.
@@ -145,16 +168,23 @@ class JSObject:
         """
         if receiver is None:
             receiver = self
+        if self._probe_ledger is not None:
+            self._probe_ledger.record("get", self._probe_label, key=name)
         obj: Optional[JSObject] = self
         while obj is not None:
-            desc = obj.get_own_property(name)
+            desc = obj._own.get(name)
             if desc is not None:
                 if desc.is_accessor():
                     if desc.get is None:
                         return UNDEFINED
+                    if obj._probe_ledger is not None:
+                        obj._probe_ledger.record(
+                            "getter", obj._probe_label, key=name,
+                            detail={"native": isinstance(desc.get, NativeAccessor)},
+                        )
                     return _invoke_getter(desc.get, receiver)
                 return desc.value
-            obj = obj.proto
+            obj = obj._proto
         return UNDEFINED
 
     def set(self, name: str, value: Any, receiver: Any = None) -> None:
@@ -165,13 +195,20 @@ class JSObject:
         """
         if receiver is None:
             receiver = self
+        if self._probe_ledger is not None:
+            self._probe_ledger.record("set", self._probe_label, key=name)
         obj: Optional[JSObject] = self
         while obj is not None:
-            desc = obj.get_own_property(name)
+            desc = obj._own.get(name)
             if desc is not None:
                 if desc.is_accessor():
                     if desc.set is None:
                         raise JSTypeError(f'setting getter-only property "{name}"')
+                    if obj._probe_ledger is not None:
+                        obj._probe_ledger.record(
+                            "setter", obj._probe_label, key=name,
+                            detail={"native": isinstance(desc.set, NativeAccessor)},
+                        )
                     _invoke_setter(desc.set, receiver, value)
                     return
                 if obj is self:
@@ -180,7 +217,7 @@ class JSObject:
                     desc.value = value
                     return
                 break  # inherited data property: create own shadow below
-            obj = obj.proto
+            obj = obj._proto
         self._own[name] = PropertyDescriptor.data(value)
 
     def delete(self, name: str) -> bool:
@@ -189,12 +226,17 @@ class JSObject:
         Returns ``False`` (delete failure) for non-configurable properties.
         """
         desc = self._own.get(name)
-        if desc is None:
-            return True
-        if not desc.configurable:
-            return False
-        del self._own[name]
-        return True
+        deleted = True
+        if desc is not None:
+            if not desc.configurable:
+                deleted = False
+            else:
+                del self._own[name]
+        if self._probe_ledger is not None:
+            self._probe_ledger.record(
+                "delete", self._probe_label, key=name, detail={"result": deleted}
+            )
+        return deleted
 
     # -- property definition -------------------------------------------------
 
@@ -206,6 +248,15 @@ class JSObject:
         all ``False`` -- which is the root of the paper's "disappears from
         Object.keys" observation.
         """
+        if self._probe_ledger is not None:
+            self._probe_ledger.record(
+                "defineProperty", self._probe_label, key=name,
+                detail={
+                    "kind": "accessor" if descriptor.is_accessor() else "data",
+                    "enumerable": descriptor.enumerable,
+                    "configurable": descriptor.configurable,
+                },
+            )
         current = self._own.get(name)
         if current is None:
             if not self.extensible:
@@ -253,11 +304,21 @@ class JSObject:
 
     def own_property_names(self) -> List[str]:
         """``Object.getOwnPropertyNames``: all own keys, insertion order."""
-        return list(self._own.keys())
+        names = list(self._own.keys())
+        if self._probe_ledger is not None:
+            self._probe_ledger.record(
+                "ownKeys", self._probe_label, detail={"keys": names}
+            )
+        return names
 
     def own_enumerable_names(self) -> List[str]:
         """Own keys whose descriptor is enumerable, insertion order."""
-        return [n for n, d in self._own.items() if d.enumerable]
+        names = [n for n, d in self._own.items() if d.enumerable]
+        if self._probe_ledger is not None:
+            self._probe_ledger.record(
+                "enumerate", self._probe_label, detail={"keys": names}
+            )
+        return names
 
     # -- integrity levels -----------------------------------------------------
 

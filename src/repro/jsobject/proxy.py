@@ -37,11 +37,25 @@ class JSProxy:
     target.
     """
 
+    #: Opt-in probe ledger (:mod:`repro.obs.probes`); ``None`` keeps the
+    #: hot path to one attribute check.  Proxy entries carry a ``via``
+    #: marker distinguishing a trap firing from default forwarding.
+    _probe_ledger = None
+    _probe_label = None
+
     def __init__(self, target: JSObject, handler: Optional[Dict[str, Callable]] = None) -> None:
         if not isinstance(target, (JSObject, JSProxy)):
             raise JSTypeError("Proxy target must be an object")
         self.target = target
         self.handler: Dict[str, Callable] = dict(handler or {})
+
+    def _record(self, op: str, trap: Optional[Callable], key: Optional[str] = None) -> None:
+        self._probe_ledger.record(
+            op,
+            self._probe_label,
+            key=key,
+            via="trap" if trap is not None else "forward",
+        )
 
     # -- identity ------------------------------------------------------------
 
@@ -59,6 +73,8 @@ class JSProxy:
     def proto(self) -> Optional[JSObject]:
         """``getPrototypeOf`` trap (default: the target's prototype)."""
         trap = self.handler.get("getPrototypeOf")
+        if self._probe_ledger is not None:
+            self._record("getPrototypeOf", trap)
         if trap is not None:
             return trap(self.target)
         return self.target.proto
@@ -69,6 +85,8 @@ class JSProxy:
         if receiver is None:
             receiver = self
         trap = self.handler.get("get")
+        if self._probe_ledger is not None:
+            self._record("get", trap, key=name)
         if trap is not None:
             return trap(self.target, name, receiver)
         return self.target.get(name, receiver=receiver)
@@ -77,6 +95,8 @@ class JSProxy:
         if receiver is None:
             receiver = self
         trap = self.handler.get("set")
+        if self._probe_ledger is not None:
+            self._record("set", trap, key=name)
         if trap is not None:
             trap(self.target, name, value, receiver)
             return
@@ -84,6 +104,8 @@ class JSProxy:
 
     def has(self, name: str) -> bool:
         trap = self.handler.get("has")
+        if self._probe_ledger is not None:
+            self._record("has", trap, key=name)
         if trap is not None:
             return bool(trap(self.target, name))
         return self.target.has(name)
@@ -93,18 +115,24 @@ class JSProxy:
 
     def delete(self, name: str) -> bool:
         trap = self.handler.get("deleteProperty")
+        if self._probe_ledger is not None:
+            self._record("deleteProperty", trap, key=name)
         if trap is not None:
             return bool(trap(self.target, name))
         return self.target.delete(name)
 
     def get_own_property(self, name: str) -> Optional[PropertyDescriptor]:
         trap = self.handler.get("getOwnPropertyDescriptor")
+        if self._probe_ledger is not None:
+            self._record("getOwnPropertyDescriptor", trap, key=name)
         if trap is not None:
             return trap(self.target, name)
         return self.target.get_own_property(name)
 
     def own_property_names(self) -> List[str]:
         trap = self.handler.get("ownKeys")
+        if self._probe_ledger is not None:
+            self._record("ownKeys", trap)
         if trap is not None:
             return list(trap(self.target))
         return self.target.own_property_names()

@@ -30,6 +30,7 @@ _SCOPE_COMPONENTS: Dict[str, str] = {
     "humans": "events",
     "core": "events",
     "tools": "events",
+    "obs": "obs",
 }
 
 

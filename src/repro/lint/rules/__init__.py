@@ -1,3 +1,3 @@
 """Rule modules; importing this package populates the registry."""
 
-from repro.lint.rules import determinism, events, faults, perf  # noqa: F401
+from repro.lint.rules import determinism, events, faults, obs, perf  # noqa: F401

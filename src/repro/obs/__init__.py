@@ -2,9 +2,11 @@
 
 Spans (a per-visit tree over the virtual clock), a metrics registry
 (counters + fixed-bucket histograms), byte-stable JSONL trace export,
-and an aggregate crawl report -- all seed- and clock-deterministic, so
-traces are byte-identical across identical runs and across
-interrupt/resume (docs/OBSERVABILITY.md).
+an aggregate crawl report, the probe ledger (detection-surface tracing
+in the JS object model), and diff/attribution tooling over the exports
+-- all seed- and clock-deterministic, so traces and ledgers are
+byte-identical across identical runs and across interrupt/resume
+(docs/OBSERVABILITY.md).
 
 The motivating literature: Krumnow et al. show unobserved crawler-side
 behaviour silently biases crawl statistics; this package makes every
@@ -12,6 +14,12 @@ supervised visit's timeline observable without breaking the
 reproduction's determinism contract.
 """
 
+from repro.obs.attribute import (
+    AttributionReport,
+    build_attribution,
+    record_table1_ledger,
+)
+from repro.obs.diff import ExportDiff, diff_exports
 from repro.obs.export import (
     parse_trace,
     read_trace,
@@ -26,6 +34,16 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NullMetrics,
     NULL_METRICS,
+)
+from repro.obs.probes import (
+    LedgerEntry,
+    ProbeLedger,
+    instrument,
+    instrument_window,
+    ledger_to_jsonl,
+    parse_ledger,
+    read_ledger,
+    write_ledger,
 )
 from repro.obs.report import CrawlReport, SpanAggregate, build_report
 from repro.obs.span import Span, SpanEvent
@@ -51,4 +69,17 @@ __all__ = [
     "CrawlReport",
     "SpanAggregate",
     "build_report",
+    "LedgerEntry",
+    "ProbeLedger",
+    "instrument",
+    "instrument_window",
+    "ledger_to_jsonl",
+    "parse_ledger",
+    "read_ledger",
+    "write_ledger",
+    "ExportDiff",
+    "diff_exports",
+    "AttributionReport",
+    "build_attribution",
+    "record_table1_ledger",
 ]

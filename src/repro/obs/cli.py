@@ -1,13 +1,21 @@
-"""``python -m repro.obs`` -- read traces, print crawl reports.
+"""``python -m repro.obs`` -- read traces and ledgers, print analyses.
 
 Usage::
 
     python -m repro.obs report trace.jsonl            # text report
-    python -m repro.obs report trace.jsonl --format json
-    python -m repro.obs report trace.jsonl --out report.json --format json
+    python -m repro.obs report trace.jsonl --format json --top 10
+    python -m repro.obs diff a.jsonl b.jsonl          # exit 0 iff identical
+    python -m repro.obs attribute table1.ledger.jsonl
+    python -m repro.obs attribute spoofed.ledger.jsonl vanilla.ledger.jsonl
 
-The trace is the JSONL file written by ``CrawlSupervisor.crawl(...,
-trace_path=...)`` (or :func:`repro.obs.export.write_trace`).
+``report`` aggregates the JSONL trace written by
+``CrawlSupervisor.crawl(..., trace_path=...)``.  ``diff`` compares two
+exports of the same kind (traces or probe ledgers) record by record and
+uses ``diff(1)`` exit semantics: 0 identical, 1 different, 2 on error.
+``attribute`` reconstructs the paper's Table 1 -- method x side effect
+x culprit accesses -- from probe-ledger data alone; the optional second
+file supplies a vanilla baseline when the ledger has no in-file
+``method:0:vanilla`` group.
 """
 
 from __future__ import annotations
@@ -17,49 +25,158 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro.obs.attribute import build_attribution
+from repro.obs.diff import ExportKindError, diff_exports
 from repro.obs.export import read_trace
+from repro.obs.probes import read_ledger
 from repro.obs.report import build_report
 
 
-def _build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro.obs",
-        description="Deterministic crawl observability: trace reports.",
-    )
-    subparsers = parser.add_subparsers(dest="command", required=True)
-    report = subparsers.add_parser(
-        "report", help="aggregate a JSONL trace into a crawl report"
-    )
-    report.add_argument("trace", help="path to the JSONL trace file")
-    report.add_argument(
+def _add_output_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
         "--format",
         choices=("text", "json"),
         default="text",
         help="output format (default: text)",
     )
-    report.add_argument(
+    parser.add_argument(
         "--out",
         default=None,
-        help="write the report here instead of stdout",
+        help="write the output here instead of stdout",
     )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.obs",
+        description=(
+            "Deterministic crawl observability: trace reports, export "
+            "diffs, probe-ledger attribution."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    report = subparsers.add_parser(
+        "report", help="aggregate a JSONL trace into a crawl report"
+    )
+    report.add_argument("trace", help="path to the JSONL trace file")
+    report.add_argument(
+        "--top",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also rank the N slowest sites and most frequent failure "
+        "reasons (default: off)",
+    )
+    _add_output_arguments(report)
+
+    diff = subparsers.add_parser(
+        "diff",
+        help="compare two JSONL exports (traces or ledgers); "
+        "exit 0 iff identical",
+    )
+    diff.add_argument("a", help="first export file")
+    diff.add_argument("b", help="second export file")
+    diff.add_argument(
+        "--limit",
+        type=int,
+        default=20,
+        metavar="N",
+        help="cap per-section detail lines in text output (0 = no cap)",
+    )
+    _add_output_arguments(diff)
+
+    attribute = subparsers.add_parser(
+        "attribute",
+        help="reconstruct Table 1 (method x side effect x culprit "
+        "accesses) from a probe ledger",
+    )
+    attribute.add_argument("ledger", help="probe-ledger JSONL file")
+    attribute.add_argument(
+        "baseline",
+        nargs="?",
+        default=None,
+        help="optional vanilla-run ledger used as the baseline when the "
+        "main ledger has no method:0:vanilla group",
+    )
+    _add_output_arguments(attribute)
+
     return parser
+
+
+def _emit(rendered: str, out: Optional[str]) -> None:
+    if out is not None:
+        Path(out).write_text(rendered)
+    else:
+        sys.stdout.write(rendered)
+
+
+def _require(path_str: str, what: str) -> Optional[Path]:
+    path = Path(path_str)
+    if not path.exists():
+        print(f"error: no such {what} file: {path}", file=sys.stderr)
+        return None
+    return path
+
+
+def _run_report(args: argparse.Namespace) -> int:
+    trace_path = _require(args.trace, "trace")
+    if trace_path is None:
+        return 1
+    report = build_report(read_trace(trace_path), top=args.top)
+    rendered = (
+        report.render_json() if args.format == "json" else report.render_text()
+    )
+    _emit(rendered, args.out)
+    return 0
+
+
+def _run_diff(args: argparse.Namespace) -> int:
+    path_a = _require(args.a, "export")
+    path_b = _require(args.b, "export")
+    if path_a is None or path_b is None:
+        return 2
+    try:
+        result = diff_exports(path_a, path_b)
+    except (ExportKindError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    rendered = (
+        result.render_json() + "\n"
+        if args.format == "json"
+        else result.render_text(limit=args.limit)
+    )
+    _emit(rendered, args.out)
+    return 0 if result.identical else 1
+
+
+def _run_attribute(args: argparse.Namespace) -> int:
+    ledger_path = _require(args.ledger, "ledger")
+    if ledger_path is None:
+        return 1
+    baseline = None
+    if args.baseline is not None:
+        baseline_path = _require(args.baseline, "baseline ledger")
+        if baseline_path is None:
+            return 1
+        baseline = read_ledger(baseline_path)
+    report = build_attribution(read_ledger(ledger_path), baseline)
+    rendered = (
+        report.render_json() + "\n"
+        if args.format == "json"
+        else report.render_text()
+    )
+    _emit(rendered, args.out)
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
-    trace_path = Path(args.trace)
-    if not trace_path.exists():
-        print(f"error: no such trace file: {trace_path}", file=sys.stderr)
-        return 1
-    report = build_report(read_trace(trace_path))
-    rendered = (
-        report.render_json() if args.format == "json" else report.render_text()
-    )
-    if args.out is not None:
-        Path(args.out).write_text(rendered)
-    else:
-        sys.stdout.write(rendered)
-    return 0
+    if args.command == "report":
+        return _run_report(args)
+    if args.command == "diff":
+        return _run_diff(args)
+    return _run_attribute(args)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

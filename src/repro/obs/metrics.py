@@ -9,6 +9,7 @@ checkpoint.
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_left
 from typing import Any, Dict, Optional, Sequence, Tuple
 
@@ -79,6 +80,27 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The q-quantile as a bucket upper bound (conservative).
+
+        Returns the smallest bound whose cumulative count covers
+        ``ceil(q * count)`` observations.  Values in the overflow bucket
+        report the last bound -- a lower-bound estimate, which is the
+        best a fixed-bucket histogram can give.  Empty histograms report
+        ``0.0``.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError("q must be in (0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = math.ceil(q * self.count)
+        cumulative = 0
+        for bound, bucket in zip(self.bounds, self.bucket_counts):
+            cumulative += bucket
+            if cumulative >= target:
+                return bound
+        return self.bounds[-1] if self.bounds else 0.0
 
     def to_dict(self) -> Dict[str, Any]:
         return {

@@ -12,9 +12,12 @@ any machine without the original crawl objects.
 from __future__ import annotations
 
 import json
+import math
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS_MS, Histogram
 from repro.obs.span import Span
 
 #: Span names emitted by the instrumented stack (docs/OBSERVABILITY.md).
@@ -33,23 +36,63 @@ EVENT_BREAKER_PREFIX = "breaker."
 
 @dataclass
 class SpanAggregate:
-    """Count and virtual-clock totals for one span name."""
+    """Count, virtual-clock totals and fixed-bucket percentiles for one
+    span name.
+
+    Durations land in :data:`~repro.obs.metrics.
+    DEFAULT_LATENCY_BUCKETS_MS` buckets at ``add`` time, so p50/p95 are
+    derivable later from the aggregate alone -- including from its
+    serialised form -- without keeping every duration."""
 
     count: int = 0
     total_ms: float = 0.0
     max_ms: float = 0.0
+    bucket_counts: List[int] = field(
+        default_factory=lambda: [0] * (len(DEFAULT_LATENCY_BUCKETS_MS) + 1)
+    )
 
     def add(self, duration_ms: float) -> None:
         self.count += 1
         self.total_ms += duration_ms
         if duration_ms > self.max_ms:
             self.max_ms = duration_ms
+        self.bucket_counts[
+            bisect_left(DEFAULT_LATENCY_BUCKETS_MS, duration_ms)
+        ] += 1
+
+    def percentile(self, q: float) -> float:
+        """The q-quantile as a bucket upper bound (conservative).
+
+        Same rule as :meth:`repro.obs.metrics.Histogram.percentile`,
+        except overflow-bucket quantiles report the exact ``max_ms`` the
+        aggregate tracked instead of the last bound."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError("q must be in (0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = math.ceil(q * self.count)
+        cumulative = 0
+        for bound, bucket in zip(DEFAULT_LATENCY_BUCKETS_MS, self.bucket_counts):
+            cumulative += bucket
+            if cumulative >= target:
+                return min(bound, self.max_ms)
+        return self.max_ms
+
+    @property
+    def p50_ms(self) -> float:
+        return self.percentile(0.50)
+
+    @property
+    def p95_ms(self) -> float:
+        return self.percentile(0.95)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
             "count": self.count,
             "total_ms": self.total_ms,
             "max_ms": self.max_ms,
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
         }
 
 
@@ -77,6 +120,25 @@ class CrawlReport:
     event_counts: Dict[str, int] = field(default_factory=dict)
     #: Optional metrics-registry snapshot (``MetricsRegistry.state_dict``).
     metrics: Optional[Dict[str, Any]] = None
+    #: ``build_report(top=N)``: the N slowest sites by total visit time.
+    top_sites: List[Tuple[str, SpanAggregate]] = field(default_factory=list)
+    #: ``build_report(top=N)``: the N most frequent failure reasons.
+    top_failure_reasons: List[Tuple[str, int]] = field(default_factory=list)
+
+    def histogram_summaries(self) -> Dict[str, Dict[str, float]]:
+        """count/mean/p50/p95 per metrics histogram (empty without
+        metrics)."""
+        histograms = (self.metrics or {}).get("histograms") or {}
+        summaries = {}
+        for name in sorted(histograms):
+            histogram = Histogram.from_dict(name, histograms[name])
+            summaries[name] = {
+                "count": histogram.count,
+                "mean": histogram.mean,
+                "p50": histogram.percentile(0.50),
+                "p95": histogram.percentile(0.95),
+            }
+        return summaries
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -103,6 +165,12 @@ class CrawlReport:
                 k: self.event_counts[k] for k in sorted(self.event_counts)
             },
             "metrics": self.metrics,
+            "histogram_summaries": self.histogram_summaries(),
+            "top_sites": [
+                [domain, aggregate.to_dict()]
+                for domain, aggregate in self.top_sites
+            ],
+            "top_failure_reasons": [list(p) for p in self.top_failure_reasons],
         }
 
     def render_json(self) -> str:
@@ -148,17 +216,55 @@ class CrawlReport:
             aggregate = self.span_totals[name]
             lines.append(
                 f"{'  ' + name:28s} {aggregate.count:8d} x "
-                f"{aggregate.total_ms:12.1f} ms total"
+                f"{aggregate.total_ms:12.1f} ms total  "
+                f"p50 {aggregate.p50_ms:10.1f} ms  "
+                f"p95 {aggregate.p95_ms:10.1f} ms"
             )
+        summaries = self.histogram_summaries()
+        if summaries:
+            lines.append("")
+            lines.append("metric histograms")
+            for name, summary in summaries.items():
+                lines.append(
+                    f"{'  ' + name:28s} {summary['count']:8d} x  "
+                    f"mean {summary['mean']:10.1f}  "
+                    f"p50 {summary['p50']:10.1f}  "
+                    f"p95 {summary['p95']:10.1f}"
+                )
+        if self.top_sites:
+            lines.append("")
+            lines.append(f"slowest sites (top {len(self.top_sites)})")
+            for domain, aggregate in self.top_sites:
+                lines.append(
+                    f"{'  ' + domain:28s} {aggregate.count:4d} visit(s) "
+                    f"{aggregate.total_ms:12.1f} ms total  "
+                    f"max {aggregate.max_ms:10.1f} ms"
+                )
+        if self.top_failure_reasons:
+            lines.append("")
+            lines.append(
+                f"failure reasons (top {len(self.top_failure_reasons)})"
+            )
+            for reason, count in self.top_failure_reasons:
+                lines.append(f"{'  ' + reason:28s} {count:12d}")
         return "\n".join(lines) + "\n"
 
 
 def build_report(
-    spans: List[Span], metrics: Optional[Dict[str, Any]] = None
+    spans: List[Span],
+    metrics: Optional[Dict[str, Any]] = None,
+    top: int = 0,
 ) -> CrawlReport:
-    """Aggregate a trace (see :mod:`repro.obs.export`) into a report."""
+    """Aggregate a trace (see :mod:`repro.obs.export`) into a report.
+
+    ``top`` > 0 additionally ranks the ``top`` slowest sites (by total
+    visit time on the virtual clock) and the ``top`` most frequent
+    failure reasons, with deterministic name tie-breaks.
+    """
     report = CrawlReport(metrics=metrics)
     attempts_histogram: Dict[int, int] = {}
+    site_aggregates: Dict[str, SpanAggregate] = {}
+    failure_counts: Dict[str, int] = {}
     for span in spans:
         aggregate = report.span_totals.get(span.name)
         if aggregate is None:
@@ -173,8 +279,17 @@ def build_report(
                 report.reached += 1
             else:
                 report.failed += 1
+                if top > 0 and span.status.startswith("failed:"):
+                    reason = span.status[len("failed:"):]
+                    failure_counts[reason] = failure_counts.get(reason, 0) + 1
             attempts = int(span.attrs.get("attempts", 1))
             attempts_histogram[attempts] = attempts_histogram.get(attempts, 0) + 1
+            if top > 0:
+                domain = str(span.attrs.get("domain", "(unknown)"))
+                site = site_aggregates.get(domain)
+                if site is None:
+                    site = site_aggregates[domain] = SpanAggregate()
+                site.add(span.duration_ms)
         elif span.name == SPAN_ATTEMPT:
             report.attempts += 1
             if span.status == "ok":
@@ -200,4 +315,12 @@ def build_report(
                     report.breaker_events.get(key, 0) + 1
                 )
     report.attempts_per_visit = sorted(attempts_histogram.items())
+    if top > 0:
+        report.top_sites = sorted(
+            site_aggregates.items(),
+            key=lambda item: (-item[1].total_ms, item[0]),
+        )[:top]
+        report.top_failure_reasons = sorted(
+            failure_counts.items(), key=lambda item: (-item[1], item[0])
+        )[:top]
     return report

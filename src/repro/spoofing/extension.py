@@ -30,8 +30,21 @@ class SpoofingExtension:
         self.method = method
 
     def inject(self, window) -> None:
-        """Run the content script against a freshly loaded page."""
-        apply_spoofing(window, self.method)
+        """Run the content script against a freshly loaded page.
+
+        On an instrumented window the injection is scoped in the probe
+        ledger (``extension.inject:<method>`` wrapping the method's own
+        ``spoof.install:<method>`` scope), attributing install-time
+        object operations to the extension.
+        """
+        from repro.obs.probes import ledger_of
+
+        ledger = ledger_of(window)
+        if ledger is None:
+            apply_spoofing(window, self.method)
+            return
+        with ledger.scope(f"extension.inject:{self.method.name.lower()}"):
+            apply_spoofing(window, self.method)
 
     @property
     def name(self) -> str:

@@ -136,5 +136,23 @@ SPOOFING_METHODS: Dict[SpoofingMethod, Callable] = {
 
 
 def apply_spoofing(window, method: SpoofingMethod) -> None:
-    """Apply one of the four methods to a window."""
-    SPOOFING_METHODS[method](window)
+    """Apply one of the four methods to a window.
+
+    On an instrumented window (:mod:`repro.obs.probes`), the install's
+    own object operations are recorded under a ``spoof.install:<method>``
+    scope, and the navigator graph is re-instrumented afterwards -- the
+    proxy method replaces ``window.navigator`` outright and the
+    ``setPrototypeOf`` method splices in a fresh prototype, both of which
+    would otherwise escape the ledger.
+    """
+    from repro.obs.probes import SPOOF_SCOPE_PREFIX, instrument, ledger_of
+
+    ledger = ledger_of(window)
+    if ledger is None:
+        ledger = ledger_of(window.navigator)
+    if ledger is None:
+        SPOOFING_METHODS[method](window)
+        return
+    with ledger.scope(SPOOF_SCOPE_PREFIX + method.name.lower()):
+        SPOOFING_METHODS[method](window)
+    instrument(window.navigator, ledger, "navigator")

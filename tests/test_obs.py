@@ -423,3 +423,164 @@ class TestCrawlTraceDeterminism:
             res_untraced.to_dict()
         )
         assert untraced_sup.tracer.spans == []
+
+
+class TestPercentiles:
+    """Satellite: p50/p95 derivable from fixed buckets alone."""
+
+    def aggregate(self, durations):
+        from repro.obs.report import SpanAggregate
+
+        aggregate = SpanAggregate()
+        for duration in durations:
+            aggregate.add(duration)
+        return aggregate
+
+    def test_span_aggregate_bucketed_percentiles(self):
+        # 9 fast attempts and 1 slow one: p50 in the 10ms bucket,
+        # p95 pulled to the slow tail.
+        aggregate = self.aggregate([8.0] * 9 + [450.0])
+        assert aggregate.p50_ms == 10.0
+        # the 500ms bucket bound, clamped to the exact max observed
+        assert aggregate.p95_ms == 450.0
+
+    def test_span_aggregate_overflow_reports_exact_max(self):
+        aggregate = self.aggregate([500_000.0])
+        assert aggregate.p50_ms == 500_000.0
+        assert aggregate.p95_ms == 500_000.0
+
+    def test_span_aggregate_small_sample_clamps_to_max(self):
+        # one 3ms observation: its bucket bound is 5ms but the aggregate
+        # knows nothing exceeded 3ms.
+        aggregate = self.aggregate([3.0])
+        assert aggregate.p50_ms == 3.0
+
+    def test_span_aggregate_empty_and_invalid_q(self):
+        aggregate = self.aggregate([])
+        assert aggregate.p50_ms == 0.0
+        with pytest.raises(ValueError):
+            aggregate.percentile(0.0)
+        with pytest.raises(ValueError):
+            aggregate.percentile(1.5)
+
+    def test_span_aggregate_to_dict_includes_percentiles(self):
+        data = self.aggregate([8.0] * 9 + [450.0]).to_dict()
+        assert data["p50_ms"] == 10.0
+        assert data["p95_ms"] == 450.0
+        assert set(data) == {"count", "total_ms", "max_ms", "p50_ms", "p95_ms"}
+
+    def test_histogram_percentile(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency")
+        for value in [8.0] * 9 + [450.0]:
+            histogram.observe(value)
+        assert histogram.percentile(0.50) == 10.0
+        assert histogram.percentile(0.95) == 500.0
+        assert histogram.percentile(1.0) == 500.0
+
+    def test_histogram_percentile_overflow_reports_last_bound(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency")
+        histogram.observe(999_999.0)
+        assert histogram.percentile(0.5) == 120_000.0
+
+    def test_histogram_percentile_empty_and_invalid_q(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency")
+        assert histogram.percentile(0.5) == 0.0
+        with pytest.raises(ValueError):
+            histogram.percentile(0.0)
+
+    def test_report_text_shows_percentiles(self):
+        population = tiny_population()
+        sup = make_supervisor(population)
+        sup.crawl(population)
+        report = sup.report()
+        text = report.render_text()
+        assert "p50" in text and "p95" in text
+        data = json.loads(report.render_json())
+        visit = data["span_totals"]["visit"]
+        assert visit["p50_ms"] > 0.0
+        assert visit["p95_ms"] >= visit["p50_ms"]
+
+    def test_report_histogram_summaries(self):
+        population = tiny_population()
+        sup = make_supervisor(population)
+        sup.crawl(population)
+        report = sup.report()
+        summaries = report.histogram_summaries()
+        assert summaries  # supervisor always feeds latency histograms
+        for summary in summaries.values():
+            assert set(summary) == {"count", "mean", "p50", "p95"}
+        assert "metric histograms" in report.render_text()
+        assert json.loads(report.render_json())["histogram_summaries"] == {
+            name: summary for name, summary in summaries.items()
+        }
+
+
+class TestTopN:
+    """Satellite: ``report --top N`` slowest sites / failure reasons."""
+
+    def crawled(self, fault_rate=0.6):
+        population = tiny_population(n=12)
+        sup = make_supervisor(population, fault_rate=fault_rate, max_attempts=1)
+        sup.crawl(population)
+        return sup
+
+    def test_build_report_top_sites(self):
+        sup = self.crawled()
+        report = build_report(sup.tracer.spans, top=3)
+        assert 0 < len(report.top_sites) <= 3
+        totals = [agg.total_ms for _, agg in report.top_sites]
+        assert totals == sorted(totals, reverse=True)
+        # the slowest site genuinely is the max over all visit spans
+        slowest_domain, slowest = report.top_sites[0]
+        visit_totals = {}
+        for span in sup.tracer.spans:
+            if span.name == "visit":
+                domain = span.attrs["domain"]
+                visit_totals[domain] = (
+                    visit_totals.get(domain, 0.0) + span.duration_ms
+                )
+        assert slowest.total_ms == max(visit_totals.values())
+        assert visit_totals[slowest_domain] == slowest.total_ms
+
+    def test_build_report_top_failure_reasons(self):
+        sup = self.crawled()
+        report = build_report(sup.tracer.spans, top=100)
+        assert sup.stats.failed > 0
+        assert report.top_failure_reasons
+        counts = [count for _, count in report.top_failure_reasons]
+        assert counts == sorted(counts, reverse=True)
+        assert sum(counts) == sup.stats.failed
+        truncated = build_report(sup.tracer.spans, top=2)
+        assert truncated.top_failure_reasons == report.top_failure_reasons[:2]
+
+    def test_top_zero_disables_ranking(self):
+        sup = self.crawled()
+        report = build_report(sup.tracer.spans)
+        assert report.top_sites == []
+        assert report.top_failure_reasons == []
+        text = report.render_text()
+        assert "slowest sites" not in text
+
+    def test_top_renders_in_text_and_json(self):
+        sup = self.crawled()
+        report = build_report(sup.tracer.spans, top=3)
+        text = report.render_text()
+        assert "slowest sites (top 3)" in text
+        data = json.loads(report.render_json())
+        assert len(data["top_sites"]) == len(report.top_sites)
+        assert data["top_failure_reasons"] == [
+            list(p) for p in report.top_failure_reasons
+        ]
+
+    def test_cli_top_flag(self, tmp_path, capsys):
+        population = tiny_population(n=12)
+        sup = make_supervisor(population, fault_rate=0.6, max_attempts=1)
+        path = tmp_path / "trace.jsonl"
+        sup.crawl(population, trace_path=path)
+        assert obs_main(["report", str(path), "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "slowest sites (top 3)" in out
+        assert "failure reasons" in out
