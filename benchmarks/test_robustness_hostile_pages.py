@@ -1,0 +1,175 @@
+"""Hostile-archetype ablation: watchdogs on vs off, plain pages unchanged.
+
+Krumnow et al. document how pages that stall, interpose overlays, or
+trap input silently bias large crawls when the tool has no recovery
+story.  This bench crawls a synthetic population in which >= 20% of
+sites are hostile (modal/cookie overlays, challenge interstitials,
+hidden inputs, stalling pages -- split evenly) twice:
+
+- **watchdogs on** (the default set): overlays are dismissed and the
+  interrupted action chain replayed, challenges waited out, hidden
+  inputs filled directly, stalls bounded at the step budget and
+  retried.  Visit coverage must stay >= 95%.
+- **watchdogs off** (``watchdogs=()``): every hostile mechanic degrades
+  into its typed permanent failure, so coverage drops by (roughly) the
+  hostile fraction -- the measurable bias an unprotected crawler ships.
+
+On the *plain* Section 3.2 population the two configurations must be
+*record-identical* -- watchdogs that never fire change nothing, so the
+Table 2 screenshot categories and the Fig. 4 Wilcoxon conclusion are
+unchanged by construction (both are still asserted explicitly).
+
+The coverage split lands in ``BENCH_crawl.json`` (CI uploads it).
+"""
+
+import json
+from pathlib import Path
+
+from conftest import print_table
+
+from repro.crawl import (
+    CrawlSupervisor,
+    OpenWPMCrawler,
+    SupervisorConfig,
+    evaluate_http_errors,
+    evaluate_screenshots,
+    generate_population,
+    hostile_population,
+    visit_coverage,
+)
+from repro.spoofing import SpoofingExtension
+
+INSTANCES = 8
+HOSTILE_SITES = 400
+HOSTILE_FRACTION = 0.2
+BENCH_PATH = Path("BENCH_crawl.json")
+
+
+def supervised(name, *, extension=None, seed, watchdogs=None):
+    crawler = OpenWPMCrawler(
+        name, extension=extension, instances=INSTANCES, seed=seed
+    )
+    return CrawlSupervisor(
+        crawler, config=SupervisorConfig(), watchdogs=watchdogs
+    )
+
+
+def run_hostile_ablation():
+    population = hostile_population(
+        n_sites=HOSTILE_SITES, seed=2021, hostile_fraction=HOSTILE_FRACTION
+    )
+    protected = supervised("hostile-on", seed=11)
+    on_result = protected.crawl(population)
+    unprotected = supervised("hostile-off", seed=11, watchdogs=())
+    off_result = unprotected.crawl(population)
+    return population, protected, on_result, unprotected, off_result
+
+
+def run_plain_parity():
+    """Both crawler configs on the plain population, watchdogs on/off."""
+    population = generate_population()
+    results = {}
+    for name, extension, seed in (
+        ("OpenWPM", None, 11),
+        ("OpenWPM+extension", SpoofingExtension(), 22),
+    ):
+        on = supervised(name, extension=extension, seed=seed).crawl(population)
+        off = supervised(
+            name, extension=extension, seed=seed, watchdogs=()
+        ).crawl(population)
+        results[name] = (on, off)
+    return population, results
+
+
+def failure_breakdown(result):
+    counts = {}
+    for record in result.records:
+        if not record.reached:
+            reason = record.failure_reason or "unknown"
+            counts[reason] = counts.get(reason, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def test_robustness_hostile_pages(benchmark):
+    (
+        (population, protected, on_result, unprotected, off_result),
+        (plain_population, plain_results),
+    ) = benchmark.pedantic(
+        lambda: (run_hostile_ablation(), run_plain_parity()),
+        rounds=1,
+        iterations=1,
+    )
+
+    hostile_sites = sum(1 for s in population if s.hostile is not None)
+    hostile_fraction = hostile_sites / len(population)
+    coverage_on = visit_coverage(on_result, population, INSTANCES)
+    coverage_off = visit_coverage(off_result, population, INSTANCES)
+
+    lines = [
+        f"hostile sites              {hostile_sites:4d} / {len(population)} "
+        f"({hostile_fraction:.0%})",
+        f"coverage, watchdogs on     {coverage_on:9.2%}",
+        f"coverage, watchdogs off    {coverage_off:9.2%}",
+        f"watchdog recycles (on)     {protected.stats.recycles:4d}",
+        "",
+        "failure breakdown, watchdogs off:",
+    ]
+    for reason, count in failure_breakdown(off_result).items():
+        lines.append(f"  {reason:26s} {count:5d}")
+    lines.append("")
+    lines.append("failure breakdown, watchdogs on:")
+    for reason, count in failure_breakdown(on_result).items():
+        lines.append(f"  {reason:26s} {count:5d}")
+    print_table("Hostile-archetype ablation (watchdogs on vs off)", lines)
+
+    # >= 20% of the population is hostile, and the watchdogs recover
+    # >= 95% coverage where the unprotected baseline measurably degrades.
+    assert hostile_fraction >= 0.2
+    assert coverage_on >= 0.95
+    assert coverage_off < coverage_on
+    assert coverage_off <= coverage_on - 0.1
+
+    # Every lost visit carries its typed hostile taxonomy -- nothing is
+    # silently conflated with a site reaction.
+    off_reasons = failure_breakdown(off_result)
+    for reason in ("modal-overlay", "challenge-interstitial", "hidden-input"):
+        assert off_reasons.get(reason, 0) > 0, reason
+    assert any(r.startswith("stalled") for r in off_reasons)
+
+    # Plain population: watchdogs that never fire change nothing.
+    # Record identity makes Table 2 / Fig. 4 invariance exact.
+    for name, (on, off) in plain_results.items():
+        assert json.dumps(on.to_dict()) == json.dumps(off.to_dict()), name
+        on_rows = evaluate_screenshots(on).rows()
+        off_rows = evaluate_screenshots(off).rows()
+        assert on_rows == off_rows, name
+    http_on = evaluate_http_errors(
+        plain_results["OpenWPM"][0], plain_results["OpenWPM+extension"][0]
+    )
+    http_off = evaluate_http_errors(
+        plain_results["OpenWPM"][1], plain_results["OpenWPM+extension"][1]
+    )
+    assert http_on.first_party_wilcoxon.significant(0.05)
+    assert http_off.first_party_wilcoxon.significant(0.05)
+    assert not http_on.third_party_wilcoxon.significant(0.05)
+
+    BENCH_PATH.write_text(
+        json.dumps(
+            {
+                "population_sites": len(population),
+                "hostile_sites": hostile_sites,
+                "hostile_fraction": round(hostile_fraction, 4),
+                "instances": INSTANCES,
+                "coverage_watchdogs_on": round(coverage_on, 4),
+                "coverage_watchdogs_off": round(coverage_off, 4),
+                "recycles_watchdogs_on": protected.stats.recycles,
+                "failures_watchdogs_on": failure_breakdown(on_result),
+                "failures_watchdogs_off": failure_breakdown(off_result),
+                "plain_population_record_identical": True,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+    print(f"\nwrote {BENCH_PATH}")

@@ -1,0 +1,63 @@
+"""repro.bus -- the deterministic crawl event bus.
+
+A trimmed-down, fully deterministic take on browser-use's bubus: typed
+events, ordered synchronous dispatch stamped from the shared virtual
+clock, subscriber registry, and obs integration (``bus.events.*``
+counters, ``bus.*`` trace events).  The crawl layers --
+:class:`~repro.crawl.supervisor.CrawlSupervisor`, the
+:class:`~repro.browser.session.BrowserSession` adapters and the
+:mod:`~repro.crawl.watchdogs` -- communicate through it instead of
+calling each other directly.  See docs/EVENT_BUS.md.
+"""
+
+from repro.bus.bus import (
+    EventBus,
+    Handler,
+    NULL_BUS,
+    NullBus,
+    Subscription,
+    resolve_or_none,
+)
+from repro.bus.events import (
+    AttemptFinished,
+    AttemptStarted,
+    BrowserRecycleRequested,
+    BrowserRecycled,
+    BusEvent,
+    ChallengeDetected,
+    FaultObserved,
+    InputObstructed,
+    NavigateToUrl,
+    OverlayDetected,
+    PageStalled,
+    QueryElements,
+    Resolvable,
+    RunScript,
+    ScrollTo,
+    event_name,
+)
+
+__all__ = [
+    "EventBus",
+    "Handler",
+    "NULL_BUS",
+    "NullBus",
+    "Subscription",
+    "resolve_or_none",
+    "BusEvent",
+    "Resolvable",
+    "event_name",
+    "AttemptStarted",
+    "AttemptFinished",
+    "FaultObserved",
+    "BrowserRecycleRequested",
+    "BrowserRecycled",
+    "NavigateToUrl",
+    "QueryElements",
+    "RunScript",
+    "ScrollTo",
+    "OverlayDetected",
+    "ChallengeDetected",
+    "InputObstructed",
+    "PageStalled",
+]

@@ -15,8 +15,13 @@ Appendix B).  The live web is replaced by a synthetic population:
   (spoofed) navigator.
 - :mod:`repro.crawl.crawler` -- the OpenWPM-like crawler.
 - :mod:`repro.crawl.supervisor` -- the fault-aware crawl supervisor:
-  retries with backoff, browser recycling, per-domain circuit breaking
-  and checkpoint/resume (pairs with :mod:`repro.faults`).
+  retries with backoff, per-domain circuit breaking and
+  checkpoint/resume (pairs with :mod:`repro.faults`), orchestrated over
+  the :mod:`repro.bus` event bus.
+- :mod:`repro.crawl.watchdogs` -- pluggable recovery subscribers
+  (crash/fault-budget recycling, stall bounding, overlay/challenge/
+  hidden-input recovery); ``watchdogs=()`` is the unprotected ablation
+  baseline (docs/EVENT_BUS.md).
 - :mod:`repro.crawl.evaluation` -- the Table 2 screenshot evaluation, the
   breakage report, the Fig. 4 HTTP-error histogram with the Wilcoxon
   matched-pairs significance test, and the crawl-health report.
@@ -25,10 +30,12 @@ Appendix B).  The live web is replaced by a synthetic population:
 from repro.crawl.population import (
     DetectorDeployment,
     DetectionSignal,
+    HostileArchetype,
     Reaction,
     SiteConfig,
     PopulationConfig,
     generate_population,
+    hostile_population,
 )
 from repro.crawl.visit import (
     FailureReason,
@@ -45,6 +52,14 @@ from repro.crawl.supervisor import (
     SupervisorStats,
     visit_coverage,
 )
+from repro.crawl.watchdogs import (
+    CrashWatchdog,
+    ModalOverlayWatchdog,
+    RecycleWatchdog,
+    StallWatchdog,
+    Watchdog,
+    default_watchdogs,
+)
 from repro.crawl.evaluation import (
     ScreenshotEvaluation,
     evaluate_screenshots,
@@ -59,10 +74,18 @@ from repro.crawl.evaluation import (
 __all__ = [
     "DetectorDeployment",
     "DetectionSignal",
+    "HostileArchetype",
     "Reaction",
     "SiteConfig",
     "PopulationConfig",
     "generate_population",
+    "hostile_population",
+    "Watchdog",
+    "CrashWatchdog",
+    "StallWatchdog",
+    "ModalOverlayWatchdog",
+    "RecycleWatchdog",
+    "default_watchdogs",
     "FailureReason",
     "HTTPResponse",
     "Screenshot",

@@ -36,6 +36,29 @@ class DetectionSignal(Enum):
     OTHER = "other"
 
 
+class HostileArchetype(Enum):
+    """Page pathologies a measurement tool must degrade gracefully on.
+
+    These are crawler-hostile *mechanics*, not bot detectors: the page
+    obstructs automation for every visitor (Krumnow et al.'s reliability
+    pathologies; "Detecting Bot Detection"'s interstitial catalog).
+    Whether a visit survives one depends on the supervising watchdogs,
+    not on spoofing.
+    """
+
+    #: A full-page modal/cookie-consent overlay blocks interaction until
+    #: dismissed.
+    MODAL_OVERLAY = "modal-overlay"
+    #: A challenge interstitial gates the page behind a wait.
+    CHALLENGE_INTERSTITIAL = "challenge-interstitial"
+    #: A required input is hidden/tiny: pointer interaction cannot reach
+    #: it, only a scripted direct fill can.
+    HIDDEN_INPUT = "hidden-input"
+    #: The page stalls, consuming the visit's step budget without
+    #: progress (per attempt, with probability ``hostile_intensity``).
+    STALLING = "stalling"
+
+
 class Reaction(Enum):
     """How a site reacts to a detected bot."""
 
@@ -80,6 +103,10 @@ class SiteConfig:
     first_party_error_rate: float = 0.004
     #: Per-visit probability an ad auction simply fills fewer slots.
     ad_noise_probability: float = 0.0002
+    #: Crawler-hostile page mechanics (None = plain page).
+    hostile: Optional[HostileArchetype] = None
+    #: For ``STALLING``: per-attempt probability the stall manifests.
+    hostile_intensity: float = 0.4
 
 
 @dataclass
@@ -113,6 +140,17 @@ class PopulationConfig:
     #: Sites whose scripts break under a proxied navigator.
     n_layout_breakage: int = 1
     n_video_breakage: int = 1
+    #: Hostile-archetype site counts (all 0 by default: the paper-scale
+    #: population is unchanged byte-for-byte unless a robustness study
+    #: opts in).  Hostile sites are drawn from the ordinary *reachable*
+    #: population on a dedicated rng stream, so enabling them perturbs
+    #: no other draw.
+    n_modal_overlay_sites: int = 0
+    n_challenge_sites: int = 0
+    n_hidden_input_sites: int = 0
+    n_stalling_sites: int = 0
+    #: Per-attempt stall probability for the stalling sites.
+    stall_intensity: float = 0.4
 
 
 def generate_population(config: Optional[PopulationConfig] = None) -> List[SiteConfig]:
@@ -208,4 +246,69 @@ def generate_population(config: Optional[PopulationConfig] = None) -> List[SiteC
     )
     for i in rng.choice(ordinary, size=n_unreachable, replace=False):
         sites[i].unreachable = True
+
+    _assign_hostile_sites(sites, config, ordinary)
     return sites
+
+
+#: Sub-stream tag for hostile-site selection (disjoint from the main
+#: population stream, so default configs draw nothing from it).
+_HOSTILE_STREAM = 0x48
+
+
+def _assign_hostile_sites(
+    sites: List[SiteConfig], config: PopulationConfig, ordinary: List[int]
+) -> None:
+    """Mark hostile-archetype sites (no-op with the default counts).
+
+    Hostile sites come from the ordinary *reachable* population -- a
+    page that throws up an overlay or stalls evidently responds, and
+    keeping the detector sites plain keeps the Table 2 calibration
+    orthogonal to robustness studies.  Selection uses its own seeded rng
+    stream: enabling hostile counts never perturbs the draws that shape
+    the rest of the population.
+    """
+    quotas = [
+        (HostileArchetype.MODAL_OVERLAY, config.n_modal_overlay_sites),
+        (HostileArchetype.CHALLENGE_INTERSTITIAL, config.n_challenge_sites),
+        (HostileArchetype.HIDDEN_INPUT, config.n_hidden_input_sites),
+        (HostileArchetype.STALLING, config.n_stalling_sites),
+    ]
+    total = sum(count for _, count in quotas)
+    if total == 0:
+        return
+    eligible = [i for i in ordinary if not sites[i].unreachable]
+    if total > len(eligible):
+        raise ValueError(
+            f"population has {len(eligible)} eligible sites for "
+            f"{total} hostile roles"
+        )
+    hostile_rng = np.random.default_rng([config.seed, _HOSTILE_STREAM])
+    chosen = hostile_rng.choice(eligible, size=total, replace=False)
+    cursor = 0
+    for archetype, count in quotas:
+        for i in chosen[cursor : cursor + count]:
+            sites[i].hostile = archetype
+            sites[i].hostile_intensity = config.stall_intensity
+        cursor += count
+
+
+def hostile_population(
+    n_sites: int = 200,
+    seed: int = 2021,
+    hostile_fraction: float = 0.2,
+    stall_intensity: float = 0.4,
+) -> List[SiteConfig]:
+    """A population with ``hostile_fraction`` of sites hostile, split
+    evenly across the four archetypes (the robustness-ablation subject)."""
+    per_archetype = max(1, int(round(n_sites * hostile_fraction / 4.0)))
+    config = PopulationConfig(
+        n_sites=n_sites,
+        seed=seed,
+        n_modal_overlay_sites=per_archetype,
+        n_challenge_sites=per_archetype,
+        n_hidden_input_sites=per_archetype,
+        n_stalling_sites=per_archetype,
+        stall_intensity=stall_intensity,
+    )
+    return generate_population(config)

@@ -41,12 +41,20 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.browser.navigator import NavigatorProfile
-from repro.browser.window import Window
+from repro.browser.session import SimulatedBrowserSession
+from repro.bus import (
+    AttemptFinished,
+    AttemptStarted,
+    BrowserRecycled,
+    BrowserRecycleRequested,
+    EventBus,
+    FaultObserved,
+)
 from repro.clock import VirtualClock
 from repro.crawl.crawler import CrawlResult, OpenWPMCrawler
 from repro.crawl.population import SiteConfig
 from repro.crawl.visit import FailureReason, VisitRecord, simulate_visit
+from repro.crawl.watchdogs import default_watchdogs
 from repro.detection.fingerprint import _reference_navigator
 from repro.faults.plan import FaultInjector, FaultPlan
 from repro.faults.recovery import BackoffPolicy, BreakerState, CircuitBreaker
@@ -54,7 +62,6 @@ from repro.faults.types import FaultError
 from repro.obs import CrawlReport, Tracer, build_report, write_trace
 from repro.obs.probes import ProbeLedger, write_ledger
 from repro.obs.tracer import NULL_TRACER
-from repro.webdriver.driver import WebDriver
 
 #: Version 2 adds the ``trace`` and ``metrics`` fields that carry the
 #: observability state across interruptions.  The optional ``ledger``
@@ -96,6 +103,15 @@ class SupervisorConfig:
     #: land on site boundaries only, so resumed breaker state is always
     #: exact (all visits of a domain live on one side of the cut).
     checkpoint_every_sites: int = 25
+    #: Simulated cost of dismissing a modal/cookie overlay.
+    overlay_dismiss_ms: float = 1_500.0
+    #: Simulated wait for a challenge interstitial to clear.
+    challenge_wait_ms: float = 5_000.0
+    #: Simulated cost of the scripted direct fill on an obstructed input.
+    direct_fill_ms: float = 800.0
+    #: What an *unbounded* stall (no stall watchdog) costs: the page
+    #: hangs until an external kill, far beyond the step budget.
+    stall_unbounded_cost_ms: float = 300_000.0
 
 
 @dataclass
@@ -127,31 +143,37 @@ class SupervisorStats:
 class BrowserInstance:
     """One long-lived browser of the crawl (OpenWPM's browser slot).
 
-    Holds the persistent window/driver pair and the fault count that
-    triggers recycling.  Recycling re-runs the full spawn sequence:
-    fresh window, fresh driver, extension re-injected -- with the
-    supervisor's tracer re-wired into the fresh driver.
+    Wraps a :class:`~repro.browser.session.BrowserSession` (the
+    simulated backend by default) and holds the fault count that
+    triggers recycling.  Recycling re-runs the session's full spawn
+    sequence: fresh window, fresh driver, extension re-injected -- with
+    the supervisor's tracer re-wired into the fresh driver.
     """
 
-    def __init__(self, index: int, extension=None, tracer=None, ledger=None) -> None:
+    def __init__(
+        self, index: int, extension=None, tracer=None, ledger=None, session=None
+    ) -> None:
         self.index = index
         self.extension = extension
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.ledger = ledger
         self.fault_count = 0
         self.recycles = 0
-        self._spawn()
+        self.session = (
+            session
+            if session is not None
+            else SimulatedBrowserSession(
+                index, extension=extension, tracer=self.tracer, ledger=ledger
+            )
+        )
 
-    def _spawn(self) -> None:
-        self.window = Window(profile=NavigatorProfile(webdriver=True))
-        # Only *attach* the ledger here -- instrumentation happens lazily
-        # at probe time (see ``fingerprint._window_ledger``), so spawning,
-        # recycling and resume-respawning record no entries and the ledger
-        # stays byte-identical across interrupt/resume.
-        self.window.probe_ledger = self.ledger
-        self.driver = WebDriver(self.window, tracer=self.tracer)
-        if self.extension is not None:
-            self.extension.inject(self.window)
+    @property
+    def window(self):
+        return self.session.window
+
+    @property
+    def driver(self):
+        return self.session.driver
 
     def note_fault(self) -> int:
         """Record one fault; returns the running count."""
@@ -172,7 +194,7 @@ class BrowserInstance:
         """Tear the browser down and spawn a fresh one."""
         self.recycles += 1
         self.fault_count = 0
-        self._spawn()
+        self.session.spawn()
 
 
 class CrawlSupervisor:
@@ -200,6 +222,12 @@ class CrawlSupervisor:
         When given it is re-wired onto the supervisor's clock and metrics
         registry, attached to every browser window, carried through
         checkpoints, and exportable via ``crawl(ledger_path=...)``.
+    watchdogs:
+        The pluggable recovery subscribers (see :mod:`repro.crawl.
+        watchdogs`).  ``None`` (the default) attaches
+        :func:`~repro.crawl.watchdogs.default_watchdogs`; pass ``()``
+        for the unprotected ablation baseline -- no recycling, no stall
+        bounding, no overlay recovery.
     """
 
     def __init__(
@@ -209,6 +237,7 @@ class CrawlSupervisor:
         plan: Optional[FaultPlan] = None,
         tracer: Optional[Tracer] = None,
         probe_ledger: Optional[ProbeLedger] = None,
+        watchdogs=None,
     ) -> None:
         self.crawler = crawler
         self.config = config or SupervisorConfig()
@@ -232,6 +261,22 @@ class CrawlSupervisor:
         self._instances: Optional[List[BrowserInstance]] = None
         self._restored_browsers: Optional[List[Dict[str, int]]] = None
         self._bind_metric_handles()
+        # The deterministic event bus every crawl collaborator talks
+        # over: sessions execute command events, watchdogs subscribe to
+        # fault/hostile events, and the supervisor itself only executes
+        # recycle requests.
+        self.bus = EventBus(self.clock, self.tracer)
+        self.watchdogs = tuple(
+            default_watchdogs() if watchdogs is None else watchdogs
+        )
+        for watchdog in self.watchdogs:
+            watchdog.attach(self)
+        self.bus.subscribe(
+            BrowserRecycleRequested,
+            self._on_recycle_requested,
+            name="supervisor.recycle",
+        )
+        self._attached_sessions: List = []
 
     def _bind_metric_handles(self) -> None:
         """Cache per-visit metric handles (one method call on hot paths).
@@ -289,6 +334,7 @@ class CrawlSupervisor:
                 instance.load_state(state)
             self._restored_browsers = None
         self._instances = instances
+        self._attach_sessions(instances)
         reference = _reference_navigator()
         records: List[VisitRecord] = []
         fresh_sites = 0
@@ -338,6 +384,30 @@ class CrawlSupervisor:
         if ledger_path is not None:
             write_ledger(ledger_path, self.ledger)
         return CrawlResult(crawler_name=self.crawler.name, records=records)
+
+    def _attach_sessions(self, instances: List[BrowserInstance]) -> None:
+        """Subscribe this crawl's browser sessions to the bus.
+
+        A repeated ``crawl()`` call builds fresh instances; the previous
+        crawl's sessions are detached first so command events never
+        reach stale browsers (and dispatch order stays deterministic).
+        """
+        for session in self._attached_sessions:
+            session.detach(self.bus)
+        self._attached_sessions = [instance.session for instance in instances]
+        for session in self._attached_sessions:
+            session.attach(self.bus)
+
+    def _on_recycle_requested(self, event: BrowserRecycleRequested) -> None:
+        """Execute a watchdog's recycle request (the supervisor is the
+        only subscriber that may tear browsers down)."""
+        instance = event.instance
+        if instance is None:
+            return
+        self._recycle(instance, event.reason)
+        self.bus.publish(
+            BrowserRecycled(reason=event.reason, browser=instance.index)
+        )
 
     # -- observability ---------------------------------------------------
 
@@ -424,7 +494,17 @@ class CrawlSupervisor:
                 self.injector.arm(site.domain, visit_index, attempt)
             span = tracer.start("attempt", attempt=attempt)
             attempt_start_ms = self.clock.now()
+            reached = False
+            failure_reason: Optional[str] = None
             try:
+                self.bus.publish(
+                    AttemptStarted(
+                        domain=site.domain,
+                        visit_index=visit_index,
+                        attempt=attempt,
+                        browser=instance.index,
+                    )
+                )
                 try:
                     record = simulate_visit(
                         site,
@@ -435,10 +515,14 @@ class CrawlSupervisor:
                         per_visit_failure=config.per_visit_failure,
                         driver=instance.driver,
                         injector=self.injector,
+                        bus=self.bus,
+                        browser=instance.index,
+                        attempt=attempt,
                     )
                 except FaultError as fault:
                     self.stats.faults_seen += 1
                     last_reason = fault.fault_type.value
+                    failure_reason = last_reason
                     span.status = "fault:" + last_reason
                     tracer.event("fault", fault_type=last_reason, hook=fault.hook)
                     self.metrics.counter("faults." + last_reason).inc()
@@ -449,10 +533,20 @@ class CrawlSupervisor:
                     )
                     self.clock.advance(min(cost, config.visit_budget_ms))
                     breaker.record_failure(self.clock.now())
-                    if fault.fault_type.browser_fatal:
-                        self._recycle(instance, "fatal-fault")
-                    elif instance.note_fault() >= config.recycle_after_faults:
-                        self._recycle(instance, "fault-budget")
+                    # Recovery policy is no longer inline: watchdog
+                    # subscribers decide whether this fault warrants a
+                    # recycle (crash -> immediate, budget -> proactive).
+                    self.bus.publish(
+                        FaultObserved(
+                            fault_type=last_reason,
+                            hook=fault.hook,
+                            domain=site.domain,
+                            visit_index=visit_index,
+                            attempt=attempt,
+                            browser_fatal=fault.fault_type.browser_fatal,
+                            instance=instance,
+                        )
+                    )
                     self._backoff(site, visit_index, attempt)
                     continue
                 finally:
@@ -460,7 +554,9 @@ class CrawlSupervisor:
                         self.injector.disarm()
 
                 record.attempts = attempts_made
+                failure_reason = record.failure_reason
                 if record.reached:
+                    reached = True
                     record.recovered = attempts_made > 1
                     self.clock.advance(config.visit_cost_ms)
                     breaker.record_success()
@@ -469,7 +565,16 @@ class CrawlSupervisor:
                     return record
 
                 # Site-side failure: permanent conditions are not retried.
-                self.clock.advance(config.visit_cost_ms)
+                # A watchdog-aborted stall is charged exactly the step
+                # budget; an unbounded stall (no watchdog) costs the
+                # external-kill timeout.  Either way the breaker records
+                # ONE failure -- watchdog intervention never double-counts.
+                if record.failure_reason == FailureReason.STALLED:
+                    self.clock.advance(config.visit_budget_ms)
+                elif record.failure_reason == FailureReason.STALLED_UNBOUNDED:
+                    self.clock.advance(config.stall_unbounded_cost_ms)
+                else:
+                    self.clock.advance(config.visit_cost_ms)
                 breaker.record_failure(self.clock.now())
                 if FailureReason.is_permanent(record.failure_reason):
                     span.status = "failed:" + record.failure_reason
@@ -478,6 +583,16 @@ class CrawlSupervisor:
                 span.status = "failed:" + last_reason
                 self._backoff(site, visit_index, attempt)
             finally:
+                self.bus.publish(
+                    AttemptFinished(
+                        domain=site.domain,
+                        visit_index=visit_index,
+                        attempt=attempt,
+                        browser=instance.index,
+                        reached=reached,
+                        failure_reason=failure_reason,
+                    )
+                )
                 self._attempt_ms.observe(self.clock.now() - attempt_start_ms)
                 tracer.end(span)
 

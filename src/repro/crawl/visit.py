@@ -17,8 +17,29 @@ import numpy as np
 
 from repro.browser.navigator import NavigatorProfile
 from repro.browser.window import Window
-from repro.crawl.population import DetectionSignal, Reaction, SiteConfig
+from repro.bus import (
+    ChallengeDetected,
+    InputObstructed,
+    NavigateToUrl,
+    NullBus,
+    OverlayDetected,
+    PageStalled,
+    QueryElements,
+    RunScript,
+    resolve_or_none,
+)
+from repro.crawl.population import (
+    DetectionSignal,
+    HostileArchetype,
+    Reaction,
+    SiteConfig,
+)
 from repro.detection.fingerprint import probe_webdriver_flag, run_all_probes
+from repro.dom.hostile import (
+    install_challenge,
+    install_hidden_input,
+    install_overlay,
+)
 from repro.spoofing.extension import SpoofingExtension
 
 
@@ -40,6 +61,32 @@ class FailureReason:
     EXHAUSTED_PREFIX = "exhausted:"
     #: The per-domain circuit breaker refused the visit.
     CIRCUIT_OPEN = "circuit-open"
+    #: A stall watchdog aborted the attempt at the step budget -- the
+    #: page may behave next time, so a retry is worthwhile.
+    STALLED = "stalled"
+    #: The page stalled with no watchdog to bound it: the visit hung
+    #: until an external kill.  Permanent -- retrying an unsupervised
+    #: hang just hangs again.
+    STALLED_UNBOUNDED = "stalled-unbounded"
+    #: A modal/cookie overlay blocked the page and nothing dismissed it.
+    MODAL_OVERLAY = "modal-overlay"
+    #: A challenge interstitial gated the page and nothing waited it out.
+    CHALLENGE_INTERSTITIAL = "challenge-interstitial"
+    #: A required input was unreachable and nothing fell back to a
+    #: scripted direct fill.
+    HIDDEN_INPUT = "hidden-input"
+
+    #: Hostile-page conditions no retry fixes without a watchdog: the
+    #: page presents the same obstacle every time.
+    _PERMANENT = frozenset(
+        {
+            UNREACHABLE,
+            STALLED_UNBOUNDED,
+            MODAL_OVERLAY,
+            CHALLENGE_INTERSTITIAL,
+            HIDDEN_INPUT,
+        }
+    )
 
     @staticmethod
     def exhausted(last_reason: str) -> str:
@@ -49,7 +96,7 @@ class FailureReason:
     @staticmethod
     def is_permanent(reason: Optional[str]) -> bool:
         """Whether retrying this failure cannot help."""
-        return reason == FailureReason.UNREACHABLE
+        return reason in FailureReason._PERMANENT
 
 
 @dataclass
@@ -176,6 +223,103 @@ def _run_site_detector(
     return True
 
 
+def _scripted_scroll(bus, browser: int) -> None:
+    """The visit's scripted scroll, issued over the bus."""
+    bus.publish(RunScript(script="window.scrollTo(0, 0)", browser=browser))
+
+
+def _confront_hostile(
+    site: SiteConfig,
+    window: Window,
+    rng: np.random.Generator,
+    *,
+    bus,
+    browser: int,
+    visit_index: int,
+    attempt: int,
+) -> Optional[str]:
+    """Let the site's hostile archetype obstruct the visit.
+
+    Installs the archetype's furniture into the live document and
+    publishes the matching :class:`~repro.bus.events.Resolvable`.  A
+    watchdog that resolves it lets the visit proceed (performing or
+    replaying the interrupted scripted scroll); an unresolved event
+    degrades gracefully into the returned typed failure reason -- never
+    an exception.
+    """
+    live = bus is not None and not isinstance(bus, NullBus)
+    hostile = site.hostile
+
+    def finish_actions() -> None:
+        if live:
+            _scripted_scroll(bus, browser)
+
+    if hostile is HostileArchetype.STALLING:
+        # One dedicated draw decides whether this attempt stalls; plain
+        # pages never reach here, so their rng streams are untouched.
+        if rng.random() >= site.hostile_intensity:
+            finish_actions()
+            return None
+        event = resolve_or_none(
+            bus,
+            PageStalled(
+                domain=site.domain, visit_index=visit_index, attempt=attempt
+            ),
+        )
+        if event is not None and event.resolved:
+            return FailureReason.STALLED
+        return FailureReason.STALLED_UNBOUNDED
+
+    if hostile is HostileArchetype.MODAL_OVERLAY:
+        kind = "cookie-banner" if site.rank % 2 == 0 else "modal"
+        overlay = install_overlay(window.document, kind=kind)
+        event = resolve_or_none(
+            bus,
+            OverlayDetected(
+                domain=site.domain,
+                kind=kind,
+                dismiss=overlay.remove,
+                action_chain=[finish_actions],
+            ),
+        )
+        if event is not None and event.resolved:
+            return None
+        return FailureReason.MODAL_OVERLAY
+
+    if hostile is HostileArchetype.CHALLENGE_INTERSTITIAL:
+        interstitial = install_challenge(window.document)
+        event = resolve_or_none(
+            bus,
+            ChallengeDetected(domain=site.domain, wait_out=interstitial.remove),
+        )
+        if event is not None and event.resolved:
+            finish_actions()
+            return None
+        return FailureReason.CHALLENGE_INTERSTITIAL
+
+    if hostile is HostileArchetype.HIDDEN_INPUT:
+        hidden = install_hidden_input(window.document)
+
+        def fill_direct() -> None:
+            hidden.value = "crawler@example.org"
+
+        event = resolve_or_none(
+            bus,
+            InputObstructed(
+                domain=site.domain,
+                element_id=hidden.id,
+                fill_direct=fill_direct,
+            ),
+        )
+        if event is not None and event.resolved and hidden.value:
+            finish_actions()
+            return None
+        return FailureReason.HIDDEN_INPUT
+
+    finish_actions()
+    return None
+
+
 def simulate_visit(
     site: SiteConfig,
     *,
@@ -186,6 +330,9 @@ def simulate_visit(
     per_visit_failure: float = 0.002,
     driver=None,
     injector=None,
+    bus=None,
+    browser: int = 0,
+    attempt: int = 0,
 ) -> VisitRecord:
     """Simulate one crawler visit to ``site``.
 
@@ -196,6 +343,12 @@ def simulate_visit(
     the visit through the real WebDriver command sequence -- navigate,
     element lookup, scripted scroll -- so scheduled faults surface as
     the typed exceptions a live crawl would see.
+    ``bus`` (a live :class:`repro.bus.EventBus` with a
+    :class:`~repro.browser.session.BrowserSession` attached for
+    ``browser``) routes that same command sequence through command
+    events instead of direct driver calls, and lets watchdog
+    subscribers resolve the site's hostile archetype; without a bus,
+    hostile pages degrade into their typed failure immediately.
     """
     record = VisitRecord(
         domain=site.domain, rank=site.rank, visit_index=visit_index, reached=True
@@ -226,7 +379,36 @@ def simulate_visit(
             driver = WebDriver(window)
         if extension is not None:
             extension.inject(window)
-    if injector is not None:
+    use_bus = (
+        bus is not None and not isinstance(bus, NullBus) and driver is not None
+    )
+    if use_bus:
+        previous_injector = driver.fault_injector
+        if injector is not None:
+            driver.fault_injector = injector
+        try:
+            bus.publish(
+                NavigateToUrl(url=f"https://{site.domain}/", browser=browser)
+            )
+            bus.publish(
+                QueryElements(by="tag name", value="body", browser=browser)
+            )
+            hostile_failure = _confront_hostile(
+                site,
+                window,
+                rng,
+                bus=bus,
+                browser=browser,
+                visit_index=visit_index,
+                attempt=attempt,
+            )
+            if hostile_failure is not None:
+                record.reached = False
+                record.failure_reason = hostile_failure
+                return record
+        finally:
+            driver.fault_injector = previous_injector
+    elif injector is not None:
         previous_injector = driver.fault_injector
         driver.fault_injector = injector
         try:
@@ -235,6 +417,20 @@ def simulate_visit(
             driver.execute_script("window.scrollTo(0, 0)")
         finally:
             driver.fault_injector = previous_injector
+    elif site.hostile is not None:
+        hostile_failure = _confront_hostile(
+            site,
+            window,
+            rng,
+            bus=None,
+            browser=browser,
+            visit_index=visit_index,
+            attempt=attempt,
+        )
+        if hostile_failure is not None:
+            record.reached = False
+            record.failure_reason = hostile_failure
+            return record
 
     ledger = getattr(window, "probe_ledger", None)
     ledger_start = len(ledger) if ledger is not None else 0

@@ -1,0 +1,37 @@
+"""Pluggable crawl watchdogs (the bubus/watchdog pattern).
+
+Each watchdog owns one recovery concern and plugs into the supervisor's
+:class:`~repro.bus.EventBus` as an ordinary subscriber; the supervisor
+itself only executes :class:`~repro.bus.events.BrowserRecycleRequested`.
+``default_watchdogs()`` is the production set; pass ``watchdogs=()`` to
+:class:`~repro.crawl.supervisor.CrawlSupervisor` for the unprotected
+ablation baseline.
+"""
+
+from typing import Tuple
+
+from repro.crawl.watchdogs.base import Watchdog
+from repro.crawl.watchdogs.crash import CrashWatchdog
+from repro.crawl.watchdogs.modal import ModalOverlayWatchdog
+from repro.crawl.watchdogs.recycle import RecycleWatchdog
+from repro.crawl.watchdogs.stall import StallWatchdog
+
+
+def default_watchdogs() -> Tuple[Watchdog, ...]:
+    """The production watchdog set, in deterministic registration order."""
+    return (
+        CrashWatchdog(),
+        StallWatchdog(),
+        ModalOverlayWatchdog(),
+        RecycleWatchdog(),
+    )
+
+
+__all__ = [
+    "Watchdog",
+    "CrashWatchdog",
+    "StallWatchdog",
+    "ModalOverlayWatchdog",
+    "RecycleWatchdog",
+    "default_watchdogs",
+]

@@ -1,0 +1,38 @@
+"""CrashWatchdog: browser death -> immediate recycle."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bus.events import BrowserRecycleRequested, FaultObserved
+from repro.crawl.watchdogs.base import Watchdog
+
+
+class CrashWatchdog(Watchdog):
+    """Requests a recycle the moment a browser-fatal fault is observed.
+
+    Mirrors OpenWPM's browser-manager restart: a crashed or OOM-killed
+    browser is useless, so the dead instance is torn down and respawned
+    before the next attempt rather than being retried into.
+    """
+
+    name = "crash"
+
+    def subscriptions(self) -> List:
+        return [
+            self.bus.subscribe(
+                FaultObserved, self.on_fault_observed, name="crash.fault"
+            )
+        ]
+
+    def on_fault_observed(self, event: FaultObserved) -> None:
+        if not event.browser_fatal:
+            return
+        self.note(
+            "recycle_requested",
+            fault_type=event.fault_type,
+            browser=event.instance.index if event.instance else -1,
+        )
+        self.bus.publish(
+            BrowserRecycleRequested(reason="fatal-fault", instance=event.instance)
+        )

@@ -1,0 +1,75 @@
+"""ModalOverlayWatchdog: overlays, interstitials, obstructed inputs."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bus.events import ChallengeDetected, InputObstructed, OverlayDetected
+from repro.crawl.watchdogs.base import Watchdog
+
+
+class ModalOverlayWatchdog(Watchdog):
+    """Recovers from in-page obstructions instead of losing the visit.
+
+    Three related interventions, each paid for on the virtual clock:
+
+    - **overlays** (:class:`OverlayDetected`): dismiss the modal/cookie
+      overlay, then *replay the interrupted action chain* so the visit
+      continues exactly where the overlay cut it off;
+    - **challenge interstitials** (:class:`ChallengeDetected`): wait the
+      challenge out (``SupervisorConfig.challenge_wait_ms``) rather than
+      abandoning the page;
+    - **hidden/tiny inputs** (:class:`InputObstructed`): fall back to a
+      scripted direct fill, the standard automation answer to elements
+      pointer interaction cannot reach.
+    """
+
+    name = "modal"
+
+    def subscriptions(self) -> List:
+        return [
+            self.bus.subscribe(
+                OverlayDetected, self.on_overlay_detected, name="modal.overlay"
+            ),
+            self.bus.subscribe(
+                ChallengeDetected,
+                self.on_challenge_detected,
+                name="modal.challenge",
+            ),
+            self.bus.subscribe(
+                InputObstructed,
+                self.on_input_obstructed,
+                name="modal.obstructed",
+            ),
+        ]
+
+    def on_overlay_detected(self, event: OverlayDetected) -> None:
+        if event.resolved:
+            return
+        self.clock.advance(self.config.overlay_dismiss_ms)
+        if event.dismiss is not None:
+            event.dismiss()
+        for action in event.action_chain:
+            action()
+        self.note("overlay_dismissed", domain=event.domain, kind=event.kind)
+        event.resolve(self.name, "dismissed")
+
+    def on_challenge_detected(self, event: ChallengeDetected) -> None:
+        if event.resolved:
+            return
+        self.clock.advance(self.config.challenge_wait_ms)
+        if event.wait_out is not None:
+            event.wait_out()
+        self.note("challenge_waited_out", domain=event.domain)
+        event.resolve(self.name, "waited-out")
+
+    def on_input_obstructed(self, event: InputObstructed) -> None:
+        if event.resolved:
+            return
+        self.clock.advance(self.config.direct_fill_ms)
+        if event.fill_direct is not None:
+            event.fill_direct()
+        self.note(
+            "direct_fill", domain=event.domain, element=event.element_id
+        )
+        event.resolve(self.name, "direct-fill")

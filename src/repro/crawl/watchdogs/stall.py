@@ -1,0 +1,35 @@
+"""StallWatchdog: bound stalling pages at the step budget."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bus.events import PageStalled
+from repro.crawl.watchdogs.base import Watchdog
+
+
+class StallWatchdog(Watchdog):
+    """Aborts an attempt whose page is eating the step budget.
+
+    Resolving :class:`~repro.bus.events.PageStalled` with ``"aborted"``
+    turns an unbounded hang into a *bounded, retryable* failure: the
+    supervisor charges exactly ``visit_budget_ms`` and retries with
+    backoff (``failure_reason="stalled"``).  Without this watchdog the
+    stall degrades to the permanent ``"stalled-unbounded"``, charged at
+    the much larger external-kill cost.
+    """
+
+    name = "stall"
+
+    def subscriptions(self) -> List:
+        return [
+            self.bus.subscribe(
+                PageStalled, self.on_page_stalled, name="stall.page_stalled"
+            )
+        ]
+
+    def on_page_stalled(self, event: PageStalled) -> None:
+        if event.resolved:
+            return
+        self.note("aborted", domain=event.domain, attempt=event.attempt)
+        event.resolve(self.name, "aborted")

@@ -10,5 +10,16 @@ document heights, and event bubbling from element to document.
 
 from repro.dom.element import Element
 from repro.dom.document import Document
+from repro.dom.hostile import (
+    install_challenge,
+    install_hidden_input,
+    install_overlay,
+)
 
-__all__ = ["Element", "Document"]
+__all__ = [
+    "Element",
+    "Document",
+    "install_challenge",
+    "install_hidden_input",
+    "install_overlay",
+]

@@ -41,6 +41,21 @@ class Document(EventTarget):
             if node.id is not None:
                 self._by_id[node.id] = node
 
+    def unregister(self, element: Element) -> None:
+        """Drop ``element`` (and its subtree) from the id registry.
+
+        The registry maps an id to the *latest* registered element, so
+        unregistering only removes entries still pointing into this
+        subtree.  Focus held inside the removed subtree is released.
+        """
+        for node in element.iter_subtree():
+            if node.id is not None and self._by_id.get(node.id) is node:
+                del self._by_id[node.id]
+            if self.active_element is node:
+                self.active_element = None
+                node.focused = False
+            node.document = None
+
     def create_element(
         self,
         tag: str,

@@ -69,6 +69,21 @@ class Element(EventTarget):
             self.document.register(child)
         return child
 
+    def remove(self) -> "Element":
+        """Detach this element (and its subtree) from the tree.
+
+        The inverse of :meth:`append_child`: the subtree leaves its
+        parent's children, the document's id registry, and hit-testing.
+        Used by overlay dismissal (a robust crawler removes cookie
+        banners the way a consent-manager script would).
+        """
+        if self.parent is not None and self in self.parent.children:
+            self.parent.children.remove(self)
+        self.parent = None
+        if self.document is not None:
+            self.document.unregister(self)
+        return self
+
     def iter_subtree(self) -> Iterator["Element"]:
         """Depth-first iteration over this element and its descendants."""
         yield self

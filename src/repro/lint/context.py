@@ -31,6 +31,8 @@ _SCOPE_COMPONENTS: Dict[str, str] = {
     "core": "events",
     "tools": "events",
     "obs": "obs",
+    "bus": "bus",
+    "watchdogs": "bus",
 }
 
 

@@ -52,6 +52,10 @@ _BACKOFF_HINT = re.compile(
     r"backoff|delay|sleep|advance|wait|cooldown", re.IGNORECASE
 )
 
+#: Bus subscriber handlers follow the ``on_<event>`` naming convention
+#: (docs/EVENT_BUS.md); FLT004 keys on it.
+_HANDLER_NAME = re.compile(r"^on_[a-z0-9_]+$")
+
 
 def _is_broad_handler(ctx: ModuleContext, handler: ast.ExceptHandler) -> bool:
     if handler.type is None:
@@ -154,6 +158,71 @@ class UntypedHookRaiseRule(Rule):
             if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 return False
         return False
+
+
+@register
+class HandlerDisciplineRule(Rule):
+    id = "FLT004"
+    name = "handler-discipline"
+    family = "faults"
+    scope = "bus"
+    rationale = (
+        "The event bus deliberately never catches handler exceptions "
+        "(docs/EVENT_BUS.md): a watchdog/bus subscriber that swallows "
+        "an error with a broad except silently converts a crawler "
+        "fault into a phantom recovery, and one that re-raises an "
+        "untyped error strips the classification the publisher's "
+        "except FaultError dispatches on.  Handlers either recover, "
+        "leave the event unresolved, or let the typed error propagate."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not _HANDLER_NAME.match(func.name):
+                continue
+            for node in ast.walk(func):
+                if isinstance(node, ast.ExceptHandler):
+                    if _is_broad_handler(ctx, node) and not self._reraises(
+                        node
+                    ):
+                        label = (
+                            "bare except:"
+                            if node.type is None
+                            else "except Exception"
+                        )
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"subscriber handler {func.name}() swallows "
+                            f"errors with {label} -- recover explicitly, "
+                            "leave the event unresolved, or re-raise",
+                        )
+                elif isinstance(node, ast.Raise) and node.exc is not None:
+                    name = self._raised_name(ctx, node.exc)
+                    if name is None or name.startswith(_ALLOWED_PREFIXES):
+                        continue
+                    if name in _UNTYPED_EXCEPTIONS:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"subscriber handler {func.name}() raises "
+                            f"untyped {name} -- publishers dispatch on "
+                            "the typed taxonomy (repro.faults.types)",
+                        )
+
+    @staticmethod
+    def _reraises(handler: ast.ExceptHandler) -> bool:
+        return any(
+            isinstance(node, ast.Raise) for node in ast.walk(handler)
+        )
+
+    @staticmethod
+    def _raised_name(ctx: ModuleContext, exc: ast.AST) -> Optional[str]:
+        if isinstance(exc, ast.Call):
+            return ctx.dotted_name(exc.func)
+        return ctx.dotted_name(exc)
 
 
 @register

@@ -32,6 +32,8 @@ EVENT_BACKOFF = "backoff"
 EVENT_RECYCLE = "browser.recycle"
 EVENT_BREAKER_SKIP = "breaker.skip"
 EVENT_BREAKER_PREFIX = "breaker."
+EVENT_BUS_PREFIX = "bus."
+EVENT_WATCHDOG_PREFIX = "watchdog."
 
 
 @dataclass
@@ -114,6 +116,11 @@ class CrawlReport:
     faults: Dict[str, int] = field(default_factory=dict)
     breaker_events: Dict[str, int] = field(default_factory=dict)
     recycles: int = 0
+    #: Event-bus dispatch counts by event name (``bus.`` prefix stripped).
+    bus_events: Dict[str, int] = field(default_factory=dict)
+    #: Watchdog interventions by ``<watchdog>.<action>`` (``watchdog.``
+    #: prefix stripped).
+    watchdog_events: Dict[str, int] = field(default_factory=dict)
     #: ``(attempts, visits)`` pairs, sorted by attempt count.
     attempts_per_visit: List[Tuple[int, int]] = field(default_factory=list)
     span_totals: Dict[str, SpanAggregate] = field(default_factory=dict)
@@ -156,6 +163,13 @@ class CrawlReport:
                 k: self.breaker_events[k] for k in sorted(self.breaker_events)
             },
             "recycles": self.recycles,
+            "bus_events": {
+                k: self.bus_events[k] for k in sorted(self.bus_events)
+            },
+            "watchdog_events": {
+                k: self.watchdog_events[k]
+                for k in sorted(self.watchdog_events)
+            },
             "attempts_per_visit": [list(p) for p in self.attempts_per_visit],
             "span_totals": {
                 name: self.span_totals[name].to_dict()
@@ -204,6 +218,18 @@ class CrawlReport:
             for name in sorted(self.breaker_events):
                 lines.append(
                     f"{'  ' + name:28s} {self.breaker_events[name]:12d}"
+                )
+        if self.bus_events:
+            lines.append("")
+            lines.append("event bus dispatches")
+            for name in sorted(self.bus_events):
+                lines.append(f"{'  ' + name:28s} {self.bus_events[name]:12d}")
+        if self.watchdog_events:
+            lines.append("")
+            lines.append("watchdog interventions")
+            for name in sorted(self.watchdog_events):
+                lines.append(
+                    f"{'  ' + name:28s} {self.watchdog_events[name]:12d}"
                 )
         if self.attempts_per_visit:
             lines.append("")
@@ -313,6 +339,14 @@ def build_report(
                 key = event.name[len(EVENT_BREAKER_PREFIX) :]
                 report.breaker_events[key] = (
                     report.breaker_events.get(key, 0) + 1
+                )
+            elif event.name.startswith(EVENT_BUS_PREFIX):
+                key = event.name[len(EVENT_BUS_PREFIX) :]
+                report.bus_events[key] = report.bus_events.get(key, 0) + 1
+            elif event.name.startswith(EVENT_WATCHDOG_PREFIX):
+                key = event.name[len(EVENT_WATCHDOG_PREFIX) :]
+                report.watchdog_events[key] = (
+                    report.watchdog_events.get(key, 0) + 1
                 )
     report.attempts_per_visit = sorted(attempts_histogram.items())
     if top > 0:

@@ -1,0 +1,365 @@
+"""repro.bus: typed events, ordered synchronous dispatch, determinism.
+
+The property tests pin the tentpole's contract (docs/EVENT_BUS.md):
+dispatch order is a pure function of registration order, two same-seed
+runs publish byte-identical streams, and a supervised crawl with every
+watchdog attached stays byte-identical across interrupt/resume.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bus import (
+    AttemptFinished,
+    AttemptStarted,
+    BusEvent,
+    EventBus,
+    FaultObserved,
+    NULL_BUS,
+    NullBus,
+    OverlayDetected,
+    PageStalled,
+    Resolvable,
+    event_name,
+    resolve_or_none,
+)
+from repro.clock import VirtualClock
+from repro.crawl import (
+    CrawlSupervisor,
+    OpenWPMCrawler,
+    PopulationConfig,
+    SupervisorConfig,
+    generate_population,
+)
+from repro.faults import FaultPlan
+from repro.obs import Tracer
+
+
+def make_bus(tracer=None):
+    return EventBus(VirtualClock(), tracer)
+
+
+#: (class, constructor) pairs the property tests draw from.  Distinct
+#: MRO shapes on purpose: plain notifications, Resolvable subclasses.
+EVENT_MAKERS = [
+    (AttemptStarted, lambda: AttemptStarted("a.example", 0, 0, 0)),
+    (AttemptFinished, lambda: AttemptFinished("a.example", 0, 0, 0, True)),
+    (FaultObserved, lambda: FaultObserved("crash", "get", "a.example", 0, 0, True)),
+    (OverlayDetected, lambda: OverlayDetected("a.example", "modal")),
+    (PageStalled, lambda: PageStalled("a.example", 0, 0)),
+]
+
+
+class TestEventNames:
+    def test_camel_to_snake(self):
+        assert event_name(AttemptStarted) == "attempt_started"
+        assert event_name(OverlayDetected) == "overlay_detected"
+        assert event_name(BusEvent) == "bus_event"
+
+    def test_name_property_matches(self):
+        event = PageStalled("a.example", 3, 1)
+        assert event.name == "page_stalled"
+
+
+class TestDispatch:
+    def test_publish_stamps_clock_time_and_sequence(self):
+        bus = make_bus()
+        bus.clock.advance(250.0)
+        first = bus.publish(AttemptStarted("a.example", 0, 0, 0))
+        bus.clock.advance(10.0)
+        second = bus.publish(AttemptFinished("a.example", 0, 0, 0, True))
+        assert (first.ts_ms, first.seq) == (250.0, 1)
+        assert (second.ts_ms, second.seq) == (260.0, 2)
+        assert bus.events_published == 2
+
+    def test_handlers_fire_in_registration_order(self):
+        bus = make_bus()
+        log = []
+        bus.subscribe(AttemptStarted, lambda e: log.append("first"))
+        bus.subscribe(AttemptStarted, lambda e: log.append("second"))
+        bus.subscribe(AttemptStarted, lambda e: log.append("third"))
+        bus.publish(AttemptStarted("a.example", 0, 0, 0))
+        assert log == ["first", "second", "third"]
+
+    def test_base_class_subscription_sees_subclasses(self):
+        bus = make_bus()
+        log = []
+        bus.subscribe(Resolvable, lambda e: log.append(("resolvable", e.name)))
+        bus.subscribe(BusEvent, lambda e: log.append(("any", e.name)))
+        bus.subscribe(OverlayDetected, lambda e: log.append(("exact", e.name)))
+        bus.publish(OverlayDetected("a.example", "modal"))
+        bus.publish(AttemptStarted("a.example", 0, 0, 0))
+        assert log == [
+            ("resolvable", "overlay_detected"),
+            ("any", "overlay_detected"),
+            ("exact", "overlay_detected"),
+            ("any", "attempt_started"),
+        ]
+
+    def test_mro_match_keeps_global_registration_order(self):
+        # A base-class handler registered *after* an exact-class handler
+        # still runs after it: order is global, not per-MRO-level.
+        bus = make_bus()
+        log = []
+        bus.subscribe(OverlayDetected, lambda e: log.append("exact"))
+        bus.subscribe(BusEvent, lambda e: log.append("base"))
+        bus.subscribe(OverlayDetected, lambda e: log.append("exact-late"))
+        bus.publish(OverlayDetected("a.example", "modal"))
+        assert log == ["exact", "base", "exact-late"]
+
+    def test_nested_publish_dispatches_depth_first(self):
+        bus = make_bus()
+        log = []
+
+        def chain(event):
+            log.append("outer-start")
+            bus.publish(AttemptFinished("a.example", 0, 0, 0, True))
+            log.append("outer-end")
+
+        bus.subscribe(AttemptStarted, chain)
+        bus.subscribe(AttemptFinished, lambda e: log.append("inner"))
+        bus.publish(AttemptStarted("a.example", 0, 0, 0))
+        assert log == ["outer-start", "inner", "outer-end"]
+
+    def test_unsubscribe_stops_delivery_and_is_idempotent(self):
+        bus = make_bus()
+        log = []
+        token = bus.subscribe(AttemptStarted, lambda e: log.append("gone"))
+        bus.subscribe(AttemptStarted, lambda e: log.append("kept"))
+        bus.unsubscribe(token)
+        bus.unsubscribe(token)  # no-op
+        bus.publish(AttemptStarted("a.example", 0, 0, 0))
+        assert log == ["kept"]
+
+    def test_subscribe_rejects_non_event_types(self):
+        bus = make_bus()
+        with pytest.raises(TypeError):
+            bus.subscribe(dict, lambda e: None)
+
+    def test_handler_exceptions_propagate_untouched(self):
+        bus = make_bus()
+
+        class WatchdogBug(ValueError):
+            pass
+
+        def bad_handler(event):
+            raise WatchdogBug("handler exploded")
+
+        reached = []
+        bus.subscribe(AttemptStarted, bad_handler)
+        bus.subscribe(AttemptStarted, lambda e: reached.append(True))
+        with pytest.raises(WatchdogBug):
+            bus.publish(AttemptStarted("a.example", 0, 0, 0))
+        # The publish aborted: later handlers never ran.
+        assert reached == []
+
+    def test_bus_counts_events_through_the_tracer(self):
+        tracer = Tracer(VirtualClock())
+        bus = EventBus(tracer.clock, tracer)
+        span = tracer.start("crawl")
+        bus.publish(AttemptStarted("a.example", 0, 0, 0))
+        bus.publish(AttemptStarted("b.example", 1, 0, 0))
+        bus.publish(OverlayDetected("a.example", "modal"))
+        tracer.end(span)
+        counters = tracer.metrics.state_dict()["counters"]
+        assert counters["bus.events.attempt_started"] == 2
+        assert counters["bus.events.overlay_detected"] == 1
+        assert [e.name for e in span.events] == [
+            "bus.attempt_started",
+            "bus.attempt_started",
+            "bus.overlay_detected",
+        ]
+
+
+class TestResolvable:
+    def test_first_resolver_wins(self):
+        event = PageStalled("a.example", 0, 0)
+        event.resolve("stall", "aborted")
+        event.resolve("other", "ignored")
+        assert event.resolved
+        assert (event.resolved_by, event.resolution) == ("stall", "aborted")
+
+    def test_unresolved_by_default(self):
+        event = OverlayDetected("a.example", "modal")
+        assert not event.resolved
+        assert event.resolved_by is None
+
+
+class TestNullBus:
+    def test_publish_is_inert_but_returns_the_event(self):
+        log = []
+        NULL_BUS.subscribe(AttemptStarted, lambda e: log.append(True))
+        event = NULL_BUS.publish(AttemptStarted("a.example", 0, 0, 0))
+        assert isinstance(event, AttemptStarted)
+        assert log == []
+        assert NULL_BUS.events_published == 0
+        assert NULL_BUS.registry_snapshot() == []
+
+    def test_resolve_or_none_degrades_without_a_bus(self):
+        assert resolve_or_none(None, PageStalled("a", 0, 0)) is None
+        assert resolve_or_none(NULL_BUS, PageStalled("a", 0, 0)) is None
+        assert resolve_or_none(NullBus(), PageStalled("a", 0, 0)) is None
+
+    def test_resolve_or_none_publishes_on_a_live_bus(self):
+        bus = make_bus()
+        bus.subscribe(PageStalled, lambda e: e.resolve("stall", "aborted"))
+        event = resolve_or_none(bus, PageStalled("a", 0, 0))
+        assert event is not None and event.resolved
+
+
+# -- property tests: determinism ------------------------------------------
+
+
+#: A registration plan: which event class each of up to 8 handlers
+#: subscribes to (index into EVENT_MAKERS, -1 = the BusEvent base).
+registration_plans = st.lists(
+    st.integers(min_value=-1, max_value=len(EVENT_MAKERS) - 1),
+    min_size=1,
+    max_size=8,
+)
+
+#: A publish plan: which events get published, in order.
+publish_plans = st.lists(
+    st.integers(min_value=0, max_value=len(EVENT_MAKERS) - 1),
+    min_size=1,
+    max_size=12,
+)
+
+
+def run_plan(registrations, publishes):
+    """Wire a bus from the plans; return (snapshot, dispatch_log)."""
+    bus = make_bus()
+    log = []
+    for handler_index, type_index in enumerate(registrations):
+        event_type = (
+            BusEvent if type_index < 0 else EVENT_MAKERS[type_index][0]
+        )
+
+        def handler(event, _index=handler_index):
+            log.append((_index, event.name, event.seq))
+
+        bus.subscribe(event_type, handler, name=f"handler-{handler_index}")
+    for type_index in publishes:
+        bus.publish(EVENT_MAKERS[type_index][1]())
+    return bus.registry_snapshot(), log
+
+
+class TestBusProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(registration_plans)
+    def test_registry_snapshot_preserves_registration_order(self, plan):
+        snapshot, _ = run_plan(plan, [])
+        assert [name for _, name in snapshot] == [
+            f"handler-{i}" for i in range(len(plan))
+        ]
+
+    @settings(max_examples=60, deadline=None)
+    @given(registration_plans, publish_plans)
+    def test_same_plan_dispatches_identically(self, registrations, publishes):
+        """Same registrations + same publishes -> identical dispatch log,
+        twice over (no hidden state, no hash-order dependence)."""
+        first = run_plan(registrations, publishes)
+        second = run_plan(registrations, publishes)
+        assert first == second
+
+    @settings(max_examples=60, deadline=None)
+    @given(registration_plans, publish_plans)
+    def test_within_one_event_handlers_run_in_registration_order(
+        self, registrations, publishes
+    ):
+        _, log = run_plan(registrations, publishes)
+        for seq in {entry[2] for entry in log}:
+            indices = [entry[0] for entry in log if entry[2] == seq]
+            assert indices == sorted(indices)
+
+    @settings(max_examples=60, deadline=None)
+    @given(registration_plans, publish_plans)
+    def test_every_publish_reaches_exactly_the_matching_handlers(
+        self, registrations, publishes
+    ):
+        _, log = run_plan(registrations, publishes)
+        for seq, type_index in enumerate(publishes, start=1):
+            event_type = EVENT_MAKERS[type_index][0]
+            expected = [
+                i
+                for i, registered in enumerate(registrations)
+                if registered < 0
+                or issubclass(event_type, EVENT_MAKERS[registered][0])
+            ]
+            assert [e[0] for e in log if e[2] == seq] == expected
+
+
+# -- property test: supervised-crawl resume byte-identity ------------------
+
+
+def hostile_tiny(n=12, seed=11):
+    """A small population with every hostile archetype represented."""
+    return generate_population(
+        PopulationConfig(
+            n_sites=n,
+            seed=seed,
+            n_no_ads_detectors=0,
+            n_less_ads_detectors=0,
+            n_block_detectors=1,
+            n_captcha_detectors=0,
+            n_freeze_video_detectors=0,
+            n_other_signal_ad_detectors=0,
+            n_side_effect_blockers=0,
+            n_http_only_detectors=1,
+            n_modal_overlay_sites=1,
+            n_challenge_sites=1,
+            n_hidden_input_sites=1,
+            n_stalling_sites=2,
+        )
+    )
+
+
+def supervised(population, seed=7):
+    crawler = OpenWPMCrawler("bus", instances=2, seed=seed)
+    plan = FaultPlan.generate(population, 2, rate=0.25, seed=5)
+    return CrawlSupervisor(crawler, config=SupervisorConfig(), plan=plan)
+
+
+class TestSupervisedResumeIdentity:
+    @settings(max_examples=6, deadline=None)
+    @given(
+        cut=st.integers(min_value=1, max_value=11),
+        seed_offset=st.integers(min_value=0, max_value=3),
+    )
+    def test_interrupted_resume_is_byte_identical(
+        self, tmp_path_factory, cut, seed_offset
+    ):
+        """Any interrupt boundary, any seed: the resumed trace equals the
+        uninterrupted one byte for byte, with all watchdogs attached and
+        hostile archetypes in the population."""
+        tmp_path = tmp_path_factory.mktemp("bus-resume")
+        population = hostile_tiny(seed=11 + seed_offset)
+        supervised(population, seed=7 + seed_offset).crawl(
+            population, trace_path=tmp_path / "full.jsonl"
+        )
+        checkpoint = tmp_path / "ck.json"
+        supervised(population, seed=7 + seed_offset).crawl(
+            population[:cut], checkpoint_path=checkpoint
+        )
+        resumed = supervised(population, seed=7 + seed_offset)
+        resumed.crawl(
+            population,
+            checkpoint_path=checkpoint,
+            trace_path=tmp_path / "resumed.jsonl",
+        )
+        assert (
+            (tmp_path / "resumed.jsonl").read_bytes()
+            == (tmp_path / "full.jsonl").read_bytes()
+        )
+
+    def test_watchdog_metrics_survive_resume(self, tmp_path):
+        population = hostile_tiny()
+        full = supervised(population)
+        full.crawl(population)
+        checkpoint = tmp_path / "ck.json"
+        supervised(population).crawl(population[:6], checkpoint_path=checkpoint)
+        resumed = supervised(population)
+        resumed.crawl(population, checkpoint_path=checkpoint)
+        assert resumed.metrics.state_dict() == full.metrics.state_dict()
+        counters = full.metrics.state_dict()["counters"]
+        assert any(k.startswith("bus.events.") for k in counters)

@@ -340,6 +340,86 @@ class TestRetryWithoutBackoff:
         assert rule_ids(source, "crawl/mod.py") == []
 
 
+class TestHandlerDiscipline:
+    def test_swallowing_handler_flagged(self):
+        source = """
+            def on_page_stalled(self, event):
+                try:
+                    event.resolve("stall", "aborted")
+                except Exception:
+                    pass
+            """
+        assert rule_ids(source, "bus/mod.py") == ["FLT004"]
+
+    def test_bare_except_swallow_flagged(self):
+        source = """
+            def on_fault_observed(self, event):
+                try:
+                    event.instance.note_fault()
+                except:
+                    return
+            """
+        assert rule_ids(source, "bus/mod.py") == ["FLT004"]
+
+    def test_untyped_raise_from_handler_flagged(self):
+        source = """
+            def on_overlay_detected(self, event):
+                raise RuntimeError("boom")
+            """
+        assert rule_ids(source, "bus/mod.py") == ["FLT004"]
+
+    def test_reraise_and_typed_errors_are_clean(self):
+        source = """
+            from repro.faults.types import BrowserCrashError
+
+            def on_overlay_detected(self, event):
+                try:
+                    event.dismiss()
+                except Exception:
+                    self.note("dismiss_failed")
+                    raise
+
+            def on_fault_observed(self, event):
+                if event.instance is None:
+                    raise ValueError("detached event")
+                raise BrowserCrashError(event.domain)
+            """
+        assert rule_ids(source, "bus/mod.py") == []
+
+    def test_non_handler_function_not_checked(self):
+        source = """
+            def replay(self, event):
+                try:
+                    event.dismiss()
+                except Exception:
+                    pass
+            """
+        assert rule_ids(source, "bus/mod.py") == []
+
+    def test_out_of_scope_path_not_checked(self):
+        source = """
+            def on_page_stalled(self, event):
+                raise RuntimeError("boom")
+            """
+        assert rule_ids(source, "analysis/mod.py") == []
+
+    def test_watchdogs_dir_gets_fault_and_bus_scopes(self):
+        # crawl/watchdogs/ is in both the faults scope (crawl/) and the
+        # bus scope (watchdogs/): a swallowing handler trips FLT001 AND
+        # FLT004 there.
+        source = """
+            def on_page_stalled(self, event):
+                try:
+                    event.resolve("stall", "aborted")
+                except Exception:
+                    pass
+            """
+        assert rule_ids(source, "crawl/watchdogs/mod.py") == [
+            "FLT001",
+            "FLT004",
+        ]
+
+
 # -- EVT: event protocol ---------------------------------------------------
 
 

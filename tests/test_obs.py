@@ -258,6 +258,34 @@ class TestReport:
         assert sum(report.faults.values()) == sup.stats.faults_seen
         assert report.metrics == sup.metrics.state_dict()
 
+    def test_report_surfaces_bus_and_watchdog_events(self):
+        population = tiny_population()
+        sup = make_supervisor(population)
+        sup.crawl(population)
+        report = sup.report()
+        # Every attempt publishes a start/finish pair on the bus; the
+        # trace-derived counts must match the metrics counters.
+        counters = sup.metrics.state_dict()["counters"]
+        assert report.bus_events["attempt_started"] == sup.stats.attempts
+        assert report.bus_events["attempt_finished"] == sup.stats.attempts
+        for name, count in report.bus_events.items():
+            assert counters["bus.events." + name] == count
+        # The crash watchdog drove every recycle this crawl performed.
+        watchdog_recycles = sum(
+            count
+            for name, count in report.watchdog_events.items()
+            if name.endswith(".recycle_requested")
+        )
+        assert watchdog_recycles == sup.stats.recycles
+        for name, count in report.watchdog_events.items():
+            assert counters["watchdog." + name] == count
+        text = report.render_text()
+        assert "event bus dispatches" in text
+        assert "watchdog interventions" in text
+        data = json.loads(report.render_json())
+        assert data["bus_events"] == report.bus_events
+        assert data["watchdog_events"] == report.watchdog_events
+
 
 class TestCli:
     def trace_file(self, tmp_path):
