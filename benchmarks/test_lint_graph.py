@@ -1,0 +1,109 @@
+"""Whole-program lint pass: cost budget versus the per-module pass.
+
+The graph pass (symbol table, call graph, taint, shard and bus rules)
+runs serially in the parent after the per-module pool pass, so its cost
+is pure added latency on every CI push.  The budget pinned here: the
+whole-program pass must cost no more than 2x the per-module pass over
+the full tree.  Results land in ``BENCH_lint.json`` (CI uploads it).
+"""
+
+import json
+import time
+from pathlib import Path
+
+from conftest import print_table
+
+from repro.lint import (
+    Baseline,
+    build_project,
+    collect_files,
+    lint_project,
+    run_lint,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = REPO_ROOT / "src" / "repro"
+BENCH_PATH = Path("BENCH_lint.json")
+
+#: Whole-program pass may cost at most this multiple of the per-module pass.
+GRAPH_BUDGET_RATIO = 2.0
+
+
+def _baseline() -> Baseline:
+    path = REPO_ROOT / "lint-baseline.json"
+    return Baseline.load(path) if path.exists() else Baseline.empty()
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_whole_program_pass_within_budget():
+    files = collect_files([SRC], REPO_ROOT)
+    baseline = _baseline()
+
+    # Warm-up: pay import and pyc costs outside the measured runs.
+    run_lint([SRC], root=REPO_ROOT, baseline=baseline, whole_program=False)
+
+    per_module_report, per_module_s = _timed(
+        lambda: run_lint(
+            [SRC], root=REPO_ROOT, baseline=baseline, whole_program=False
+        )
+    )
+    (graph_findings, graph_suppressed), graph_s = _timed(
+        lambda: lint_project(files)
+    )
+    full_report, full_s = _timed(
+        lambda: run_lint([SRC], root=REPO_ROOT, baseline=baseline)
+    )
+
+    assert full_report.exit_code == 0
+    ratio = graph_s / per_module_s
+    assert ratio <= GRAPH_BUDGET_RATIO, (
+        f"whole-program pass took {graph_s:.3f}s = {ratio:.2f}x the "
+        f"per-module pass ({per_module_s:.3f}s); budget is "
+        f"{GRAPH_BUDGET_RATIO}x"
+    )
+
+    project = build_project(files)
+    payload = {
+        "files": per_module_report.files,
+        "per_module_pass_s": round(per_module_s, 4),
+        "whole_program_pass_s": round(graph_s, 4),
+        "full_lint_s": round(full_s, 4),
+        "graph_to_module_ratio": round(ratio, 4),
+        "budget_ratio": GRAPH_BUDGET_RATIO,
+        "call_graph_edges": len(project.call_graph.edges),
+        "call_graph_nodes": len(project.call_graph.nodes()),
+        "bus_event_classes": len(project.bus.concrete_events()),
+        "bus_subscriptions": len(project.bus.subscriptions),
+        "mutation_sites": len(project.mutation_sites),
+        "whole_program_findings": sum(
+            len(v) for v in graph_findings.values()
+        ),
+        "whole_program_suppressed": graph_suppressed,
+    }
+    BENCH_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    print_table(
+        "Whole-program lint pass vs per-module pass",
+        [
+            f"files linted          {payload['files']}",
+            f"per-module pass       {per_module_s:.3f}s",
+            f"whole-program pass    {graph_s:.3f}s ({ratio:.2f}x, "
+            f"budget {GRAPH_BUDGET_RATIO}x)",
+            f"full lint             {full_s:.3f}s",
+            f"call-graph edges      {payload['call_graph_edges']}",
+            f"mutation sites        {payload['mutation_sites']}",
+        ],
+    )
+    print(f"\nwrote {BENCH_PATH}")
+
+
+def test_perf_whole_program_pass(benchmark):
+    files = collect_files([SRC], REPO_ROOT)
+    findings, _suppressed = benchmark(lambda: lint_project(files))
+    assert isinstance(findings, dict)

@@ -19,10 +19,23 @@ Usage::
 """
 
 from repro.lint.baseline import Baseline, fingerprint_findings
-from repro.lint.context import ModuleContext, path_scopes
+from repro.lint.context import ModuleContext, path_scopes, scope_components
 from repro.lint.findings import PARSE_ERROR_RULE, Finding
-from repro.lint.registry import Rule, all_rules, register, rules_by_family
-from repro.lint.report import render_json, render_rules, render_text
+from repro.lint.graph import ProjectContext, build_project, lint_project
+from repro.lint.registry import (
+    ProjectRule,
+    Rule,
+    all_project_rules,
+    all_rules,
+    register,
+    rules_by_family,
+)
+from repro.lint.report import (
+    render_json,
+    render_rules,
+    render_sarif,
+    render_text,
+)
 from repro.lint.runner import (
     FileResult,
     LintReport,
@@ -39,17 +52,24 @@ __all__ = [
     "LintReport",
     "ModuleContext",
     "PARSE_ERROR_RULE",
+    "ProjectContext",
+    "ProjectRule",
     "Rule",
+    "all_project_rules",
     "all_rules",
+    "build_project",
     "collect_files",
     "fingerprint_findings",
     "lint_file",
+    "lint_project",
     "parse_source",
     "path_scopes",
     "register",
     "render_json",
     "render_rules",
+    "render_sarif",
     "render_text",
     "rules_by_family",
     "run_lint",
+    "scope_components",
 ]

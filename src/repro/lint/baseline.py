@@ -86,17 +86,31 @@ class Baseline:
         return len(self.entries)
 
     @staticmethod
-    def write(path: Path, findings: Iterable[Finding]) -> None:
-        """Serialise ``findings`` as the new baseline (sorted, stable)."""
-        entries = {
-            f.fingerprint: {
+    def write(
+        path: Path,
+        findings: Iterable[Finding],
+        previous: "Baseline" = None,
+    ) -> None:
+        """Serialise ``findings`` as the new baseline (sorted, stable).
+
+        ``previous`` carries hand-written ``justification`` fields over:
+        an entry whose fingerprint survives the rewrite keeps its
+        justification, so re-running ``--write-baseline`` never erases
+        the documented rationale for grandfathered findings.
+        """
+        entries = {}
+        for f in sorted(findings, key=Finding.sort_key):
+            entry = {
                 "rule": f.rule,
                 "path": f.path,
                 "line": f.line,
                 "snippet": f.snippet,
             }
-            for f in sorted(findings, key=Finding.sort_key)
-        }
+            if previous is not None:
+                old = previous.entries.get(f.fingerprint, {})
+                if "justification" in old:
+                    entry["justification"] = old["justification"]
+            entries[f.fingerprint] = entry
         payload = {"version": BASELINE_VERSION, "findings": entries}
         path.write_text(
             json.dumps(payload, indent=2, sort_keys=True) + "\n",

@@ -14,7 +14,12 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.lint.baseline import DEFAULT_BASELINE_NAME, Baseline
-from repro.lint.report import render_json, render_rules, render_text
+from repro.lint.report import (
+    render_json,
+    render_rules,
+    render_sarif,
+    render_text,
+)
 from repro.lint.runner import run_lint
 
 
@@ -39,9 +44,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="report format",
+        help="report format (sarif: SARIF 2.1.0 for code-scanning upload)",
     )
     parser.add_argument(
         "--baseline",
@@ -68,9 +73,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (0 = one per CPU; default: 1, serial)",
     )
     parser.add_argument(
+        "--no-whole-program",
+        action="store_true",
+        help="skip the whole-program pass (XDET/SHD/BUS families)",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
-        help="print the rule reference and exit",
+        help="print the rule reference (grouped by family) and exit",
     )
     return parser
 
@@ -109,17 +119,32 @@ def main(argv: Optional[List[str]] = None) -> int:
     if missing:
         parser.error(f"no such path(s): {', '.join(missing)}")
 
-    report = run_lint(paths, root=root, baseline=baseline, jobs=jobs)
+    report = run_lint(
+        paths,
+        root=root,
+        baseline=baseline,
+        jobs=jobs,
+        whole_program=not args.no_whole_program,
+    )
 
     if args.write_baseline:
         target = baseline_path or root / DEFAULT_BASELINE_NAME
-        Baseline.write(target, report.all_findings)
+        previous = Baseline.empty()
+        if target.exists():
+            try:
+                previous = Baseline.load(target)
+            except ValueError:
+                pass
+        Baseline.write(target, report.all_findings, previous=previous)
         sys.stdout.write(
             f"wrote {len(report.all_findings)} finding(s) to {target}\n"
         )
         return 0
 
-    renderer = render_json if args.format == "json" else render_text
+    renderer = {
+        "json": render_json,
+        "sarif": render_sarif,
+    }.get(args.format, render_text)
     sys.stdout.write(renderer(report))
     return report.exit_code
 

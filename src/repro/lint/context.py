@@ -44,6 +44,15 @@ def path_scopes(path: str) -> Set[str]:
     }
 
 
+def scope_components(scope: str) -> list:
+    """Path components that carry ``scope``, sorted (for --list-rules)."""
+    return sorted(
+        component
+        for component, tag in _SCOPE_COMPONENTS.items()
+        if tag == scope
+    )
+
+
 class ModuleContext:
     """Everything a rule needs to analyse one module."""
 

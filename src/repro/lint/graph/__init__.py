@@ -1,0 +1,56 @@
+"""Whole-program analysis: symbol table, call graph, taint, inventories.
+
+This subpackage gives :class:`~repro.lint.registry.ProjectRule`
+subclasses a cross-module view the per-module rules lack: a project
+symbol table with import-alias and re-export resolution, a conservative
+``repro.*``-internal call graph, interprocedural determinism taint,
+entry-point reachability, the module-level mutable-state inventory, and
+the event-bus contract inventory.  See docs/LINT.md ("Whole-program
+analysis") for architecture and soundness caveats.
+"""
+
+from repro.lint.graph.buses import (
+    SANCTIONED_EVENT_FIELDS,
+    BusInventory,
+    Publish,
+    Subscription,
+)
+from repro.lint.graph.callgraph import MODULE_NODE, CallGraph, CallSite
+from repro.lint.graph.engine import build_project, lint_project
+from repro.lint.graph.project import ProjectContext, module_name_for
+from repro.lint.graph.roots import FAMILIES, entry_points, reachable
+from repro.lint.graph.state import MutationSite, mutable_globals, mutation_sites
+from repro.lint.graph.symbols import ClassInfo, FunctionInfo, SymbolTable
+from repro.lint.graph.taint import (
+    TAINT_KINDS,
+    TaintInfo,
+    compute_taint,
+    witness_chain,
+)
+
+__all__ = [
+    "BusInventory",
+    "CallGraph",
+    "CallSite",
+    "ClassInfo",
+    "FAMILIES",
+    "FunctionInfo",
+    "MODULE_NODE",
+    "MutationSite",
+    "ProjectContext",
+    "Publish",
+    "SANCTIONED_EVENT_FIELDS",
+    "Subscription",
+    "SymbolTable",
+    "TAINT_KINDS",
+    "TaintInfo",
+    "build_project",
+    "compute_taint",
+    "entry_points",
+    "lint_project",
+    "module_name_for",
+    "mutable_globals",
+    "mutation_sites",
+    "reachable",
+    "witness_chain",
+]

@@ -1,0 +1,191 @@
+"""Conservative project-internal call graph.
+
+Every call expression in every module is attributed to an *owner* --
+the enclosing registered function/method, or the module's ``<module>``
+pseudo-node for import-time code (decorators, default argument
+expressions, class bodies, top-level statements).  Edges are added only
+when the callee resolves to a project symbol; external calls never
+create edges (but stay visible to the taint pass through
+:attr:`CallGraph.raw_calls`).
+
+Resolution mechanisms, in order:
+
+``direct``
+    ``helper()`` / ``mod.helper()`` / ``Cls.method(...)`` resolved
+    through the symbol table (aliases and re-export chains included).
+``init``
+    ``Cls(...)`` resolves to ``Cls.__init__`` looked up through the
+    hierarchy.
+``self``
+    ``self.m()`` / ``cls.m()`` resolved class-locally, then through
+    project base classes, plus every subclass override (CHA
+    over-approximation, so supervisor code calling an abstract hook
+    reaches the concrete implementations).
+``unique``
+    ``expr.m()`` on an unresolvable receiver, when exactly one project
+    class defines ``m`` (dunders and builtin-container method names
+    excluded).
+
+Node and edge ordering is deterministic: modules are visited sorted,
+AST walks are positional, and the final edge list is sorted.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.lint.context import ModuleContext
+from repro.lint.graph.symbols import FunctionInfo, SymbolTable
+
+MODULE_NODE = "<module>"
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved project-internal call edge."""
+
+    caller: str
+    callee: str
+    path: str
+    line: int
+    col: int
+    mechanism: str
+
+    @property
+    def sort_key(self) -> Tuple[str, str, int, int, str]:
+        return (self.caller, self.path, self.line, self.col, self.callee)
+
+
+class CallGraph:
+    """Call edges plus the ownership map the other passes reuse."""
+
+    def __init__(
+        self, symbols: SymbolTable, contexts: Dict[str, ModuleContext]
+    ) -> None:
+        self.symbols = symbols
+        self.contexts = contexts
+        self.edges: List[CallSite] = []
+        self.out_edges: Dict[str, List[CallSite]] = {}
+        self.in_edges: Dict[str, List[CallSite]] = {}
+        #: owner qualname -> every ``ast.Call`` in its region, in source
+        #: order (resolved or not -- the taint pass scans these for
+        #: external sources).
+        self.raw_calls: Dict[str, List[ast.Call]] = {}
+        #: module -> node -> owning qualname (nodes outside any
+        #: registered function body are owned by ``module.<module>``).
+        self.owners: Dict[str, Dict[ast.AST, str]] = {}
+        for module in sorted(contexts):
+            self._build_module(module, contexts[module])
+        self.edges.sort(key=lambda site: site.sort_key)
+        for site in self.edges:
+            self.out_edges.setdefault(site.caller, []).append(site)
+            self.in_edges.setdefault(site.callee, []).append(site)
+
+    # -- construction ----------------------------------------------------
+
+    def _build_module(self, module: str, ctx: ModuleContext) -> None:
+        owners: Dict[ast.AST, str] = {}
+        module_node = f"{module}.{MODULE_NODE}"
+        for qualname in self._module_functions(module):
+            info = self.symbols.functions[qualname]
+            for stmt in info.node.body:
+                for node in ast.walk(stmt):
+                    owners[node] = qualname
+        self.owners[module] = owners
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            owner = owners.get(node, module_node)
+            self.raw_calls.setdefault(owner, []).append(node)
+            owner_info = self.symbols.functions.get(owner)
+            for callee, mechanism in self._resolve_call(
+                ctx, module, owner_info, node
+            ):
+                self.edges.append(
+                    CallSite(
+                        caller=owner,
+                        callee=callee,
+                        path=ctx.path,
+                        line=node.lineno,
+                        col=node.col_offset + 1,
+                        mechanism=mechanism,
+                    )
+                )
+
+    def _module_functions(self, module: str) -> List[str]:
+        return sorted(
+            qualname
+            for qualname, info in self.symbols.functions.items()
+            if info.module == module
+        )
+
+    def _resolve_call(
+        self,
+        ctx: ModuleContext,
+        module: str,
+        owner: Optional[FunctionInfo],
+        node: ast.Call,
+    ) -> Iterator[Tuple[str, str]]:
+        func = node.func
+        # self.m() / cls.m(): class-local + bases + subclass overrides.
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in ("self", "cls")
+            and owner is not None
+            and owner.cls is not None
+        ):
+            seen = set()
+            target = self.symbols.method_in_hierarchy(owner.cls, func.attr)
+            if target is not None:
+                seen.add(target.qualname)
+                yield target.qualname, "self"
+            for override in self.symbols.override_methods(owner.cls, func.attr):
+                if override.qualname not in seen:
+                    seen.add(override.qualname)
+                    yield override.qualname, "self"
+            if seen:
+                return
+        dotted = ctx.dotted_name(func)
+        if dotted is not None:
+            resolved = self.symbols.resolve(dotted, scope=module)
+            if resolved is not None:
+                kind, payload = resolved
+                if kind == "function":
+                    yield payload.qualname, "direct"
+                    return
+                if kind == "class":
+                    init = self.symbols.method_in_hierarchy(
+                        payload.qualname, "__init__"
+                    )
+                    if init is not None:
+                        yield init.qualname, "init"
+                    return
+                if kind in ("module", "global"):
+                    return
+        # Fallback: attribute call on an opaque receiver, unique name.
+        if isinstance(func, ast.Attribute):
+            target = self.symbols.unique_method(func.attr)
+            if target is not None:
+                yield target.qualname, "unique"
+
+    # -- queries ---------------------------------------------------------
+
+    def nodes(self) -> List[str]:
+        """Every caller/callee qualname, sorted."""
+        names = set(self.raw_calls)
+        for site in self.edges:
+            names.add(site.caller)
+            names.add(site.callee)
+        return sorted(names)
+
+    def owner_of(self, module: str, node: ast.AST) -> str:
+        return self.owners.get(module, {}).get(node, f"{module}.{MODULE_NODE}")
+
+    def edges_from(self, qualname: str) -> List[CallSite]:
+        return self.out_edges.get(qualname, [])
+
+    def edges_to(self, qualname: str) -> List[CallSite]:
+        return self.in_edges.get(qualname, [])

@@ -1,0 +1,62 @@
+"""The whole-program lint driver.
+
+Runs every registered :class:`~repro.lint.registry.ProjectRule` over a
+freshly built :class:`~repro.lint.graph.project.ProjectContext` and
+returns findings grouped by display path, already suppression-filtered,
+sorted and fingerprinted -- ready for the runner to merge into the
+per-module :class:`~repro.lint.runner.FileResult` stream.
+
+The pass always runs serially in the parent process (the graph is one
+shared structure), which makes serial and ``--jobs N`` output trivially
+byte-identical for the whole-program families.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.lint.baseline import fingerprint_findings
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.graph.project import ProjectContext, module_name_for
+from repro.lint.registry import all_project_rules
+
+
+def build_project(files: Sequence[Tuple[Path, str]]) -> ProjectContext:
+    """Parse ``(path, display)`` pairs into a project context.
+
+    Files that fail to parse are skipped here -- the per-module pass
+    already reports them as LNT001.
+    """
+    contexts: Dict[str, ModuleContext] = {}
+    for path, display in files:
+        try:
+            ctx = ModuleContext.from_file(Path(path), display)
+        except SyntaxError:
+            continue
+        contexts[module_name_for(display)] = ctx
+    return ProjectContext(contexts)
+
+
+def lint_project(
+    files: Sequence[Tuple[Path, str]]
+) -> Tuple[Dict[str, List[Finding]], int]:
+    """(display -> fingerprinted findings, suppressed count)."""
+    project = build_project(files)
+    by_display: Dict[str, List[Finding]] = {}
+    suppressed = 0
+    for rule in all_project_rules():
+        for finding in rule.check_project(project):
+            ctx = project.context_for(finding.path)
+            if ctx is not None and ctx.is_suppressed(
+                finding.rule, finding.line
+            ):
+                suppressed += 1
+            else:
+                by_display.setdefault(finding.path, []).append(finding)
+    out: Dict[str, List[Finding]] = {}
+    for display in sorted(by_display):
+        ordered = sorted(by_display[display], key=Finding.sort_key)
+        out[display] = fingerprint_findings(ordered)
+    return out, suppressed

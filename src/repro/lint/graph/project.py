@@ -1,0 +1,98 @@
+"""The shared whole-program context handed to every project rule.
+
+A :class:`ProjectContext` wraps the parsed modules of one lint run and
+lazily builds (then caches) the expensive shared structures: symbol
+table, call graph, bus inventory, entry-point roots, reachability and
+per-kind taint maps.  Project rules read these caches, so adding a new
+XDET/SHD/BUS rule costs one graph traversal, not a rebuild.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from pathlib import PurePosixPath
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.lint.context import ModuleContext
+from repro.lint.graph.buses import BusInventory
+from repro.lint.graph.callgraph import CallGraph
+from repro.lint.graph.roots import entry_points, reachable
+from repro.lint.graph.state import mutable_globals, mutation_sites
+from repro.lint.graph.symbols import SymbolTable
+from repro.lint.graph.taint import TaintInfo, compute_taint
+
+
+def module_name_for(display: str) -> str:
+    """Dotted module name derived from a display path.
+
+    ``src/repro/crawl/visit.py`` -> ``repro.crawl.visit``;
+    ``pkg/__init__.py`` -> ``pkg``.  Fixture trees rooted anywhere get
+    consistent intra-tree names, which is all resolution needs.
+    """
+    parts = list(PurePosixPath(display).parts)
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) if parts else "<root>"
+
+
+class ProjectContext:
+    """Cross-module view over one lint run's parsed modules."""
+
+    def __init__(self, contexts: Dict[str, ModuleContext]) -> None:
+        #: module name -> parsed context
+        self.contexts = contexts
+        self._by_path = {ctx.path: ctx for ctx in contexts.values()}
+        self._taint: Dict[str, Dict[str, TaintInfo]] = {}
+        self._reachable: Dict[
+            Optional[Tuple[str, ...]], Dict[str, Tuple[str, str]]
+        ] = {}
+
+    def context_for(self, path: str) -> Optional[ModuleContext]:
+        return self._by_path.get(path)
+
+    @cached_property
+    def symbols(self) -> SymbolTable:
+        return SymbolTable(self.contexts)
+
+    @cached_property
+    def call_graph(self) -> CallGraph:
+        return CallGraph(self.symbols, self.contexts)
+
+    @cached_property
+    def bus(self) -> BusInventory:
+        return BusInventory(self.symbols, self.contexts)
+
+    @cached_property
+    def entry_points(self) -> Dict[str, str]:
+        """Entry-point qualname -> root family."""
+        return entry_points(self.symbols, self.bus)
+
+    def taint(self, kind: str) -> Dict[str, TaintInfo]:
+        if kind not in self._taint:
+            self._taint[kind] = compute_taint(
+                self.call_graph, self.contexts, kind
+            )
+        return self._taint[kind]
+
+    def reachable(
+        self, families: Optional[Iterable[str]] = None
+    ) -> Dict[str, Tuple[str, str]]:
+        """qualname -> (root, family); cached per family selection."""
+        key = tuple(sorted(families)) if families is not None else None
+        if key not in self._reachable:
+            self._reachable[key] = reachable(
+                self.call_graph, self.entry_points, families
+            )
+        return self._reachable[key]
+
+    @cached_property
+    def mutable_globals(self):
+        return mutable_globals(self.symbols, self.contexts)
+
+    @cached_property
+    def mutation_sites(self):
+        return mutation_sites(self.symbols, self.contexts, self.mutable_globals)

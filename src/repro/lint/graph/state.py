@@ -1,0 +1,262 @@
+"""Module-level mutable state inventory for the shard-safety pass.
+
+Process-pool sharding (the ROADMAP's parallel-crawl item) forks
+workers that each get a *copy* of module globals: any code that mutates
+one at runtime silently diverges between shards.  This pass inventories
+
+* **mutable globals** -- module-level assignments whose value is a
+  literal/constructor-known mutable (list/dict/set/bytearray, their
+  comprehensions, ``collections.defaultdict`` and friends), and
+* **mutation sites** -- in-function statements that mutate
+  (``kind="mutate"``: mutator-method calls, subscript/augmented
+  assignment, ``del``) or rebind (``kind="rebind"``: assignment under a
+  ``global`` declaration) such a global, with local shadowing checked
+  so ``registry = {}`` inside a function never counts.
+
+Import-time mutation (decorator-driven registration running in the
+module's ``<module>`` node) is exempt: it happens identically in every
+worker before any visit runs.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.context import ModuleContext
+from repro.lint.graph.callgraph import MODULE_NODE
+from repro.lint.graph.symbols import SymbolTable
+
+#: In-place mutator method names on the builtin containers.
+_MUTATORS = frozenset(
+    {
+        "add",
+        "append",
+        "appendleft",
+        "clear",
+        "discard",
+        "extend",
+        "extendleft",
+        "insert",
+        "pop",
+        "popitem",
+        "popleft",
+        "remove",
+        "setdefault",
+        "sort",
+        "reverse",
+        "update",
+    }
+)
+
+_MUTABLE_CONSTRUCTORS = frozenset(
+    {
+        "bytearray",
+        "collections.Counter",
+        "collections.OrderedDict",
+        "collections.defaultdict",
+        "collections.deque",
+        "dict",
+        "list",
+        "set",
+    }
+)
+
+
+@dataclass(frozen=True)
+class MutationSite:
+    """One statement mutating or rebinding a module-level name."""
+
+    owner: str  # qualname of the enclosing function
+    target_module: str
+    target_name: str
+    kind: str  # "mutate" | "rebind"
+    path: str
+    line: int
+    col: int
+
+    @property
+    def target(self) -> str:
+        return f"{self.target_module}.{self.target_name}"
+
+
+def is_mutable_value(ctx: ModuleContext, node: ast.AST) -> bool:
+    """Whether the assigned expression is a known-mutable container."""
+    if isinstance(
+        node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.SetComp, ast.DictComp)
+    ):
+        return True
+    if isinstance(node, ast.Call):
+        return ctx.dotted_name(node.func) in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+def mutable_globals(
+    symbols: SymbolTable, contexts: Dict[str, ModuleContext]
+) -> Dict[Tuple[str, str], ast.AST]:
+    """(module, name) -> module-level assignment node, mutable values only."""
+    out: Dict[Tuple[str, str], ast.AST] = {}
+    for module in sorted(contexts):
+        ctx = contexts[module]
+        for name in symbols.module_globals(module):
+            stmt = symbols.global_node(module, name)
+            value = getattr(stmt, "value", None)
+            if value is not None and is_mutable_value(ctx, value):
+                out[(module, name)] = stmt
+    return out
+
+
+def _bound_names(target: ast.AST) -> Iterator[str]:
+    """Names a binding target actually binds.
+
+    ``x[0] = v`` and ``x.attr = v`` mutate ``x`` without binding it, so
+    Subscript/Attribute bases are deliberately NOT yielded.
+    """
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _bound_names(elt)
+    elif isinstance(target, ast.Starred):
+        yield from _bound_names(target.value)
+
+
+def _local_bindings(fn: ast.AST) -> Set[str]:
+    """Names bound inside the function body (params, assignments, loops),
+    minus names explicitly declared ``global``."""
+    bound: Set[str] = set()
+    declared_global: Set[str] = set()
+    args = getattr(fn, "args", None)
+    if args is not None:
+        for arg in (
+            list(args.posonlyargs)
+            + list(args.args)
+            + list(args.kwonlyargs)
+            + ([args.vararg] if args.vararg else [])
+            + ([args.kwarg] if args.kwarg else [])
+        ):
+            bound.add(arg.arg)
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Global):
+            declared_global.update(node.names)
+        elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                bound.update(_bound_names(target))
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            bound.update(_bound_names(node.target))
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    bound.update(_bound_names(item.optional_vars))
+        elif isinstance(node, ast.comprehension):
+            bound.update(_bound_names(node.target))
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            bound.add(node.name)
+    return bound - declared_global
+
+
+def mutation_sites(
+    symbols: SymbolTable,
+    contexts: Dict[str, ModuleContext],
+    globals_index: Dict[Tuple[str, str], ast.AST],
+) -> List[MutationSite]:
+    """Every in-function mutate/rebind of a module-level name, sorted."""
+    sites: List[MutationSite] = []
+    for qualname in sorted(symbols.functions):
+        info = symbols.functions[qualname]
+        ctx = contexts.get(info.module)
+        if ctx is None:
+            continue
+        sites.extend(
+            _function_sites(symbols, ctx, info.module, qualname, globals_index)
+        )
+    sites.sort(key=lambda s: (s.path, s.line, s.col, s.target))
+    return sites
+
+
+def _function_sites(
+    symbols: SymbolTable,
+    ctx: ModuleContext,
+    module: str,
+    qualname: str,
+    globals_index: Dict[Tuple[str, str], ast.AST],
+) -> Iterator[MutationSite]:
+    fn = symbols.functions[qualname].node
+    local = _local_bindings(fn)
+    declared_global: Set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Global):
+            declared_global.update(node.names)
+
+    def resolve_target(
+        expr: ast.AST,
+    ) -> Optional[Tuple[str, str]]:
+        """The (module, name) mutable global this expression names."""
+        if isinstance(expr, ast.Name):
+            if expr.id in local:
+                return None
+            key = (module, expr.id)
+            return key if key in globals_index else None
+        dotted = ctx.dotted_name(expr)
+        if dotted is None:
+            return None
+        resolved = symbols.resolve(dotted, scope=module)
+        if resolved is not None and resolved[0] == "global":
+            target_module, target_name, _ = resolved[1]
+            key = (target_module, target_name)
+            return key if key in globals_index else None
+        return None
+
+    def site(node: ast.AST, key: Tuple[str, str], kind: str) -> MutationSite:
+        return MutationSite(
+            owner=qualname,
+            target_module=key[0],
+            target_name=key[1],
+            kind=kind,
+            path=ctx.path,
+            line=node.lineno,
+            col=node.col_offset + 1,
+        )
+
+    for stmt in fn.body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                if node.func.attr in _MUTATORS:
+                    key = resolve_target(node.func.value)
+                    if key is not None:
+                        yield site(node, key, "mutate")
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Subscript):
+                        key = resolve_target(target.value)
+                        if key is not None:
+                            yield site(node, key, "mutate")
+                    elif (
+                        isinstance(target, ast.Name)
+                        and target.id in declared_global
+                    ):
+                        yield site(node, (module, target.id), "rebind")
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    if isinstance(target, ast.Subscript):
+                        key = resolve_target(target.value)
+                        if key is not None:
+                            yield site(node, key, "mutate")
+
+
+def module_node_of(qualname: str) -> bool:
+    """Whether the qualname is a ``<module>`` pseudo-node."""
+    return qualname.endswith(f".{MODULE_NODE}")

@@ -1,0 +1,342 @@
+"""The project symbol table: every module's defs, classes and imports.
+
+Built once per whole-program pass from the already-parsed
+:class:`~repro.lint.context.ModuleContext` objects, the table answers
+the questions every graph pass shares: *what does this dotted name
+refer to?* (following import aliases and ``__init__`` re-export chains),
+*which class defines this method?* (class-local lookup plus
+project-internal base classes and subclass overrides), and *which
+module-level names exist?*.
+
+Resolution is deliberately conservative: only project-internal symbols
+resolve; anything external (numpy, stdlib) returns ``None`` and the
+passes treat it as opaque.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.lint.context import ModuleContext
+
+#: Method names shared with the builtin containers: an attribute call on
+#: an unresolvable receiver with one of these names is far more likely a
+#: dict/list/set operation than a call to the one project class that
+#: happens to define it, so unique-name attribution skips them (a
+#: documented soundness caveat -- see docs/LINT.md).
+UNIQUE_NAME_BLOCKLIST = frozenset(
+    {
+        "add",
+        "append",
+        "clear",
+        "copy",
+        "count",
+        "decode",
+        "discard",
+        "encode",
+        "extend",
+        "format",
+        "get",
+        "index",
+        "insert",
+        "items",
+        "join",
+        "keys",
+        "pop",
+        "popitem",
+        "read",
+        "readline",
+        "readlines",
+        "remove",
+        "reverse",
+        "seek",
+        "setdefault",
+        "sort",
+        "split",
+        "strip",
+        "update",
+        "values",
+        "write",
+    }
+)
+
+
+@dataclass
+class FunctionInfo:
+    """One project function or method (a call-graph node)."""
+
+    module: str
+    qualname: str
+    name: str
+    node: ast.AST
+    #: Qualified name of the defining class for methods, else ``None``.
+    cls: Optional[str] = None
+
+
+@dataclass
+class ClassInfo:
+    """One project class: bases (as resolved dotted names) and methods."""
+
+    module: str
+    name: str
+    qualname: str
+    node: ast.ClassDef
+    base_names: List[str] = field(default_factory=list)
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+class SymbolTable:
+    """Project-wide name resolution over a set of parsed modules."""
+
+    def __init__(self, modules: Dict[str, ModuleContext]) -> None:
+        self.modules = modules
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        #: module -> local name -> (kind, payload).  Kinds: ``func`` /
+        #: ``class`` (payload: qualified name), ``alias`` (payload:
+        #: imported dotted target), ``global`` (payload: the module-level
+        #: assignment node).
+        self._names: Dict[str, Dict[str, Tuple[str, object]]] = {}
+        self._method_classes: Dict[str, List[str]] = {}
+        self._direct_subclasses: Dict[str, List[str]] = {}
+        for module in sorted(modules):
+            self._index_module(module, modules[module])
+        self._link_hierarchy()
+
+    # -- construction ----------------------------------------------------
+
+    def _index_module(self, module: str, ctx: ModuleContext) -> None:
+        names: Dict[str, Tuple[str, object]] = {}
+        for bound, target in sorted(ctx.aliases.items()):
+            names[bound] = ("alias", target)
+        for bound, target in self._relative_aliases(module, ctx):
+            names[bound] = ("alias", target)
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{module}.{stmt.name}"
+                self.functions[qualname] = FunctionInfo(
+                    module, qualname, stmt.name, stmt
+                )
+                names[stmt.name] = ("func", qualname)
+            elif isinstance(stmt, ast.ClassDef):
+                self._index_class(module, ctx, stmt, names)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        names[target.id] = ("global", stmt)
+            elif isinstance(stmt, ast.AnnAssign):
+                if isinstance(stmt.target, ast.Name) and stmt.value is not None:
+                    names[stmt.target.id] = ("global", stmt)
+        self._names[module] = names
+
+    def _index_class(
+        self,
+        module: str,
+        ctx: ModuleContext,
+        stmt: ast.ClassDef,
+        names: Dict[str, Tuple[str, object]],
+    ) -> None:
+        qualname = f"{module}.{stmt.name}"
+        info = ClassInfo(module, stmt.name, qualname, stmt)
+        for base in stmt.bases:
+            dotted = ctx.dotted_name(base)
+            if dotted is not None:
+                info.base_names.append(dotted)
+        for member in stmt.body:
+            if isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                method_qualname = f"{qualname}.{member.name}"
+                method = FunctionInfo(
+                    module, method_qualname, member.name, member, cls=qualname
+                )
+                info.methods[member.name] = method
+                self.functions[method_qualname] = method
+        self.classes[qualname] = info
+        names[stmt.name] = ("class", qualname)
+
+    @staticmethod
+    def _relative_aliases(module: str, ctx: ModuleContext):
+        """``from .base import X`` bindings (ModuleContext skips them)."""
+        parts = module.split(".")
+        is_package = ctx.path.endswith("__init__.py")
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.ImportFrom) and node.level):
+                continue
+            keep = len(parts) - node.level + (1 if is_package else 0)
+            if keep < 0:
+                continue
+            base = parts[:keep]
+            if node.module:
+                base = base + node.module.split(".")
+            prefix = ".".join(base)
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                target = f"{prefix}.{alias.name}" if prefix else alias.name
+                yield bound, target
+
+    def _link_hierarchy(self) -> None:
+        for qualname in sorted(self.classes):
+            info = self.classes[qualname]
+            for method_name in info.methods:
+                self._method_classes.setdefault(method_name, []).append(qualname)
+            for dotted in info.base_names:
+                base = self.resolve_class(dotted, scope=info.module)
+                if base is not None:
+                    self._direct_subclasses.setdefault(
+                        base.qualname, []
+                    ).append(qualname)
+
+    # -- resolution ------------------------------------------------------
+
+    def resolve(
+        self,
+        dotted: str,
+        scope: Optional[str] = None,
+        _seen: Optional[Set[Tuple[str, str]]] = None,
+    ) -> Optional[Tuple[str, object]]:
+        """Resolve a dotted name to a project symbol.
+
+        ``scope`` is the module the name appeared in: bare local names
+        (``helper``) resolve against it first.  Returns ``(kind,
+        payload)`` -- ``("function", FunctionInfo)``, ``("class",
+        ClassInfo)``, ``("module", name)``, ``("global", (module, name,
+        node))`` -- or ``None`` for anything external.
+        """
+        if _seen is None:
+            _seen = set()
+        if scope is not None and scope in self.modules:
+            local = self._resolve_in_module(
+                scope, dotted.split("."), _seen
+            )
+            if local is not None:
+                return local
+        parts = dotted.split(".")
+        for i in range(len(parts), 0, -1):
+            prefix = ".".join(parts[:i])
+            if prefix in self.modules:
+                return self._resolve_in_module(prefix, parts[i:], _seen)
+        return None
+
+    def _resolve_in_module(
+        self, module: str, rest: List[str], seen: Set[Tuple[str, str]]
+    ) -> Optional[Tuple[str, object]]:
+        if not rest:
+            return ("module", module)
+        name, tail = rest[0], rest[1:]
+        key = (module, name)
+        if key in seen:
+            return None
+        entry = self._names.get(module, {}).get(name)
+        if entry is None:
+            return None
+        kind, payload = entry
+        if kind == "alias":
+            seen.add(key)
+            target = ".".join([str(payload)] + tail)
+            return self.resolve(target, _seen=seen)
+        if kind == "func":
+            return ("function", self.functions[str(payload)]) if not tail else None
+        if kind == "global":
+            return ("global", (module, name, payload)) if not tail else None
+        if kind == "class":
+            info = self.classes[str(payload)]
+            if not tail:
+                return ("class", info)
+            if len(tail) == 1:
+                method = self.method_in_hierarchy(info.qualname, tail[0])
+                if method is not None:
+                    return ("function", method)
+            return None
+        return None
+
+    def resolve_class(
+        self, dotted: str, scope: Optional[str] = None
+    ) -> Optional[ClassInfo]:
+        resolved = self.resolve(dotted, scope=scope)
+        if resolved is not None and resolved[0] == "class":
+            return resolved[1]  # type: ignore[return-value]
+        return None
+
+    # -- hierarchy -------------------------------------------------------
+
+    def ancestors(self, qualname: str) -> List[ClassInfo]:
+        """Project-internal ancestor classes, breadth-first, no dupes."""
+        out: List[ClassInfo] = []
+        visited = {qualname}
+        frontier = [qualname]
+        while frontier:
+            next_frontier: List[str] = []
+            for current in frontier:
+                info = self.classes.get(current)
+                if info is None:
+                    continue
+                for dotted in info.base_names:
+                    base = self.resolve_class(dotted, scope=info.module)
+                    if base is not None and base.qualname not in visited:
+                        visited.add(base.qualname)
+                        out.append(base)
+                        next_frontier.append(base.qualname)
+            frontier = next_frontier
+        return out
+
+    def subclasses(self, qualname: str) -> List[str]:
+        """Transitive project subclasses, sorted."""
+        out: Set[str] = set()
+        frontier = [qualname]
+        while frontier:
+            current = frontier.pop()
+            for sub in self._direct_subclasses.get(current, []):
+                if sub not in out:
+                    out.add(sub)
+                    frontier.append(sub)
+        return sorted(out)
+
+    def method_in_hierarchy(
+        self, qualname: str, method: str
+    ) -> Optional[FunctionInfo]:
+        """``method`` looked up class-locally, then through the bases."""
+        info = self.classes.get(qualname)
+        if info is not None and method in info.methods:
+            return info.methods[method]
+        for ancestor in self.ancestors(qualname):
+            if method in ancestor.methods:
+                return ancestor.methods[method]
+        return None
+
+    def override_methods(self, qualname: str, method: str) -> List[FunctionInfo]:
+        """Subclass overrides of ``method`` (CHA over-approximation)."""
+        out = []
+        for sub in self.subclasses(qualname):
+            info = self.classes[sub]
+            if method in info.methods:
+                out.append(info.methods[method])
+        return out
+
+    def unique_method(self, name: str) -> Optional[FunctionInfo]:
+        """The single project method called ``name``, if unambiguous.
+
+        Dunder names and builtin-container method names never resolve
+        this way (see :data:`UNIQUE_NAME_BLOCKLIST`).
+        """
+        if name.startswith("__") or name in UNIQUE_NAME_BLOCKLIST:
+            return None
+        owners = self._method_classes.get(name, [])
+        if len(owners) != 1:
+            return None
+        return self.classes[owners[0]].methods[name]
+
+    def module_globals(self, module: str) -> List[str]:
+        """Names bound by module-level assignment, sorted."""
+        names = self._names.get(module, {})
+        return sorted(
+            name for name, (kind, _) in names.items() if kind == "global"
+        )
+
+    def global_node(self, module: str, name: str) -> Optional[ast.AST]:
+        entry = self._names.get(module, {}).get(name)
+        if entry is not None and entry[0] == "global":
+            return entry[1]  # type: ignore[return-value]
+        return None

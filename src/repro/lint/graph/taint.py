@@ -1,0 +1,125 @@
+"""Interprocedural determinism taint over the call graph.
+
+A function is *directly* tainted when its body contains a call the
+per-module DET rules would flag -- the detectors are imported from
+:mod:`repro.lint.rules.determinism` so the two layers share one
+definition of "nondeterminism source".  Taint then propagates backwards
+along call edges: any function that calls a tainted function is itself
+tainted, transitively.  Each tainted function remembers the ultimate
+source and the next hop towards it, so findings can print the full
+witness chain (``a() -> b() -> time.time()``).
+
+Three independent taint kinds mirror the DET families:
+
+* ``wall-clock`` -- ``time.time`` et al., ``datetime.now`` et al.
+* ``global-rng`` -- global ``random`` state, argless ``Random()``,
+  ``SystemRandom``, numpy's legacy global ``RandomState``.
+* ``fs-order`` -- unsorted filesystem enumeration (``sorted(...)``
+  wrapping exempts a call, exactly as DET006 does).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.lint.context import ModuleContext
+from repro.lint.graph.callgraph import CallGraph
+
+TAINT_KINDS = ("wall-clock", "global-rng", "fs-order")
+
+
+def _detectors() -> Dict[
+    str, Callable[[ModuleContext, ast.Call], Optional[str]]
+]:
+    # Imported lazily: the rules package imports this module (xdet), so
+    # a top-level import of rules.determinism would be circular.
+    from repro.lint.rules.determinism import (
+        fs_order_source,
+        global_rng_source,
+        wall_clock_source,
+    )
+
+    return {
+        "wall-clock": wall_clock_source,
+        "global-rng": global_rng_source,
+        "fs-order": fs_order_source,
+    }
+
+
+@dataclass(frozen=True)
+class TaintInfo:
+    """Why a function is tainted: the source and the path towards it."""
+
+    source: str  # e.g. "time.time"
+    source_path: str
+    source_line: int
+    #: The callee one hop closer to the source; ``None`` when this
+    #: function contains the source call itself.
+    next_hop: Optional[str]
+
+
+def compute_taint(
+    graph: CallGraph, contexts: Dict[str, ModuleContext], kind: str
+) -> Dict[str, TaintInfo]:
+    """qualname -> :class:`TaintInfo` for every function tainted by ``kind``."""
+    detector = _detectors()[kind]
+    direct: Dict[str, TaintInfo] = {}
+    for owner in sorted(graph.raw_calls):
+        ctx = _context_of(contexts, owner)
+        if ctx is None:
+            continue
+        for call in graph.raw_calls[owner]:
+            source = detector(ctx, call)
+            if source is not None and owner not in direct:
+                direct[owner] = TaintInfo(
+                    source=source,
+                    source_path=ctx.path,
+                    source_line=call.lineno,
+                    next_hop=None,
+                )
+    tainted = dict(direct)
+    frontier = deque(sorted(direct))
+    while frontier:
+        current = frontier.popleft()
+        info = tainted[current]
+        for site in graph.edges_to(current):
+            if site.caller not in tainted:
+                tainted[site.caller] = TaintInfo(
+                    source=info.source,
+                    source_path=info.source_path,
+                    source_line=info.source_line,
+                    next_hop=current,
+                )
+                frontier.append(site.caller)
+    return tainted
+
+
+def _context_of(
+    contexts: Dict[str, ModuleContext], owner: str
+) -> Optional[ModuleContext]:
+    """The module context an owner qualname lives in."""
+    parts = owner.split(".")
+    for i in range(len(parts) - 1, 0, -1):
+        module = ".".join(parts[:i])
+        if module in contexts:
+            return contexts[module]
+    return None
+
+
+def witness_chain(tainted: Dict[str, TaintInfo], qualname: str) -> str:
+    """``a -> b -> time.time()`` rendered from the next-hop links."""
+    hops: List[str] = [qualname]
+    current = qualname
+    seen = {qualname}
+    while True:
+        info = tainted[current]
+        if info.next_hop is None or info.next_hop in seen:
+            break
+        current = info.next_hop
+        seen.add(current)
+        hops.append(current)
+    short = [hop.rsplit(".", 1)[-1] if "." in hop else hop for hop in hops]
+    return " -> ".join(short + [f"{tainted[qualname].source}()"])

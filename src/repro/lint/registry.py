@@ -1,10 +1,17 @@
-"""Rule base class and the pluggable registry.
+"""Rule base classes and the pluggable registry.
 
 Rules self-register at import time via the :func:`register` decorator;
 :mod:`repro.lint.rules` imports every rule module so that importing the
 package is enough to populate the registry.  Registration order is
 irrelevant -- drivers iterate rules sorted by id, which keeps serial and
 parallel runs byte-identical.
+
+Two rule kinds share one id namespace: per-module rules (subclass
+:class:`Rule`, see one file at a time) and whole-program rules
+(subclass :class:`ProjectRule`, see the cross-module
+:class:`~repro.lint.graph.ProjectContext`).  The runner fans per-module
+rules out over the process pool and runs project rules once, serially,
+after every file is parsed.
 """
 
 from __future__ import annotations
@@ -56,28 +63,64 @@ class Rule:
         )
 
 
-_REGISTRY: Dict[str, Type[Rule]] = {}
+class ProjectRule(Rule):
+    """One whole-program invariant check.
+
+    Subclasses implement :meth:`check_project` over the shared
+    :class:`~repro.lint.graph.ProjectContext` (symbol table, call
+    graph, taint and reachability results are built once and cached on
+    it).  ``scope`` is ignored: a project rule always sees the whole
+    linted tree, and its findings land in whichever file the violating
+    node lives.
+    """
+
+    whole_program = True
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return False  # never run from the per-module driver
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError("project rules implement check_project")
+
+    def check_project(self, project) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+# Import-time registries: mutated only by @register while rule modules
+# import, which replays identically in every pool worker (shard-safe).
+_REGISTRY: Dict[str, Type[Rule]] = {}  # repro-lint: disable=SHD003
+_PROJECT_REGISTRY: Dict[str, Type[ProjectRule]] = {}  # repro-lint: disable=SHD003
 
 
 def register(rule_cls: Type[Rule]) -> Type[Rule]:
     """Class decorator adding a rule to the registry (id must be unique)."""
     if not rule_cls.id:
         raise ValueError(f"rule {rule_cls.__name__} has no id")
-    if rule_cls.id in _REGISTRY:
+    if rule_cls.id in _REGISTRY or rule_cls.id in _PROJECT_REGISTRY:
         raise ValueError(f"duplicate rule id {rule_cls.id}")
-    _REGISTRY[rule_cls.id] = rule_cls
+    if getattr(rule_cls, "whole_program", False):
+        _PROJECT_REGISTRY[rule_cls.id] = rule_cls
+    else:
+        _REGISTRY[rule_cls.id] = rule_cls
     return rule_cls
 
 
 def all_rules() -> List[Rule]:
-    """Fresh instances of every registered rule, sorted by id."""
+    """Fresh instances of every per-module rule, sorted by id."""
     import repro.lint.rules  # noqa: F401  (populates the registry)
 
     return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
 
 
+def all_project_rules() -> List[ProjectRule]:
+    """Fresh instances of every whole-program rule, sorted by id."""
+    import repro.lint.rules  # noqa: F401  (populates the registry)
+
+    return [_PROJECT_REGISTRY[rule_id]() for rule_id in sorted(_PROJECT_REGISTRY)]
+
+
 def rules_by_family() -> Dict[str, List[Rule]]:
     grouped: Dict[str, List[Rule]] = {}
-    for rule in all_rules():
+    for rule in all_rules() + all_project_rules():
         grouped.setdefault(rule.family, []).append(rule)
     return grouped

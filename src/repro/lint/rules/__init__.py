@@ -1,3 +1,12 @@
 """Rule modules; importing this package populates the registry."""
 
-from repro.lint.rules import determinism, events, faults, obs, perf  # noqa: F401
+from repro.lint.rules import (  # noqa: F401
+    bus_contract,
+    determinism,
+    events,
+    faults,
+    obs,
+    perf,
+    shard,
+    xdet,
+)

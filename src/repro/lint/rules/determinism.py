@@ -109,6 +109,62 @@ def _call_name(ctx: ModuleContext, node: ast.Call) -> Optional[str]:
     return ctx.dotted_name(node.func)
 
 
+# -- shared source detection ------------------------------------------------
+#
+# The interprocedural taint pass (repro.lint.graph.taint) seeds its
+# analysis from the very same source definitions these per-module rules
+# flag directly, so the two layers can never disagree about what counts
+# as nondeterministic.
+
+
+def wall_clock_source(ctx: ModuleContext, node: ast.Call) -> Optional[str]:
+    """The wall-clock source this call reads, or ``None``."""
+    name = _call_name(ctx, node)
+    if name in _WALL_CLOCK or name in _DATETIME_NOW:
+        return name
+    return None
+
+
+def global_rng_source(ctx: ModuleContext, node: ast.Call) -> Optional[str]:
+    """The global-RNG source this call touches, or ``None``."""
+    name = _call_name(ctx, node)
+    if name is None:
+        return None
+    if name == "random.SystemRandom":
+        return name
+    if name == "random.Random" and not node.args:
+        return name
+    if (
+        name.startswith("random.")
+        and name.count(".") == 1
+        and name.split(".", 1)[1] in _RANDOM_GLOBALS
+    ):
+        return name
+    if name.startswith("numpy.random."):
+        attr = name[len("numpy.random.") :]
+        if attr in _NP_RANDOM_GLOBALS:
+            return name
+        if attr == "RandomState" and not node.args:
+            return name
+    return None
+
+
+def fs_order_source(ctx: ModuleContext, node: ast.Call) -> Optional[str]:
+    """The filesystem-enumeration source this call is, or ``None``.
+
+    A call wrapped directly in ``sorted(...)`` is exempt -- its order is
+    re-established before anything can observe it.
+    """
+    name = _call_name(ctx, node)
+    method = node.func.attr if isinstance(node.func, ast.Attribute) else None
+    if name not in _FS_ENUMERATORS and method not in _FS_ENUMERATOR_METHODS:
+        return None
+    parent = ctx.parent(node)
+    if isinstance(parent, ast.Call) and ctx.dotted_name(parent.func) == "sorted":
+        return None
+    return name or f".{method}()"
+
+
 @register
 class WallClockRule(Rule):
     id = "DET001"
@@ -319,18 +375,8 @@ class FilesystemOrderRule(Rule):
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
                 continue
-            name = _call_name(ctx, node)
-            method = (
-                node.func.attr if isinstance(node.func, ast.Attribute) else None
-            )
-            if name in _FS_ENUMERATORS or method in _FS_ENUMERATOR_METHODS:
-                parent = ctx.parent(node)
-                if (
-                    isinstance(parent, ast.Call)
-                    and ctx.dotted_name(parent.func) == "sorted"
-                ):
-                    continue
-                label = name or f".{method}()"
+            label = fs_order_source(ctx, node)
+            if label is not None:
                 yield self.finding(
                     ctx,
                     node,

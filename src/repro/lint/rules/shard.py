@@ -1,0 +1,163 @@
+"""SHD00x: shard-safety rules over module-level mutable state.
+
+The ROADMAP's sharded-crawl item will fan visits out over a process
+pool.  Workers fork with a *copy* of every module global: state mutated
+at visit time diverges silently between shards and the deterministic
+merge can never reconcile it.  These rules turn that into a
+review-time error:
+
+* SHD001 -- in-place mutation of a module-level mutable from a
+  visit-reachable function (error);
+* SHD002 -- rebinding a module global (``global x; x = ...``) from a
+  visit-reachable function (error);
+* SHD003 -- the inventory: module-level mutable state mutated only from
+  functions *not* on the visit path (warning).  Serial-only by
+  construction today, but every entry is a landmine for the sharding
+  PR, so each one must be baselined with a justification.
+
+Import-time mutation (registration decorators running in ``<module>``
+code) is exempt everywhere: it replays identically in every worker.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.registry import ProjectRule, register
+
+
+class _ShardRule(ProjectRule):
+    family = "shard"
+
+    @staticmethod
+    def _split_sites(project) -> Tuple[List, List]:
+        """Mutation sites partitioned by visit-reachability of the owner."""
+        reach = project.reachable(families=("visit",))
+        hot, cold = [], []
+        for site in project.mutation_sites:
+            (hot if site.owner in reach else cold).append(site)
+        return hot, cold
+
+    def _site_finding(self, project, site, message: str) -> Finding:
+        ctx = project.context_for(site.path)
+        return Finding(
+            rule=self.id,
+            path=site.path,
+            line=site.line,
+            col=site.col,
+            message=message,
+            snippet=ctx.line_text(site.line) if ctx is not None else "",
+            severity=self.severity,
+        )
+
+
+@register
+class ShardMutationRule(_ShardRule):
+    id = "SHD001"
+    name = "visit-path-global-mutation"
+    rationale = (
+        "In-place mutation of a module-level container from a "
+        "visit-reachable function diverges between pool workers; the "
+        "state must live on a per-crawl object threaded through the "
+        "call chain."
+    )
+
+    def check_project(self, project) -> Iterator[Finding]:
+        hot, _ = self._split_sites(project)
+        reach = project.reachable(families=("visit",))
+        for site in hot:
+            if site.kind != "mutate":
+                continue
+            root, _ = reach[site.owner]
+            short_root = root.rsplit(".", 1)[-1]
+            owner = site.owner.rsplit(".", 1)[-1]
+            yield self._site_finding(
+                project,
+                site,
+                f"{owner}() mutates module-level {site.target} and is "
+                f"reachable from visit entry point {short_root}() -- "
+                "shared mutable state breaks process-pool sharding; "
+                "move it onto a per-crawl object",
+            )
+
+
+@register
+class ShardRebindRule(_ShardRule):
+    id = "SHD002"
+    name = "visit-path-global-rebind"
+    rationale = (
+        "Rebinding a module global at visit time (global x; x = ...) is "
+        "per-worker memoisation that desynchronises shards; pass the "
+        "value explicitly or compute it at import time."
+    )
+
+    def check_project(self, project) -> Iterator[Finding]:
+        hot, _ = self._split_sites(project)
+        reach = project.reachable(families=("visit",))
+        for site in hot:
+            if site.kind != "rebind":
+                continue
+            root, _ = reach[site.owner]
+            short_root = root.rsplit(".", 1)[-1]
+            owner = site.owner.rsplit(".", 1)[-1]
+            yield self._site_finding(
+                project,
+                site,
+                f"{owner}() rebinds module global {site.target} and is "
+                f"reachable from visit entry point {short_root}() -- "
+                "per-worker rebinding desynchronises shards; pass the "
+                "value explicitly",
+            )
+
+
+@register
+class ShardInventoryRule(_ShardRule):
+    id = "SHD003"
+    name = "serial-only-global-state"
+    severity = "warning"
+    rationale = (
+        "Module-level mutable state mutated outside the visit path is "
+        "safe today but a landmine for the sharded-crawl item; keep the "
+        "inventory empty or baseline each entry with a justification."
+    )
+
+    def check_project(self, project) -> Iterator[Finding]:
+        _, cold = self._split_sites(project)
+        grouped: Dict[Tuple[str, str], List] = {}
+        for site in cold:
+            grouped.setdefault((site.target_module, site.target_name), []).append(
+                site
+            )
+        for (module, name) in sorted(grouped):
+            sites = grouped[(module, name)]
+            owners = sorted(
+                {site.owner.rsplit(".", 1)[-1] for site in sites}
+            )
+            anchor = project.mutable_globals.get(
+                (module, name)
+            ) or project.symbols.global_node(module, name)
+            ctx = project.contexts.get(module)
+            verb = (
+                "is rebound at runtime by"
+                if all(site.kind == "rebind" for site in sites)
+                else "is mutated at runtime by"
+            )
+            if anchor is not None and ctx is not None:
+                yield self.finding(
+                    ctx,
+                    anchor,
+                    f"module-level mutable {name} {verb} "
+                    f"{', '.join(f'{o}()' for o in owners)} -- serial-only "
+                    "state; baseline with a justification or hoist it "
+                    "before the crawl is sharded",
+                )
+            else:
+                yield self._site_finding(
+                    project,
+                    sites[0],
+                    f"module global {module}.{name} is rebound by "
+                    f"{', '.join(f'{o}()' for o in owners)} -- serial-only "
+                    "state; baseline with a justification or hoist it "
+                    "before the crawl is sharded",
+                )

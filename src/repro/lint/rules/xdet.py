@@ -1,0 +1,98 @@
+"""XDET1xx: interprocedural determinism taint rules.
+
+The per-module DET rules catch *direct* nondeterminism (a wall-clock
+read in the checked function).  These whole-program rules catch the
+laundered kind: a visit-, checkpoint- or trace-reachable function that
+calls a helper which -- possibly several hops away -- reaches the same
+source.  Findings anchor at the call edge (where reachable code invokes
+the tainted function) and print the full witness chain, so the fix
+site is obvious even when the source is three modules away.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.graph.taint import witness_chain
+from repro.lint.registry import ProjectRule, register
+
+
+class _TaintRule(ProjectRule):
+    """Shared machinery; subclasses pick the taint kind and wording."""
+
+    family = "xdet"
+    kind = ""
+    verb = ""
+    remedy = ""
+
+    def check_project(self, project) -> Iterator[Finding]:
+        tainted = project.taint(self.kind)
+        if not tainted:
+            return
+        reach = project.reachable()
+        for site in project.call_graph.edges:
+            if site.caller not in reach or site.callee not in tainted:
+                continue
+            root, family = reach[site.caller]
+            ctx = project.context_for(site.path)
+            if ctx is None:
+                continue
+            chain = witness_chain(tainted, site.callee)
+            short_root = root.rsplit(".", 1)[-1]
+            yield self._edge_finding(
+                ctx,
+                site,
+                f"call to {site.callee}() transitively {self.verb} "
+                f"[{chain}] and is reachable from {family} entry point "
+                f"{short_root}() -- {self.remedy}",
+            )
+
+    def _edge_finding(self, ctx, site, message: str) -> Finding:
+        node = ast.AST()
+        node.lineno = site.line
+        node.col_offset = site.col - 1
+        return self.finding(ctx, node, message)
+
+
+@register
+class TaintedWallClockRule(_TaintRule):
+    id = "XDET101"
+    name = "reachable-wall-clock"
+    kind = "wall-clock"
+    verb = "reads the wall clock"
+    remedy = "thread the VirtualClock through instead"
+    rationale = (
+        "A visit/checkpoint/trace path that transitively reads the wall "
+        "clock breaks byte-identical resume even when no DET rule fires "
+        "in the file itself; the clock must be threaded explicitly."
+    )
+
+
+@register
+class TaintedGlobalRngRule(_TaintRule):
+    id = "XDET102"
+    name = "reachable-global-rng"
+    kind = "global-rng"
+    verb = "draws from global RNG state"
+    remedy = "thread an explicitly seeded generator through instead"
+    rationale = (
+        "Global random state reached through helpers desynchronises "
+        "shards and replays; every reachable draw must come from a "
+        "seeded generator passed down the call chain."
+    )
+
+
+@register
+class TaintedFsOrderRule(_TaintRule):
+    id = "XDET103"
+    name = "reachable-fs-order"
+    kind = "fs-order"
+    verb = "enumerates the filesystem in platform order"
+    remedy = "sort the enumeration at the source"
+    rationale = (
+        "Unsorted directory listings reached from checkpoint/trace "
+        "paths make artefacts differ across filesystems; the "
+        "enumeration must be sorted where it happens."
+    )

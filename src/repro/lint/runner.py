@@ -19,6 +19,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 from repro.lint.baseline import Baseline, fingerprint_findings
 from repro.lint.context import ModuleContext
 from repro.lint.findings import PARSE_ERROR_RULE, Finding
+from repro.lint.graph.engine import lint_project
 from repro.lint.registry import all_rules
 
 #: Directories never descended into.
@@ -110,11 +111,15 @@ def run_lint(
     root: Path,
     baseline: Optional[Baseline] = None,
     jobs: int = 1,
+    whole_program: bool = True,
 ) -> LintReport:
     """Lint ``paths`` and split findings against ``baseline``.
 
     ``jobs > 1`` fans files out over a process pool; results keep file
     submission order, so output is byte-identical to ``jobs == 1``.
+    The whole-program pass always runs serially in the parent process
+    after the per-module pass (the project graph is one shared
+    structure), so its findings are identical under any ``jobs``.
     """
     baseline = baseline or Baseline.empty()
     files = collect_files(paths, root)
@@ -125,10 +130,26 @@ def run_lint(
     else:
         results = [lint_file(path, display) for path, display in files]
 
+    project_findings: dict = {}
+    project_suppressed = 0
+    if whole_program and files:
+        project_findings, project_suppressed = lint_project(files)
+
     report = LintReport(files=len(results))
+    report.suppressed += project_suppressed
     for result in results:
         report.suppressed += result.suppressed
-        for finding in result.findings:
+        merged = result.findings + project_findings.pop(result.display, [])
+        merged.sort(key=Finding.sort_key)
+        for finding in merged:
+            if finding.fingerprint in baseline:
+                report.baselined.append(finding)
+            else:
+                report.new_findings.append(finding)
+    # Defensive: whole-program findings for files the per-module pass
+    # produced no result for (cannot happen today -- same collection).
+    for display in sorted(project_findings):
+        for finding in project_findings[display]:
             if finding.fingerprint in baseline:
                 report.baselined.append(finding)
             else:

@@ -18,19 +18,17 @@ from repro.webdriver.action_chains import SELENIUM_INTER_KEY_MS
 from repro.webdriver.errors import NoSuchElementException
 from repro.webdriver.webelement import WebElement
 
-#: Resolved lazily: ``repro.faults.types`` imports this package's error
-#: taxonomy, so a module-level import here would be circular.
-_FaultErrorType = None
-
-
 def _fault_error():
-    """The :class:`repro.faults.types.FaultError` base, imported lazily."""
-    global _FaultErrorType
-    if _FaultErrorType is None:
-        from repro.faults.types import FaultError
+    """The :class:`repro.faults.types.FaultError` base, imported lazily.
 
-        _FaultErrorType = FaultError
-    return _FaultErrorType
+    ``repro.faults.types`` imports this package's error taxonomy, so a
+    module-level import here would be circular.  ``sys.modules`` caches
+    the import, so no module-global memoisation is needed (a global
+    rebound at visit time would break process-pool sharding -- SHD002).
+    """
+    from repro.faults.types import FaultError
+
+    return FaultError
 
 
 class WebDriver:
