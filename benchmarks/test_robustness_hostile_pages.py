@@ -153,23 +153,24 @@ def test_robustness_hostile_pages(benchmark):
     assert http_off.first_party_wilcoxon.significant(0.05)
     assert not http_on.third_party_wilcoxon.significant(0.05)
 
-    BENCH_PATH.write_text(
-        json.dumps(
-            {
-                "population_sites": len(population),
-                "hostile_sites": hostile_sites,
-                "hostile_fraction": round(hostile_fraction, 4),
-                "instances": INSTANCES,
-                "coverage_watchdogs_on": round(coverage_on, 4),
-                "coverage_watchdogs_off": round(coverage_off, 4),
-                "recycles_watchdogs_on": protected.stats.recycles,
-                "failures_watchdogs_on": failure_breakdown(on_result),
-                "failures_watchdogs_off": failure_breakdown(off_result),
-                "plain_population_record_identical": True,
-            },
-            indent=2,
-            sort_keys=True,
-        )
-        + "\n"
+    # Read-merge-write: other benchmark jobs (shard scaling) share this
+    # file, so never clobber their keys.
+    bench = {}
+    if BENCH_PATH.exists():
+        bench = json.loads(BENCH_PATH.read_text())
+    bench.update(
+        {
+            "population_sites": len(population),
+            "hostile_sites": hostile_sites,
+            "hostile_fraction": round(hostile_fraction, 4),
+            "instances": INSTANCES,
+            "coverage_watchdogs_on": round(coverage_on, 4),
+            "coverage_watchdogs_off": round(coverage_off, 4),
+            "recycles_watchdogs_on": protected.stats.recycles,
+            "failures_watchdogs_on": failure_breakdown(on_result),
+            "failures_watchdogs_off": failure_breakdown(off_result),
+            "plain_population_record_identical": True,
+        }
     )
+    BENCH_PATH.write_text(json.dumps(bench, indent=2, sort_keys=True) + "\n")
     print(f"\nwrote {BENCH_PATH}")

@@ -260,6 +260,7 @@ class CrawlSupervisor:
         self.stats = SupervisorStats()
         self._instances: Optional[List[BrowserInstance]] = None
         self._restored_browsers: Optional[List[Dict[str, int]]] = None
+        self._entry_browsers: Optional[List[Dict[str, int]]] = None
         self._bind_metric_handles()
         # The deterministic event bus every crawl collaborator talks
         # over: sessions execute command events, watchdogs subscribe to
@@ -316,6 +317,12 @@ class CrawlSupervisor:
         path = checkpoint_path or config.checkpoint_path
         path = Path(path) if path is not None else None
         completed = self._load_checkpoint(path)
+        if self._restored_browsers is None and self._entry_browsers is not None:
+            # Shard entry state (see crawl_shard): applied only when no
+            # checkpoint restored the browsers -- a mid-shard checkpoint
+            # already embeds the entry state's effects.
+            self._restored_browsers = self._entry_browsers
+        self._entry_browsers = None
         root = self.tracer.resume_or_start(
             "crawl",
             crawler=self.crawler.name,
@@ -384,6 +391,40 @@ class CrawlSupervisor:
         if ledger_path is not None:
             write_ledger(ledger_path, self.ledger)
         return CrawlResult(crawler_name=self.crawler.name, records=records)
+
+    def crawl_shard(
+        self,
+        sites: Sequence[SiteConfig],
+        *,
+        entry_browser_states: Optional[List[Dict[str, int]]] = None,
+        checkpoint_path: Optional[Union[str, Path]] = None,
+        trace_path: Optional[Union[str, Path]] = None,
+        ledger_path: Optional[Union[str, Path]] = None,
+    ) -> CrawlResult:
+        """Run one contiguous shard of a larger population.
+
+        The shard-scoped entry point the :mod:`repro.shard` executor
+        uses: identical to :meth:`crawl` over ``sites``, except the
+        browser instances start from ``entry_browser_states`` -- the
+        fault/recycle counters the browsers would carry at this point of
+        the equivalent serial crawl (the fold of the preceding shards'
+        fault logs, see :mod:`repro.shard.state`).  The states apply
+        only when no checkpoint restores the browsers: a mid-shard
+        checkpoint already embeds them.
+
+        Everything else about determinism is inherited: the shard runs
+        on this supervisor's own virtual clock starting at zero, so its
+        trace/ledger/metrics are a clean segment the merge layer can
+        rebase onto the serial timeline.
+        """
+        if entry_browser_states is not None:
+            self._entry_browsers = [dict(s) for s in entry_browser_states]
+        return self.crawl(
+            sites,
+            checkpoint_path=checkpoint_path,
+            trace_path=trace_path,
+            ledger_path=ledger_path,
+        )
 
     def _attach_sessions(self, instances: List[BrowserInstance]) -> None:
         """Subscribe this crawl's browser sessions to the bus.

@@ -22,7 +22,12 @@ from repro.faults.types import (
     make_fault,
 )
 from repro.faults.plan import FaultInjector, FaultPlan, FiredFault, ScheduledFault
-from repro.faults.recovery import BackoffPolicy, BreakerState, CircuitBreaker
+from repro.faults.recovery import (
+    DELAY_GRID_MS,
+    BackoffPolicy,
+    BreakerState,
+    CircuitBreaker,
+)
 
 __all__ = [
     "FAULT_EXCEPTIONS",
@@ -42,4 +47,5 @@ __all__ = [
     "BackoffPolicy",
     "BreakerState",
     "CircuitBreaker",
+    "DELAY_GRID_MS",
 ]

@@ -15,6 +15,17 @@ from typing import Callable, Optional
 import numpy as np
 
 
+#: Jittered delays are snapped to this dyadic grid (2^-10 ms, ~1 us).
+#: Every other advance of a supervisor's virtual clock is a config
+#: constant with a short binary fraction, so quantising the one
+#: rng-shaped delay makes *all* advances exactly representable, which
+#: makes their float prefix sums associative (exact below ~2^43 ms).
+#: The sharded executor relies on this: rebasing a shard's local
+#: timeline by the preceding shards' total duration must reproduce the
+#: serial timestamps bit for bit.
+DELAY_GRID_MS = 2.0**-10
+
+
 @dataclass(frozen=True)
 class BackoffPolicy:
     """Exponential backoff with bounded deterministic jitter.
@@ -22,7 +33,10 @@ class BackoffPolicy:
     ``delay_ms(attempt)`` grows as ``base * factor**attempt`` capped at
     ``max_delay_ms``; when an ``rng`` is supplied the delay is scattered
     by ``+-jitter`` (a fraction), drawn from that seeded generator so
-    two runs with the same seed back off identically.
+    two runs with the same seed back off identically.  Jittered delays
+    are quantised to :data:`DELAY_GRID_MS` so simulated timelines stay
+    exactly summable (see the sharded-merge determinism contract in
+    ``docs/SHARDING.md``).
     """
 
     base_delay_ms: float = 500.0
@@ -47,6 +61,7 @@ class BackoffPolicy:
         delay = min(self.base_delay_ms * self.factor**attempt, self.max_delay_ms)
         if rng is not None and self.jitter:
             delay *= 1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0)
+            delay = round(delay / DELAY_GRID_MS) * DELAY_GRID_MS
         return delay
 
 

@@ -4,8 +4,10 @@ Three root *families* anchor the whole-program rules, mirroring the
 artefacts whose byte-identity the project guarantees:
 
 ``visit``
-    ``simulate_visit`` functions, ``crawl`` methods of ``*Supervisor``
-    classes, and every bus-subscribed handler (watchdogs and browser
+    ``simulate_visit`` functions, ``crawl`` / ``crawl_shard`` methods of
+    ``*Supervisor`` classes, the shard-executor entry points
+    (``run_shard`` runs in pool workers, ``run_sharded_crawl`` drives
+    them), and every bus-subscribed handler (watchdogs and browser
     command handlers run inside the visit dispatch path).
 ``checkpoint``
     ``state_dict`` / ``load_state`` / ``_write_checkpoint`` /
@@ -30,9 +32,11 @@ from repro.lint.graph.symbols import SymbolTable
 
 FAMILIES = ("visit", "checkpoint", "trace")
 
-_VISIT_FUNCTIONS = frozenset({"simulate_visit"})
+_VISIT_FUNCTIONS = frozenset(
+    {"simulate_visit", "run_shard", "run_sharded_crawl"}
+)
 _VISIT_CLASS_SUFFIX = "Supervisor"
-_VISIT_METHODS = frozenset({"crawl"})
+_VISIT_METHODS = frozenset({"crawl", "crawl_shard"})
 _CHECKPOINT_FUNCTIONS = frozenset(
     {"state_dict", "load_state", "_write_checkpoint", "_load_checkpoint"}
 )

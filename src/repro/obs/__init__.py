@@ -20,6 +20,15 @@ from repro.obs.attribute import (
     record_table1_ledger,
 )
 from repro.obs.diff import ExportDiff, diff_exports
+from repro.obs.merge import (
+    MergeError,
+    merge_ledger_dir,
+    merge_ledger_entries,
+    merge_metrics_states,
+    merge_spans,
+    merge_trace_dir,
+    shard_durations,
+)
 from repro.obs.export import (
     parse_trace,
     read_trace,
@@ -79,6 +88,13 @@ __all__ = [
     "write_ledger",
     "ExportDiff",
     "diff_exports",
+    "MergeError",
+    "merge_spans",
+    "merge_metrics_states",
+    "merge_ledger_entries",
+    "merge_trace_dir",
+    "merge_ledger_dir",
+    "shard_durations",
     "AttributionReport",
     "build_attribution",
     "record_table1_ledger",

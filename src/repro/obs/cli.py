@@ -12,6 +12,10 @@ Usage::
 ``CrawlSupervisor.crawl(..., trace_path=...)``.  ``diff`` compares two
 exports of the same kind (traces or probe ledgers) record by record and
 uses ``diff(1)`` exit semantics: 0 identical, 1 different, 2 on error.
+Both accept a *directory* of per-shard exports (``repro.shard`` output):
+the shards are merged onto the serial timeline first, so ``report``
+summarises the whole sharded crawl and ``diff shard-dir serial.jsonl``
+asserts the sharded bytes equal the serial ones.
 ``attribute`` reconstructs the paper's Table 1 -- method x side effect
 x culprit accesses -- from probe-ledger data alone; the optional second
 file supplies a vanilla baseline when the ledger has no in-file
@@ -28,6 +32,7 @@ from typing import List, Optional
 from repro.obs.attribute import build_attribution
 from repro.obs.diff import ExportKindError, diff_exports
 from repro.obs.export import read_trace
+from repro.obs.merge import MergeError, merge_trace_dir
 from repro.obs.probes import read_ledger
 from repro.obs.report import build_report
 
@@ -59,7 +64,11 @@ def _build_parser() -> argparse.ArgumentParser:
     report = subparsers.add_parser(
         "report", help="aggregate a JSONL trace into a crawl report"
     )
-    report.add_argument("trace", help="path to the JSONL trace file")
+    report.add_argument(
+        "trace",
+        help="JSONL trace file, or a directory of per-shard "
+        "*.trace.jsonl files (merged before reporting)",
+    )
     report.add_argument(
         "--top",
         type=int,
@@ -75,8 +84,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="compare two JSONL exports (traces or ledgers); "
         "exit 0 iff identical",
     )
-    diff.add_argument("a", help="first export file")
-    diff.add_argument("b", help="second export file")
+    diff.add_argument("a", help="first export (file or per-shard directory)")
+    diff.add_argument("b", help="second export (file or per-shard directory)")
+    diff.add_argument(
+        "--kind",
+        choices=("auto", "trace", "ledger"),
+        default="auto",
+        help="which exports to merge from a per-shard directory holding "
+        "both kinds (default: auto = prefer traces)",
+    )
     diff.add_argument(
         "--limit",
         type=int,
@@ -123,7 +139,16 @@ def _run_report(args: argparse.Namespace) -> int:
     trace_path = _require(args.trace, "trace")
     if trace_path is None:
         return 1
-    report = build_report(read_trace(trace_path), top=args.top)
+    try:
+        spans = (
+            merge_trace_dir(trace_path)
+            if trace_path.is_dir()
+            else read_trace(trace_path)
+        )
+    except (MergeError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    report = build_report(spans, top=args.top)
     rendered = (
         report.render_json() if args.format == "json" else report.render_text()
     )
@@ -137,7 +162,7 @@ def _run_diff(args: argparse.Namespace) -> int:
     if path_a is None or path_b is None:
         return 2
     try:
-        result = diff_exports(path_a, path_b)
+        result = diff_exports(path_a, path_b, kind=args.kind)
     except (ExportKindError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

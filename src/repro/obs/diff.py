@@ -168,6 +168,36 @@ def load_export(path: Union[str, Path]) -> Tuple[str, Dict[int, Dict[str, Any]]]
     return kind or "trace", records
 
 
+def load_export_any(
+    path: Union[str, Path], kind: str = "auto"
+) -> Tuple[str, Dict[int, Dict[str, Any]]]:
+    """Load an export file *or* a directory of per-shard exports.
+
+    A directory is merged onto the serial timeline first (see
+    :mod:`repro.obs.merge`), so diffing a shard directory against a
+    serial export answers "did sharding change the bytes?".  ``kind``
+    picks which exports to merge from a directory holding both traces
+    and ledgers (``auto`` prefers traces); it is ignored for files,
+    whose kind is self-describing.
+    """
+    path = Path(path)
+    if not path.is_dir():
+        return load_export(path)
+    # Imported lazily: repro.obs.merge pulls in the probe-ledger module,
+    # which file-only diffs never need.
+    from repro.obs import merge as shard_merge
+
+    has_traces = bool(sorted(path.glob(shard_merge.TRACE_GLOB)))
+    has_ledgers = bool(sorted(path.glob(shard_merge.LEDGER_GLOB)))
+    if kind == "auto":
+        kind = "trace" if has_traces or not has_ledgers else "ledger"
+    if kind == "trace":
+        spans = shard_merge.merge_trace_dir(path)
+        return "trace", {span.span_id: span.to_dict() for span in spans}
+    entries = shard_merge.merge_ledger_dir(path)
+    return "ledger", {entry.entry_id: entry.to_dict() for entry in entries}
+
+
 # -- diffing ------------------------------------------------------------------
 
 
@@ -194,15 +224,19 @@ def diff_records(
 
 
 def diff_exports(
-    path_a: Union[str, Path], path_b: Union[str, Path]
+    path_a: Union[str, Path],
+    path_b: Union[str, Path],
+    kind: str = "auto",
 ) -> ExportDiff:
-    """Diff two export files (both traces, or both ledgers).
+    """Diff two exports (both traces, or both ledgers).
 
-    A genuinely empty file takes the other file's kind: zero records
-    diff cleanly against either kind.
+    Either side may be a directory of per-shard exports, which is merged
+    onto the serial timeline before diffing.  A genuinely empty file
+    takes the other file's kind: zero records diff cleanly against
+    either kind.
     """
-    kind_a, records_a = load_export(path_a)
-    kind_b, records_b = load_export(path_b)
+    kind_a, records_a = load_export_any(path_a, kind)
+    kind_b, records_b = load_export_any(path_b, kind)
     if records_a and records_b and kind_a != kind_b:
         raise ExportKindError(
             f"cannot diff a {kind_a} export against a {kind_b} export"

@@ -1,0 +1,235 @@
+"""Recombining per-shard observability exports into one serial timeline.
+
+A sharded crawl (:mod:`repro.shard`) runs one supervisor -- with its own
+virtual clock, tracer, metrics registry and probe ledger -- per
+contiguous block of the population.  Each shard's exports are therefore
+a clean *segment*: span ids count from 1, timestamps count from 0.  This
+module splices the segments back together so the result is byte-
+identical to what a single serial supervisor would have exported:
+
+- **spans**: every shard's root ``crawl`` span is the same region of the
+  serial timeline, so shard 0's root survives (re-ended at the total
+  duration) and the other roots are dropped; non-root spans are
+  renumbered sequentially across shards and their timestamps shifted by
+  the preceding shards' total duration.
+- **metrics**: counters sum; histograms (same frozen bucket layout) sum
+  bucket-wise.
+- **ledger entries**: renumbered sequentially, timestamps shifted.
+
+Exactness contract: every supervisor-clock advance lies on a dyadic
+grid (config constants plus :data:`repro.faults.recovery.DELAY_GRID_MS`-
+quantised backoff), so the float additions here are exact and
+associativity cannot bite -- shifting a shard-local timestamp by the
+offset reproduces the serial timestamp bit for bit.  The oracle tests
+in ``tests/test_shard.py`` assert the resulting bytes literally.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Union
+
+from repro.obs.export import read_trace
+from repro.obs.probes import LedgerEntry, read_ledger
+from repro.obs.span import Span, SpanEvent
+
+
+class MergeError(ValueError):
+    """Raised when per-shard exports cannot form one serial timeline."""
+
+
+def shard_durations(shard_spans: Sequence[Sequence[Span]]) -> List[float]:
+    """Each shard's total virtual duration, read off its root span.
+
+    Every shard trace must start with a closed root span (``parent_id``
+    0) whose timeline starts at 0 -- exactly what a fresh supervisor
+    produces.
+    """
+    durations = []
+    for index, spans in enumerate(shard_spans):
+        if not spans:
+            raise MergeError(f"shard {index}: empty trace")
+        root = spans[0]
+        if root.parent_id != 0:
+            raise MergeError(f"shard {index}: first span is not a root")
+        if root.start_ms != 0.0:
+            raise MergeError(
+                f"shard {index}: root starts at {root.start_ms} ms, not 0"
+            )
+        if root.end_ms is None:
+            raise MergeError(f"shard {index}: root span is still open")
+        for span in spans[1:]:
+            if span.parent_id == 0:
+                raise MergeError(
+                    f"shard {index}: multiple root spans "
+                    f"(span_id={span.span_id})"
+                )
+        durations.append(root.end_ms)
+    return durations
+
+
+def _shift_span(
+    span: Span, new_id: int, new_parent: int, offset_ms: float
+) -> Span:
+    shifted = Span(
+        new_id, new_parent, span.name, span.start_ms + offset_ms, dict(span.attrs)
+    )
+    shifted.end_ms = None if span.end_ms is None else span.end_ms + offset_ms
+    shifted.status = span.status
+    if span.events:
+        shifted.events = [
+            SpanEvent(event.ts_ms + offset_ms, event.name, dict(event.attrs))
+            for event in span.events
+        ]
+    return shifted
+
+
+def merge_spans(shard_spans: Sequence[Sequence[Span]]) -> List[Span]:
+    """Splice per-shard span lists into one serial trace.
+
+    Shard k's non-root span ``x`` becomes span ``x - 1 + base_k`` where
+    ``base_k = 1 + sum(len(shard_j) - 1 for j < k)`` -- the serial
+    tracer's sequential numbering; parents pointing at the local root
+    (id 1) re-point at the surviving root.  Inputs are not mutated.
+    """
+    durations = shard_durations(shard_spans)
+    total = 0.0
+    for duration in durations:
+        total += duration
+    root = shard_spans[0][0]
+    merged_root = _shift_span(root, 1, 0, 0.0)
+    merged_root.end_ms = total
+    merged: List[Span] = [merged_root]
+    base = 1
+    offset = 0.0
+    for spans, duration in zip(shard_spans, durations):
+        for span in spans[1:]:
+            if span.span_id < 2:
+                raise MergeError("non-root span with reserved id")
+            parent = 1 if span.parent_id == 1 else span.parent_id - 1 + base
+            merged.append(
+                _shift_span(span, span.span_id - 1 + base, parent, offset)
+            )
+        base += len(spans) - 1
+        offset += duration
+    return merged
+
+
+def merge_metrics_states(
+    states: Sequence[Dict[str, Any]],
+) -> Dict[str, Any]:
+    """Sum per-shard :meth:`MetricsRegistry.state_dict` exports.
+
+    Histogram bucket layouts are frozen at import time, so two shards
+    disagreeing on bounds means the runs are not mergeable.
+    """
+    counters: Dict[str, int] = {}
+    histograms: Dict[str, Dict[str, Any]] = {}
+    for state in states:
+        for name, value in (state.get("counters") or {}).items():
+            counters[name] = counters.get(name, 0) + int(value)
+        for name, data in (state.get("histograms") or {}).items():
+            merged = histograms.get(name)
+            if merged is None:
+                histograms[name] = {
+                    "bounds": list(data["bounds"]),
+                    "buckets": list(data["buckets"]),
+                    "total": float(data["total"]),
+                    "count": int(data["count"]),
+                }
+                continue
+            if merged["bounds"] != list(data["bounds"]):
+                raise MergeError(
+                    f"histogram {name!r}: bucket bounds differ across shards"
+                )
+            merged["buckets"] = [
+                a + b for a, b in zip(merged["buckets"], data["buckets"])
+            ]
+            merged["total"] += float(data["total"])
+            merged["count"] += int(data["count"])
+    return {
+        "counters": {name: counters[name] for name in sorted(counters)},
+        "histograms": {name: histograms[name] for name in sorted(histograms)},
+    }
+
+
+def merge_ledger_entries(
+    shard_entries: Sequence[Sequence[LedgerEntry]],
+    durations: Sequence[float],
+) -> List[LedgerEntry]:
+    """Concatenate per-shard ledgers, renumbering ids and shifting
+    timestamps by the preceding shards' durations."""
+    if len(shard_entries) != len(durations):
+        raise MergeError("one duration per shard ledger required")
+    merged: List[LedgerEntry] = []
+    next_id = 1
+    offset = 0.0
+    for entries, duration in zip(shard_entries, durations):
+        for entry in entries:
+            merged.append(
+                LedgerEntry(
+                    next_id,
+                    entry.ts_ms + offset,
+                    entry.scope,
+                    entry.obj,
+                    entry.op,
+                    key=entry.key,
+                    via=entry.via,
+                    detail=entry.detail,
+                )
+            )
+            next_id += 1
+        offset += duration
+    return merged
+
+
+# -- directory loading (``repro.obs report/diff`` on shard dirs) --------------
+
+#: Per-shard artifact names (the executor's ``shard-NNNN.*`` layout).
+#: Deliberately narrower than ``*.trace.jsonl``: the shard output
+#: directory also holds the *merged* ``crawl.trace.jsonl`` (and the
+#: ``--verify`` oracle's ``serial.*``), which must not be re-merged.
+TRACE_GLOB = "shard-*.trace.jsonl"
+LEDGER_GLOB = "shard-*.ledger.jsonl"
+
+
+def _shard_files(directory: Path, pattern: str) -> List[Path]:
+    files = sorted(directory.glob(pattern))
+    if not files:
+        raise MergeError(f"{directory}: no {pattern} files to merge")
+    return files
+
+
+def merge_trace_dir(directory: Union[str, Path]) -> List[Span]:
+    """Merge a directory of per-shard trace files into one span list.
+
+    Files match ``shard-*.trace.jsonl`` and merge in sorted-name order
+    -- the executor's zero-padded ``shard-NNNN.trace.jsonl`` names make
+    that the plan order.
+    """
+    directory = Path(directory)
+    shard_spans = [
+        read_trace(path) for path in _shard_files(directory, TRACE_GLOB)
+    ]
+    return merge_spans(shard_spans)
+
+
+def merge_ledger_dir(directory: Union[str, Path]) -> List[LedgerEntry]:
+    """Merge a directory of per-shard ledger files into one entry list.
+
+    Ledger timestamps need each shard's duration, which only the trace
+    records -- so the directory must hold the sibling ``*.trace.jsonl``
+    files too (the shard executor always writes both).
+    """
+    directory = Path(directory)
+    ledger_files = _shard_files(directory, LEDGER_GLOB)
+    trace_files = _shard_files(directory, TRACE_GLOB)
+    if len(ledger_files) != len(trace_files):
+        raise MergeError(
+            f"{directory}: {len(ledger_files)} ledgers but "
+            f"{len(trace_files)} traces; cannot pair shards"
+        )
+    durations = shard_durations([read_trace(path) for path in trace_files])
+    return merge_ledger_entries(
+        [read_ledger(path) for path in ledger_files], durations
+    )

@@ -1,0 +1,209 @@
+"""The process-pool shard executor and its determinism fixpoint.
+
+Execution is two rounds at most:
+
+**Round 1** runs every shard the manifest does not record yet, each with
+*fresh* browser entry states.  Fault sequences are entry-state
+independent (:mod:`repro.shard.state`), so a round-one run already
+observes the shard's true fault log -- possibly with recycle triggers in
+the wrong places.
+
+**Round 2** folds the recorded logs across the plan in order, computing
+each shard's true serial entry state and the trigger positions that
+state implies.  Shards whose *observed* triggers already match are done;
+the rest re-run once with the true entry state.  Because the log itself
+cannot change, the re-run's observed triggers equal the fold's
+prediction and the fixpoint closes -- a final verification pass asserts
+exactly that.
+
+Workers are plain ``multiprocessing.Pool`` processes; every task is
+picklable and writes only its own ``shard-NNNN.*`` files, so the pool
+needs no shared state and ``--jobs N`` changes nothing but wall-clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import Pool
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.crawl.crawler import CrawlResult
+from repro.crawl.population import SiteConfig
+from repro.crawl.supervisor import SupervisorConfig, SupervisorStats
+from repro.faults.plan import FaultPlan
+from repro.shard.manifest import ShardManifest
+from repro.shard.merge import MergedArtifacts, merge_shards
+from repro.shard.plan import ShardPlan, plan_shards
+from repro.shard.state import (
+    fold_fault_log,
+    fresh_browser_states,
+    observed_triggers,
+)
+from repro.shard.worker import (
+    WATCHDOGS_DEFAULT,
+    ShardRunSpec,
+    ShardTask,
+    run_shard,
+)
+
+
+@dataclass(frozen=True)
+class ShardedCrawlOutcome:
+    """What one executor invocation produced.
+
+    ``complete`` is False when ``max_shards`` stopped the run early (the
+    interrupt case); the manifest then holds enough to resume, and
+    ``result``/``stats``/``artifacts`` are None.
+    """
+
+    complete: bool
+    out_dir: Path
+    plan: ShardPlan
+    #: Shards executed by *this* invocation (resumed runs skip recorded
+    #: ones; fixpoint re-runs count again).
+    shards_run: int
+    result: Optional[CrawlResult]
+    stats: Optional[SupervisorStats]
+    clock_ms: Optional[float]
+    artifacts: Optional[MergedArtifacts]
+
+
+def _run_tasks(
+    tasks: Sequence[ShardTask], jobs: int
+) -> List[Dict[str, object]]:
+    if not tasks:
+        return []
+    if jobs <= 1:
+        return [run_shard(task) for task in tasks]
+    with Pool(processes=min(jobs, len(tasks))) as pool:
+        return pool.map(run_shard, tasks)
+
+
+def run_sharded_crawl(
+    population: Sequence[SiteConfig],
+    *,
+    out_dir: Union[str, Path],
+    crawler_name: str = "OpenWPM",
+    seed: int = 1,
+    instances: int = 8,
+    with_extension: bool = False,
+    config: Optional[SupervisorConfig] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    ledger: bool = False,
+    watchdogs: str = WATCHDOGS_DEFAULT,
+    shard_size: int = 50,
+    jobs: int = 1,
+    max_shards: Optional[int] = None,
+) -> ShardedCrawlOutcome:
+    """Crawl ``population`` in shards and merge serial-identical output.
+
+    Resumable: re-invoking with the same population, seed and output
+    directory skips shards the manifest records and picks up mid-shard
+    supervisor checkpoints for the rest.  ``max_shards`` bounds how many
+    missing shards this invocation executes (interrupt injection for
+    tests; None means all).
+    """
+    spec = ShardRunSpec(
+        crawler_name=crawler_name,
+        seed=seed,
+        instances=instances,
+        with_extension=with_extension,
+        config=config if config is not None else SupervisorConfig(),
+        fault_plan=fault_plan,
+        ledger=ledger,
+        watchdogs=watchdogs,
+    )
+    plan = plan_shards(population, shard_size, seed)
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    manifest = ShardManifest.load_or_create(out_dir, plan, spec)
+
+    # -- round 1: run missing shards with fresh entry states ------------
+    fresh = tuple(
+        {k: v for k, v in state.items()}
+        for state in fresh_browser_states(instances)
+    )
+    missing = [
+        shard for shard in plan.shards if manifest.shard_meta(shard.index) is None
+    ]
+    if max_shards is not None:
+        missing = missing[:max_shards]
+    round_one = [
+        ShardTask(
+            spec=spec,
+            index=shard.index,
+            sites=shard.sites,
+            out_dir=str(out_dir),
+            entry_states=fresh,
+        )
+        for shard in missing
+    ]
+    for meta in _run_tasks(round_one, jobs):
+        manifest.record_shard(meta)
+    manifest.save()
+    shards_run = len(round_one)
+
+    if manifest.completed() < len(plan):
+        return ShardedCrawlOutcome(
+            complete=False,
+            out_dir=out_dir,
+            plan=plan,
+            shards_run=shards_run,
+            result=None,
+            stats=None,
+            clock_ms=None,
+            artifacts=None,
+        )
+
+    # -- round 2: fixpoint on recycle-trigger positions -----------------
+    reruns: List[ShardTask] = []
+    entry = [dict(state) for state in fresh_browser_states(instances)]
+    for shard in plan.shards:
+        log = manifest.fault_log(shard.index)
+        exit_states, want = fold_fault_log(
+            entry, log, spec.config.recycle_after_faults, spec.recycling
+        )
+        if want != observed_triggers(log):
+            reruns.append(
+                ShardTask(
+                    spec=spec,
+                    index=shard.index,
+                    sites=shard.sites,
+                    out_dir=str(out_dir),
+                    entry_states=tuple(dict(s) for s in entry),
+                    fresh=True,
+                )
+            )
+        entry = exit_states
+    for meta in _run_tasks(reruns, jobs):
+        manifest.record_shard(meta)
+    manifest.save()
+    shards_run += len(reruns)
+
+    # -- verify convergence and compute the final browser states --------
+    entry = [dict(state) for state in fresh_browser_states(instances)]
+    for shard in plan.shards:
+        log = manifest.fault_log(shard.index)
+        exit_states, want = fold_fault_log(
+            entry, log, spec.config.recycle_after_faults, spec.recycling
+        )
+        if want != observed_triggers(log):
+            raise RuntimeError(
+                f"shard {shard.index} did not converge after re-run: "
+                f"expected recycle triggers {want}, observed "
+                f"{observed_triggers(log)}"
+            )
+        entry = exit_states
+
+    merged = merge_shards(out_dir, plan, spec, entry)
+    return ShardedCrawlOutcome(
+        complete=True,
+        out_dir=out_dir,
+        plan=plan,
+        shards_run=shards_run,
+        result=merged.result,
+        stats=merged.stats,
+        clock_ms=merged.clock_ms,
+        artifacts=merged.artifacts,
+    )

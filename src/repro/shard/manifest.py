@@ -1,0 +1,149 @@
+"""The sharded-crawl resume manifest.
+
+``manifest.json`` in the output directory records what the executor
+knows: the plan it is executing (digest, shard ids, population digest),
+the run spec fingerprint, and -- per completed shard -- the meta record
+:func:`repro.shard.worker.run_shard` returned (duration + fault log).
+
+Resume contract (see ``docs/SHARDING.md``):
+
+- a shard **absent** from the manifest has not completed; re-running it
+  picks up any mid-shard supervisor checkpoint on disk;
+- a shard **present** is complete; the executor re-runs it only if the
+  fixpoint pass finds its recycle triggers diverge from the true serial
+  entry state (:mod:`repro.shard.state`);
+- a manifest whose plan digest or spec fingerprint does not match the
+  requested run is an error, never silently reused.
+
+Writes are atomic (tmp + replace), matching the supervisor's checkpoint
+discipline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.shard.plan import ShardPlan
+from repro.shard.state import FaultLogEntry
+from repro.shard.worker import ShardRunSpec
+
+MANIFEST_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+
+
+class ManifestError(ValueError):
+    """Raised when a manifest cannot serve the requested run."""
+
+
+def spec_fingerprint(spec: ShardRunSpec) -> Dict[str, Any]:
+    """The JSON-safe identity of a run spec.
+
+    The fault plan is summarised (seed, rate, size): the schedule is
+    seed-derived, so the summary pins it without serialising every
+    entry.
+    """
+    plan = spec.fault_plan
+    return {
+        "crawler_name": spec.crawler_name,
+        "seed": spec.seed,
+        "instances": spec.instances,
+        "with_extension": spec.with_extension,
+        "config": asdict(spec.config),
+        "fault_plan": (
+            None
+            if plan is None
+            else {"seed": plan.seed, "rate": plan.rate, "size": len(plan)}
+        ),
+        "ledger": spec.ledger,
+        "watchdogs": spec.watchdogs,
+    }
+
+
+def decode_fault_log(raw: List[List[int]]) -> List[FaultLogEntry]:
+    """Inverse of the ``fault_log`` wire form ``run_shard`` returns."""
+    return [
+        FaultLogEntry(int(browser), bool(fatal), bool(triggered))
+        for browser, fatal, triggered in raw
+    ]
+
+
+@dataclass
+class ShardManifest:
+    """The executor's durable view of one sharded crawl."""
+
+    path: Path
+    data: Dict[str, Any]
+
+    @classmethod
+    def load_or_create(
+        cls,
+        out_dir: Union[str, Path],
+        plan: ShardPlan,
+        spec: ShardRunSpec,
+    ) -> "ShardManifest":
+        """Open the output directory's manifest, verifying it belongs to
+        this plan and spec; create a fresh one if none exists."""
+        path = Path(out_dir) / MANIFEST_NAME
+        fingerprint = spec_fingerprint(spec)
+        plan_record = {
+            "digest": plan.digest,
+            "seed": plan.seed,
+            "shard_size": plan.shard_size,
+            "shard_count": len(plan),
+            "population_digest": plan.population_digest,
+            "shard_ids": [shard.shard_id for shard in plan.shards],
+        }
+        if path.exists():
+            data = json.loads(path.read_text())
+            if data.get("version") != MANIFEST_VERSION:
+                raise ManifestError(
+                    f"unsupported manifest version in {path}"
+                )
+            if data.get("plan", {}).get("digest") != plan.digest:
+                raise ManifestError(
+                    f"{path} records a different shard plan; refusing to "
+                    "mix outputs (use a fresh output directory)"
+                )
+            if data.get("spec") != fingerprint:
+                raise ManifestError(
+                    f"{path} records a different run spec; refusing to "
+                    "mix outputs (use a fresh output directory)"
+                )
+            return cls(path=path, data=data)
+        data = {
+            "version": MANIFEST_VERSION,
+            "plan": plan_record,
+            "spec": fingerprint,
+            "shards": {},
+        }
+        return cls(path=path, data=data)
+
+    # -- per-shard records ----------------------------------------------
+
+    def shard_meta(self, index: int) -> Optional[Dict[str, Any]]:
+        """The recorded meta of shard ``index``, or None if incomplete."""
+        return self.data["shards"].get(str(index))
+
+    def record_shard(self, meta: Dict[str, Any]) -> None:
+        """Record one completed shard's meta (``run_shard``'s result)."""
+        self.data["shards"][str(meta["shard"])] = meta
+
+    def completed(self) -> int:
+        """How many shards have completed."""
+        return len(self.data["shards"])
+
+    def fault_log(self, index: int) -> List[FaultLogEntry]:
+        """The recorded fault log of a completed shard."""
+        meta = self.shard_meta(index)
+        if meta is None:
+            raise ManifestError(f"shard {index} has not completed")
+        return decode_fault_log(meta["fault_log"])
+
+    def save(self) -> None:
+        """Atomically persist the manifest."""
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_text(json.dumps(self.data, sort_keys=True, indent=1))
+        tmp.replace(self.path)

@@ -1,0 +1,123 @@
+"""The deterministic shard planner.
+
+Shards are **contiguous blocks in population order** -- never a hash
+partition.  The serial supervisor's virtual timeline is a left fold over
+sites in population order, so only contiguous shards let the merge layer
+rebase each shard's local timeline by a constant offset (the preceding
+shards' total duration) and land every timestamp exactly where the
+serial run put it.
+
+Shard identity is seed-derived and content-addressed: ``shard_id``
+hashes the seed, the shard index and the member sites, and the plan
+``digest`` hashes the shard ids.  Neither depends on ``--jobs``, so the
+same population and seed always produce the same plan no matter how
+many workers execute it -- worker count only decides which process runs
+which shard, and the merge consumes shards in index order regardless.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.crawl.population import SiteConfig
+
+
+def site_fingerprint(site: SiteConfig) -> str:
+    """A cheap, stable content fingerprint of one site.
+
+    Covers the fields that shape crawl control flow (identity,
+    reachability, hostile mechanics) -- enough for the manifest to
+    detect a population drifting between a run and its resumption.
+    """
+    hostile = site.hostile.value if site.hostile is not None else ""
+    detector = site.detector.signal.value if site.detector is not None else ""
+    return (
+        f"{site.rank}:{site.domain}:{int(site.unreachable)}:"
+        f"{hostile}:{detector}"
+    )
+
+
+def population_digest(population: Sequence[SiteConfig]) -> str:
+    """Content digest of the whole population, in order."""
+    digest = hashlib.sha256()
+    for site in population:
+        digest.update(site_fingerprint(site).encode())
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One contiguous block of the population."""
+
+    index: int
+    #: Population offset of the first site (sites[start:start+len]).
+    start: int
+    sites: Tuple[SiteConfig, ...]
+    #: Seed-derived, content-addressed identity.
+    shard_id: str
+
+    def __len__(self) -> int:
+        return len(self.sites)
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The full partition of one population."""
+
+    seed: int
+    shard_size: int
+    population_digest: str
+    #: Digest over the shard ids: two plans with equal digests partition
+    #: equal populations identically.
+    digest: str
+    shards: Tuple[Shard, ...]
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+
+def _shard_id(seed: int, index: int, sites: Sequence[SiteConfig]) -> str:
+    digest = hashlib.sha256()
+    digest.update(f"{seed}:{index}".encode())
+    for site in sites:
+        digest.update(b"\n")
+        digest.update(site_fingerprint(site).encode())
+    return digest.hexdigest()[:16]
+
+
+def plan_shards(
+    population: Sequence[SiteConfig], shard_size: int, seed: int
+) -> ShardPlan:
+    """Partition ``population`` into contiguous ``shard_size`` blocks.
+
+    The final shard may be short.  An empty population yields an empty
+    plan (nothing to crawl, nothing to merge).
+    """
+    if shard_size < 1:
+        raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+    shards: List[Shard] = []
+    for start in range(0, len(population), shard_size):
+        sites = tuple(population[start : start + shard_size])
+        shards.append(
+            Shard(
+                index=len(shards),
+                start=start,
+                sites=sites,
+                shard_id=_shard_id(seed, len(shards), sites),
+            )
+        )
+    plan_digest = hashlib.sha256()
+    plan_digest.update(f"{seed}:{shard_size}".encode())
+    for shard in shards:
+        plan_digest.update(shard.shard_id.encode())
+        plan_digest.update(b"\n")
+    return ShardPlan(
+        seed=seed,
+        shard_size=shard_size,
+        population_digest=population_digest(population),
+        digest=plan_digest.hexdigest(),
+        shards=tuple(shards),
+    )

@@ -1,0 +1,136 @@
+"""Cross-shard browser-health algebra: fault logs and their fold.
+
+The *only* crawl-path state that crosses site (hence shard) boundaries
+is the per-browser fault/recycle counter pair on
+:class:`~repro.crawl.supervisor.BrowserInstance`.  Everything else a
+visit observes derives from per-visit rng streams, the per-site circuit
+breaker (fresh each site) or the virtual clock -- all invariant under
+where the shard boundary falls.
+
+Two facts make parallel sharding sound:
+
+1. **Fault sequences are entry-state-independent.**  Whether an attempt
+   faults, and with which type, comes from the fault plan and the visit
+   rng -- never from the browser's accumulated counters.  So a shard
+   run with *any* entry state observes the same ``(browser, fatal)``
+   fault sequence.
+2. **Recycle decisions are a fold over that sequence.**  The
+   :class:`~repro.crawl.watchdogs.crash.CrashWatchdog` recycles on
+   every fatal fault (state-independent); the
+   :class:`~repro.crawl.watchdogs.recycle.RecycleWatchdog` recycles
+   when the running non-fatal count reaches the budget -- the only
+   entry-state-*dependent* observable.  :func:`fold_fault_log` replays
+   that machine over a recorded log, so the executor can compute the
+   true serial entry state of every shard from round-one logs alone and
+   re-run exactly the shards whose recycle positions would differ.
+
+The log itself is reconstructed from the shard's trace
+(:func:`fault_log_from_spans`) rather than captured live: the trace
+rides the per-shard checkpoint, so a shard interrupted and resumed
+mid-way still reports its *complete* fault history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.faults.types import FaultType
+from repro.obs.span import Span
+
+#: Trace event the supervisor records for every observed fault.
+FAULT_EVENT = "fault"
+
+#: Trace event the recycle watchdog records when the fault budget
+#: triggers -- the one entry-state-dependent observable.
+RECYCLE_TRIGGER_EVENT = "watchdog.recycle.recycle_requested"
+
+#: Span names the fault log is read from.
+_ATTEMPT_SPAN = "attempt"
+_VISIT_SPAN = "visit"
+
+
+@dataclass(frozen=True)
+class FaultLogEntry:
+    """One observed fault, in timeline order."""
+
+    #: Browser slot the fault struck (== the visit_index of the visit,
+    #: the supervisor pins instance ``i`` to visit index ``i``).
+    browser: int
+    #: Browser-fatal faults recycle immediately via the crash watchdog.
+    fatal: bool
+    #: Whether the recycle watchdog's budget fired on this fault *in the
+    #: run the log was read from* (used to detect entry-state drift).
+    triggered: bool
+
+
+def fresh_browser_states(instances: int) -> List[Dict[str, int]]:
+    """The state every browser starts a serial crawl with."""
+    return [{"fault_count": 0, "recycles": 0} for _ in range(instances)]
+
+
+def fault_log_from_spans(spans: Sequence[Span]) -> List[FaultLogEntry]:
+    """Reconstruct the shard's fault log from its span tree.
+
+    Fault events live on ``attempt`` spans; the owning browser slot is
+    the enclosing ``visit`` span's ``visit_index``.  Spans are stored in
+    start order and attempts never overlap on the serial shard timeline,
+    so walking spans (and each span's events) in order yields the
+    chronological fault sequence.
+    """
+    by_id = {span.span_id: span for span in spans}
+    log: List[FaultLogEntry] = []
+    for span in spans:
+        if span.name != _ATTEMPT_SPAN or not span.events:
+            continue
+        visit = by_id.get(span.parent_id)
+        if visit is None or visit.name != _VISIT_SPAN:
+            continue
+        browser = int(visit.attrs["visit_index"])
+        for event in span.events:
+            if event.name == FAULT_EVENT:
+                fatal = FaultType(event.attrs["fault_type"]).browser_fatal
+                log.append(FaultLogEntry(browser, fatal, False))
+            elif event.name == RECYCLE_TRIGGER_EVENT and log:
+                last = log[-1]
+                log[-1] = FaultLogEntry(last.browser, last.fatal, True)
+    return log
+
+
+def observed_triggers(log: Sequence[FaultLogEntry]) -> List[int]:
+    """Positions where the recycle budget fired in the recorded run."""
+    return [
+        position for position, entry in enumerate(log) if entry.triggered
+    ]
+
+
+def fold_fault_log(
+    entry_states: Sequence[Dict[str, int]],
+    log: Sequence[FaultLogEntry],
+    recycle_after_faults: int,
+    recycling: bool = True,
+) -> Tuple[List[Dict[str, int]], List[int]]:
+    """Replay the watchdog recycle machine over a fault log.
+
+    Returns ``(exit_states, trigger_positions)``: the per-browser
+    fault/recycle counters after the log, and the log positions where
+    the non-fatal fault budget fires.  ``recycling=False`` models the
+    ``watchdogs=()`` ablation: counters never move and nothing triggers.
+    """
+    states = [dict(state) for state in entry_states]
+    triggers: List[int] = []
+    if not recycling:
+        return states, triggers
+    for position, entry in enumerate(log):
+        state = states[entry.browser]
+        if entry.fatal:
+            # CrashWatchdog: immediate recycle, counter reset.
+            state["recycles"] += 1
+            state["fault_count"] = 0
+            continue
+        state["fault_count"] += 1
+        if state["fault_count"] >= recycle_after_faults:
+            triggers.append(position)
+            state["recycles"] += 1
+            state["fault_count"] = 0
+    return states, triggers

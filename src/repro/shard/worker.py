@@ -1,0 +1,156 @@
+"""The per-shard unit of work: one supervisor, one clock, one bus.
+
+A :class:`ShardTask` is a plain picklable description of one shard run;
+:func:`run_shard` is the process-pool entry point that executes it.
+Every shard builds its *own* :class:`~repro.crawl.supervisor.
+CrawlSupervisor` -- and with it its own :class:`~repro.clock.
+VirtualClock`, :class:`~repro.bus.EventBus`, :class:`~repro.obs.Tracer`,
+metrics registry and (optionally) probe ledger -- so shards share no
+mutable state whatsoever: bus isolation is by construction, not by
+locking.
+
+The supervisor's own site-boundary checkpointing gives mid-shard
+interrupt/resume for free: ``run_shard`` passes a per-shard checkpoint
+path, and a re-run of the same task resumes from it byte-identically.
+The shard's final checkpoint doubles as the merge layer's input -- it
+already carries the records, trace, metrics, stats, browser states and
+ledger of the completed shard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from repro.crawl.crawler import OpenWPMCrawler
+from repro.crawl.population import SiteConfig
+from repro.crawl.supervisor import CrawlSupervisor, SupervisorConfig
+from repro.faults.plan import FaultPlan
+from repro.obs.probes import ProbeLedger
+from repro.shard.state import fault_log_from_spans
+from repro.spoofing.extension import SpoofingExtension
+
+#: The two watchdog configurations the sharded executor supports: the
+#: production set or the unprotected ablation.  Arbitrary watchdog sets
+#: would need their own fold in :mod:`repro.shard.state`.
+WATCHDOGS_DEFAULT = "default"
+WATCHDOGS_NONE = "none"
+
+
+@dataclass(frozen=True)
+class ShardRunSpec:
+    """Everything a worker needs to rebuild the supervisor in-process.
+
+    Live objects (extension, ledger, watchdogs) are rebuilt from flags
+    rather than pickled: the spoofing extension and watchdogs hold
+    window/bus wiring that must be constructed fresh per process.
+    """
+
+    crawler_name: str
+    seed: int
+    instances: int
+    with_extension: bool = False
+    config: SupervisorConfig = field(default_factory=SupervisorConfig)
+    fault_plan: Optional[FaultPlan] = None
+    ledger: bool = False
+    watchdogs: str = WATCHDOGS_DEFAULT
+
+    def __post_init__(self) -> None:
+        if self.watchdogs not in (WATCHDOGS_DEFAULT, WATCHDOGS_NONE):
+            raise ValueError(
+                f"watchdogs must be {WATCHDOGS_DEFAULT!r} or "
+                f"{WATCHDOGS_NONE!r}, got {self.watchdogs!r}"
+            )
+
+    @property
+    def recycling(self) -> bool:
+        """Whether the recycle/crash watchdogs are active."""
+        return self.watchdogs == WATCHDOGS_DEFAULT
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One shard run, picklable for the process pool."""
+
+    spec: ShardRunSpec
+    index: int
+    sites: Tuple[SiteConfig, ...]
+    out_dir: str
+    #: Per-browser ``{"fault_count", "recycles"}`` entry states (the
+    #: serial fold of the preceding shards, or fresh zeros in round 1).
+    entry_states: Tuple[Dict[str, int], ...]
+    #: Discard any prior output for this shard first (fixpoint re-runs
+    #: must not resume from a checkpoint recorded under a stale entry
+    #: state).
+    fresh: bool = False
+
+
+@dataclass(frozen=True)
+class ShardPaths:
+    """Where one shard's artifacts live inside the output directory."""
+
+    checkpoint: Path
+    trace: Path
+    ledger: Path
+
+
+def shard_paths(out_dir: Any, index: int) -> ShardPaths:
+    """Zero-padded per-shard file names (sorted order == plan order)."""
+    base = Path(out_dir) / f"shard-{index:04d}"
+    return ShardPaths(
+        checkpoint=base.with_name(base.name + ".ckpt.json"),
+        trace=base.with_name(base.name + ".trace.jsonl"),
+        ledger=base.with_name(base.name + ".ledger.jsonl"),
+    )
+
+
+def build_supervisor(spec: ShardRunSpec) -> CrawlSupervisor:
+    """Construct the shard's supervisor stack from its picklable spec."""
+    extension = SpoofingExtension() if spec.with_extension else None
+    crawler = OpenWPMCrawler(
+        spec.crawler_name,
+        extension=extension,
+        instances=spec.instances,
+        seed=spec.seed,
+    )
+    return CrawlSupervisor(
+        crawler,
+        config=spec.config,
+        plan=spec.fault_plan,
+        probe_ledger=ProbeLedger() if spec.ledger else None,
+        watchdogs=None if spec.recycling else (),
+    )
+
+
+def run_shard(task: ShardTask) -> Dict[str, Any]:
+    """Execute one shard; returns its manifest meta record.
+
+    The meta record carries the shard's duration and its fault log --
+    read back off the trace, so a resumed shard reports its complete
+    history.  The heavyweight artifacts (checkpoint, trace, ledger) go
+    to disk under :func:`shard_paths`.
+    """
+    spec = task.spec
+    paths = shard_paths(task.out_dir, task.index)
+    if task.fresh:
+        for path in (paths.checkpoint, paths.trace, paths.ledger):
+            if path.exists():
+                path.unlink()
+    supervisor = build_supervisor(spec)
+    supervisor.crawl_shard(
+        list(task.sites),
+        entry_browser_states=[dict(s) for s in task.entry_states],
+        checkpoint_path=paths.checkpoint,
+        trace_path=paths.trace,
+        ledger_path=paths.ledger if spec.ledger else None,
+    )
+    log = fault_log_from_spans(supervisor.tracer.spans)
+    return {
+        "shard": task.index,
+        "duration_ms": supervisor.clock.now(),
+        "fault_log": [
+            [entry.browser, int(entry.fatal), int(entry.triggered)]
+            for entry in log
+        ],
+    }

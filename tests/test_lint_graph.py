@@ -974,6 +974,24 @@ class TestSelfHosting:
 
     def test_visit_reachable_shard_inventory_is_empty(self, repo_project):
         reach = repo_project.reachable(families=("visit",))
+        # The sharded executor path is visit scope: its entry points
+        # (run_sharded_crawl driving run_shard driving crawl_shard) are
+        # visit roots, so SHD001-003 police the pool workers too.
+        expected_shard_scope = {
+            "repro.shard.executor.run_sharded_crawl",
+            "repro.shard.worker.run_shard",
+            "repro.shard.worker.build_supervisor",
+            "repro.shard.state.fault_log_from_spans",
+            "repro.shard.merge.merge_shards",
+            "repro.crawl.supervisor.CrawlSupervisor.crawl_shard",
+            "repro.crawl.supervisor.CrawlSupervisor.crawl",
+        }
+        missing = expected_shard_scope - set(reach)
+        assert not missing, (
+            f"repro.shard entry points missing from visit scope: {missing}"
+        )
+        reached_modules = {q.rsplit(".", 2)[0] for q in reach}
+        assert any(m.startswith("repro.shard") for m in reached_modules)
         hot = [
             site
             for site in repo_project.mutation_sites
