@@ -18,14 +18,14 @@ from repro.models.clicks import hlisa_dwell_ms
 
 
 def _walk_path(driver, path) -> None:
-    clock = driver.window.clock
+    if not path:
+        return
+    moves = []
     previous = 0.0
     for t, point in path:
-        clock.advance(max(t - previous, 0.0))
-        driver.pipeline.move_mouse_to(point.x, point.y)
+        moves.append((max(t - previous, 0.0), point))
         previous = t
-    if path:
-        driver.pipeline.move_mouse_to(path[-1][1].x, path[-1][1].y, force_event=True)
+    driver.pipeline.dispatch_batch(moves, repeat_final_forced=True)
 
 
 def warm_up_cursor(driver, rng: Optional[np.random.Generator] = None) -> Point:

@@ -92,14 +92,14 @@ class NaiveAgent:
         self.scroll_tick_interval_ms = 100.0
 
     def _walk(self, session: Session, path) -> None:
-        clock = session.clock
+        if not path:
+            return
+        moves = []
         previous_t = 0.0
         for t, point in path:
-            clock.advance(max(t - previous_t, 0.0))
-            session.pipeline.move_mouse_to(point.x, point.y)
+            moves.append((max(t - previous_t, 0.0), point))
             previous_t = t
-        if path:
-            session.pipeline.move_mouse_to(path[-1][1].x, path[-1][1].y, force_event=True)
+        session.pipeline.dispatch_batch(moves, repeat_final_forced=True)
 
     def click_element(self, session: Session, element: Element) -> None:
         target_page = uniform_click_point(element.box, self.rng)
@@ -189,14 +189,14 @@ class HumanAgent:
         self.scrolling = HumanScrolling(self.profile, rng)
 
     def _walk(self, session: Session, path) -> None:
-        clock = session.clock
+        if not path:
+            return
+        moves = []
         previous_t = 0.0
         for t, point in path:
-            clock.advance(max(t - previous_t, 0.0))
-            session.pipeline.move_mouse_to(point.x, point.y)
+            moves.append((max(t - previous_t, 0.0), point))
             previous_t = t
-        if path:
-            session.pipeline.move_mouse_to(path[-1][1].x, path[-1][1].y, force_event=True)
+        session.pipeline.dispatch_batch(moves, repeat_final_forced=True)
 
     def click_element(self, session: Session, element: Element) -> None:
         window = session.window

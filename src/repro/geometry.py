@@ -11,11 +11,18 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import partial
+from typing import NamedTuple
 
 
-@dataclass(frozen=True)
-class Point:
-    """A point in 2-D space."""
+class Point(NamedTuple):
+    """A point in 2-D space.
+
+    A named tuple rather than a dataclass: trajectory assembly constructs
+    one per sample on the motor hot path, and tuple construction skips
+    the frozen-dataclass ``__setattr__`` interception.  Same field access,
+    equality, hash and repr as the earlier frozen dataclass.
+    """
 
     x: float
     y: float
@@ -116,6 +123,20 @@ class Box:
     def translated(self, dx: float, dy: float) -> "Box":
         """Return a copy of the box moved by ``(dx, dy)``."""
         return Box(self.x + dx, self.y + dy, self.width, self.height)
+
+
+def timed_points(times, xs, ys) -> list:
+    """Assemble ``[(t, Point(x, y)), ...]`` from coordinate arrays.
+
+    The hot-path batch constructor for trajectory assembly: binding
+    ``tuple.__new__`` to :class:`Point` and mapping it over zipped
+    coordinate pairs runs the whole build without a per-sample Python
+    frame (``Point._make`` re-validates arity per call; the pairs from
+    ``zip`` are always well-formed here).  Accepts numpy arrays (anything
+    with ``tolist``) for all three inputs.
+    """
+    make = partial(tuple.__new__, Point)
+    return list(zip(times.tolist(), map(make, zip(xs.tolist(), ys.tolist()))))
 
 
 def lerp(a: float, b: float, t: float) -> float:

@@ -14,19 +14,37 @@ trajectory".  This generator composes:
 4. high-frequency smoothed **tremor** (jitter);
 5. an optional corrective **submovement** near the target, producing the
    characteristic hooks of real cursor data.
+
+The per-sample work is vectorised: positions, offsets and timestamps are
+computed array-at-once and converted to the timestamped-point list in a
+single pass.  RNG draw order is identical to the scalar formulation
+(one array draw where the scalar code drew one array, scalar draws
+elsewhere), so same-seed output is byte-identical to
+:func:`repro.models.scalar_reference.scalar_human_path`.
 """
 
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.geometry import Point
+from repro.geometry import Point, timed_points
 from repro.humans.profile import HumanProfile
 
+#: Below this chord length a movement is degenerate: no samples, no time.
+DEGENERATE_DISTANCE_PX = 1e-9
 
+#: Ceiling on the corrective hook's time budget, as a fraction of the
+#: sampled movement duration.  The hook is a small secondary submovement;
+#: without the bound, floor-clamped durations reused the pre-hook ``dt``
+#: and could exceed the Fitts-sampled duration by >50%.
+CORRECTION_MAX_FRAC = 0.25
+
+
+@lru_cache(maxsize=4096)
 def fitts_duration_ms(
     distance: float,
     target_width: float,
@@ -36,30 +54,59 @@ def fitts_duration_ms(
     """Movement time from Fitts' law: ``MT = a + b * log2(D/W + 1)``.
 
     ``target_width`` below 1 px is clamped to keep the index of difficulty
-    finite.
+    finite.  A degenerate movement (no distance to cover) takes no time at
+    all -- returning ``a_ms`` here would send a zero-length move through
+    the patched 50 ms Selenium lower bound as a stationary pointer move
+    (see :mod:`repro.core.patching`); callers short-circuit instead.
+
+    Memoised: experiment loops and replays evaluate the same
+    ``(distance, width)`` geometry repeatedly.
     """
+    if distance < DEGENERATE_DISTANCE_PX:
+        return 0.0
     width = max(target_width, 1.0)
     index_of_difficulty = math.log2(distance / width + 1.0)
     return a_ms + b_ms * index_of_difficulty
 
 
+@lru_cache(maxsize=512)
 def minimum_jerk_profile(n: int) -> np.ndarray:
     """Normalised minimum-jerk position profile at ``n`` samples.
 
     Returns s(tau) for tau in [0, 1]: s = 10 tau^3 - 15 tau^4 + 6 tau^5.
     The derivative (speed) is bell-shaped: slow start, fast middle, slow
     end -- the acceleration/deceleration signature the paper requires.
+
+    Memoised per ``n`` (sample counts repeat across movements on the same
+    duration grid); the cached array is marked read-only.
     """
     tau = np.linspace(0.0, 1.0, n)
-    return 10.0 * tau**3 - 15.0 * tau**4 + 6.0 * tau**5
+    s = 10.0 * tau**3 - 15.0 * tau**4 + 6.0 * tau**5
+    s.flags.writeable = False
+    return s
+
+
+@lru_cache(maxsize=512)
+def _tremor_envelope(n: int) -> np.ndarray:
+    """Tremor fade envelope: full amplitude mid-path, zero at the ends."""
+    envelope = np.sin(np.pi * np.linspace(0.0, 1.0, n)) ** 0.5
+    envelope.flags.writeable = False
+    return envelope
 
 
 def _smoothed_noise(rng: np.random.Generator, n: int, sigma: float, kernel: int = 3) -> np.ndarray:
-    """White noise convolved with a small box kernel (tremor-like)."""
+    """White noise convolved with a small box kernel (tremor-like).
+
+    The convolution applies whenever a full kernel fits (``n >= kernel``);
+    the previous ``n > kernel`` boundary skipped smoothing for exactly
+    kernel-sized paths, so 3-sample movements carried raw tremor.
+    Endpoints are zeroed after the convolution so the cursor starts and
+    lands exactly.
+    """
     if n <= 0:
         return np.zeros(0)
     raw = rng.normal(0.0, sigma, size=n)
-    if kernel > 1 and n > kernel:
+    if kernel > 1 and n >= kernel:
         window = np.ones(kernel) / kernel
         raw = np.convolve(raw, window, mode="same")
     raw[0] = 0.0
@@ -75,8 +122,15 @@ class HumanPointing:
         self.rng = rng if rng is not None else self.profile.rng()
 
     def duration_ms(self, start: Point, end: Point, target_width: float) -> float:
-        """Sampled movement duration for this trial (Fitts + noise)."""
+        """Sampled movement duration for this trial (Fitts + noise).
+
+        Degenerate movements take no time and draw no noise, matching
+        :meth:`path`'s early return -- the pointer never moves, so no
+        pointer-move duration exists to clamp.
+        """
         distance = start.distance_to(end)
+        if distance < DEGENERATE_DISTANCE_PX:
+            return 0.0
         base = fitts_duration_ms(
             distance, target_width, self.profile.fitts_a_ms, self.profile.fitts_b_ms
         )
@@ -99,7 +153,7 @@ class HumanPointing:
         """
         profile = self.profile
         distance = start.distance_to(end)
-        if distance < 1e-9:
+        if distance < DEGENERATE_DISTANCE_PX:
             return [(0.0, start)]
         if duration_ms is None:
             duration_ms = self.duration_ms(start, end, target_width)
@@ -122,23 +176,18 @@ class HumanPointing:
 
         # High-frequency tremor, scaled down near both endpoints.
         tremor = _smoothed_noise(self.rng, n, profile.jitter_px)
-        envelope = np.sin(np.pi * np.linspace(0.0, 1.0, n)) ** 0.5
-        tremor = tremor * envelope
+        tremor = tremor * _tremor_envelope(n)
 
+        # Array-at-once kernel: positions along the chord plus the
+        # perpendicular offset, and the timestamp grid, in four
+        # elementwise expressions instead of a per-sample Python loop.
         offsets = bow + tremor
-        points: List[Tuple[float, Point]] = []
-        for i in range(n):
-            along_x = start.x + (end.x - start.x) * s[i]
-            along_y = start.y + (end.y - start.y) * s[i]
-            points.append(
-                (
-                    i * dt,
-                    Point(along_x + offsets[i] * px, along_y + offsets[i] * py),
-                )
-            )
+        xs = start.x + (end.x - start.x) * s + offsets * px
+        ys = start.y + (end.y - start.y) * s + offsets * py
+        points: List[Tuple[float, Point]] = timed_points(np.arange(n) * dt, xs, ys)
 
         if self.rng.random() < profile.correction_prob and distance > 60.0:
-            points = self._append_correction(points, end, dt)
+            points = self._append_correction(points, end, dt, duration_ms)
         return points
 
     def _append_correction(
@@ -146,25 +195,33 @@ class HumanPointing:
         points: List[Tuple[float, Point]],
         end: Point,
         dt: float,
+        duration_ms: float,
     ) -> List[Tuple[float, Point]]:
-        """Overshoot slightly past the target, then hook back onto it."""
+        """Overshoot slightly past the target, then hook back onto it.
+
+        The hook's sample interval is bounded so the whole hook fits in
+        :data:`CORRECTION_MAX_FRAC` of the sampled movement duration --
+        reusing the pre-hook ``dt`` unbounded let floor-clamped durations
+        overshoot the Fitts-sampled total by >50%.
+        """
         last_t = points[-1][0]
         overshoot = Point(
             end.x + float(self.rng.normal(0.0, 4.0)),
             end.y + float(self.rng.normal(0.0, 4.0)),
         )
         hook_samples = int(self.rng.integers(2, 5))
+        hook_dt = min(dt, CORRECTION_MAX_FRAC * duration_ms / (hook_samples + 1))
         out: List[Tuple[float, Point]] = list(points)
         for i in range(1, hook_samples + 1):
             tau = i / hook_samples
             out.append(
                 (
-                    last_t + i * dt,
+                    last_t + i * hook_dt,
                     Point(
                         end.x + (overshoot.x - end.x) * math.sin(math.pi * tau),
                         end.y + (overshoot.y - end.y) * math.sin(math.pi * tau),
                     ),
                 )
             )
-        out.append((last_t + (hook_samples + 1) * dt, end))
+        out.append((last_t + (hook_samples + 1) * hook_dt, end))
         return out

@@ -31,35 +31,48 @@ class HumanScrolling:
         """Wheel ticks that cover ``distance_px`` (sign = direction).
 
         The last tick may overshoot the distance by part of a tick, as a
-        real wheel would.
+        real wheel would.  Tick pauses are realised one batched draw per
+        wheel sweep, preserving the scalar draw order (sweep length, tick
+        pauses, finger pause, ...) byte-for-byte.
         """
+        from repro.models.scroll_cadence import count_wheel_ticks
+
         profile = self.profile
         if distance_px == 0:
             return []
         direction = 1.0 if distance_px > 0 else -1.0
-        remaining = abs(distance_px)
-        ticks: List[ScrollTick] = []
-        ticks_in_sweep = 0
+        delta = direction * profile.wheel_tick_px
+        total = count_wheel_ticks(abs(distance_px), profile.wheel_tick_px)
+        pauses: List[float] = []
         sweep_length = self._sweep_length()
-        while remaining > 0:
-            if ticks_in_sweep >= sweep_length:
-                pause = self._finger_pause()
-                ticks_in_sweep = 0
-                sweep_length = self._sweep_length()
-            elif not ticks:
-                pause = 0.0
-            else:
-                pause = self._tick_pause()
-            ticks.append((pause, direction * profile.wheel_tick_px))
-            remaining -= profile.wheel_tick_px
-            ticks_in_sweep += 1
-        return ticks
+        group = min(sweep_length, total)
+        pauses.append(0.0)
+        pauses.extend(self._tick_pauses(group - 1))
+        emitted = group
+        while emitted < total:
+            pauses.append(self._finger_pause())
+            sweep_length = self._sweep_length()
+            group = min(sweep_length, total - emitted)
+            pauses.extend(self._tick_pauses(group - 1))
+            emitted += group
+        return [(pause, delta) for pause in pauses]
 
     def _tick_pause(self) -> float:
         value = self.rng.normal(
             self.profile.scroll_tick_pause_mean_ms, self.profile.scroll_tick_pause_sd_ms
         )
         return float(max(value, 15.0))
+
+    def _tick_pauses(self, count: int) -> List[float]:
+        """``count`` inter-tick pauses as one stream-preserving batch."""
+        if count <= 0:
+            return []
+        draws = self.rng.normal(
+            self.profile.scroll_tick_pause_mean_ms,
+            self.profile.scroll_tick_pause_sd_ms,
+            size=count,
+        )
+        return np.maximum(draws, 15.0).tolist()
 
     def _finger_pause(self) -> float:
         """The longer break while the finger moves back on the wheel."""
@@ -105,8 +118,5 @@ class HumanScrolling:
         s = minimum_jerk_profile(n)
         tremor = self.rng.normal(0.0, abs(distance_px) * 0.004, size=n)
         tremor[0] = tremor[-1] = 0.0
-        plan: List[Tuple[float, float]] = []
-        for i in range(1, n):
-            target = current_scroll_y + distance_px * float(s[i]) + float(tremor[i])
-            plan.append((self.DRAG_FRAME_MS, target))
-        return plan
+        targets = current_scroll_y + distance_px * s + tremor
+        return [(self.DRAG_FRAME_MS, target) for target in targets.tolist()[1:]]

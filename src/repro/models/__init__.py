@@ -39,6 +39,15 @@ from repro.models.calibration import (
     calibrate_typing_params,
     calibrate_scroll_params,
 )
+from repro.models.scalar_reference import (
+    ScalarHumanPointing,
+    ScalarHumanScrolling,
+    ScalarLognormalTypingRhythm,
+    ScalarScrollCadence,
+    ScalarTypingRhythm,
+    scalar_hlisa_path,
+    scalar_naive_bezier_path,
+)
 
 __all__ = [
     "BezierTrajectory",
@@ -56,4 +65,11 @@ __all__ = [
     "calibrate_click_params",
     "calibrate_typing_params",
     "calibrate_scroll_params",
+    "ScalarHumanPointing",
+    "ScalarHumanScrolling",
+    "ScalarLognormalTypingRhythm",
+    "ScalarScrollCadence",
+    "ScalarTypingRhythm",
+    "scalar_hlisa_path",
+    "scalar_naive_bezier_path",
 ]

@@ -12,17 +12,25 @@ Fig. 1 of the paper contrasts four trajectories:
 
 All three synthetic variants are implemented here; the human one lives in
 :mod:`repro.humans.pointing`.
+
+Curve evaluation is vectorised: one cubic-Bernstein kernel evaluates the
+whole parameter grid at once.  The Bernstein basis is written with
+explicit multiplications (``mt * mt * mt``, never ``mt ** 3``) because
+numpy's array power and Python's scalar power round the last ulp
+differently -- the explicit form is IEEE-exact in both, which is what
+keeps the scalar golden reference byte-identical to these kernels.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.geometry import Point, lerp_point
+from repro.geometry import timed_points as _timed_points
 
 TimedPoint = Tuple[float, Point]  # (dt since movement onset ms, position)
 
@@ -50,6 +58,32 @@ class TrajectoryParams:
     min_duration_ms: float = 50.0
 
 
+def cubic_bezier_coords(
+    t,
+    p0x: float,
+    p0y: float,
+    c1x: float,
+    c1y: float,
+    c2x: float,
+    c2y: float,
+    p1x: float,
+    p1y: float,
+):
+    """Evaluate a cubic Bézier at parameter(s) ``t`` -> ``(x, y)``.
+
+    Works elementwise on arrays and on scalars; the Bernstein weights use
+    explicit multiplication so scalar and array evaluation agree bitwise.
+    """
+    mt = 1.0 - t
+    w0 = mt * mt * mt
+    w1 = 3.0 * (mt * mt) * t
+    w2 = 3.0 * mt * (t * t)
+    w3 = t * t * t
+    x = w0 * p0x + w1 * c1x + w2 * c2x + w3 * p1x
+    y = w0 * p0y + w1 * c1y + w2 * c2y + w3 * p1y
+    return x, y
+
+
 class BezierTrajectory:
     """Cubic Bézier curve with randomised control points."""
 
@@ -73,25 +107,53 @@ class BezierTrajectory:
 
     def at(self, t: float) -> Point:
         """Evaluate the curve at parameter ``t`` in [0, 1]."""
-        mt = 1.0 - t
-        x = (
-            mt**3 * self.start.x
-            + 3 * mt**2 * t * self.c1.x
-            + 3 * mt * t**2 * self.c2.x
-            + t**3 * self.end.x
+        x, y = cubic_bezier_coords(
+            t,
+            self.start.x,
+            self.start.y,
+            self.c1.x,
+            self.c1.y,
+            self.c2.x,
+            self.c2.y,
+            self.end.x,
+            self.end.y,
         )
-        y = (
-            mt**3 * self.start.y
-            + 3 * mt**2 * t * self.c1.y
-            + 3 * mt * t**2 * self.c2.y
-            + t**3 * self.end.y
+        return Point(float(x), float(y))
+
+    def at_array(self, t: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Evaluate the curve at every parameter of ``t`` at once."""
+        return cubic_bezier_coords(
+            t,
+            self.start.x,
+            self.start.y,
+            self.c1.x,
+            self.c1.y,
+            self.c2.x,
+            self.c2.y,
+            self.end.x,
+            self.end.y,
         )
-        return Point(x, y)
 
 
 def _ease_min_jerk(tau: np.ndarray) -> np.ndarray:
     """Acceleration/deceleration easing (minimum-jerk position profile)."""
     return 10.0 * tau**3 - 15.0 * tau**4 + 6.0 * tau**5
+
+
+@lru_cache(maxsize=512)
+def _eased_grid(n: int) -> np.ndarray:
+    """Memoised minimum-jerk easing over ``n`` uniform samples (read-only)."""
+    eased = _ease_min_jerk(np.linspace(0.0, 1.0, n))
+    eased.flags.writeable = False
+    return eased
+
+
+@lru_cache(maxsize=512)
+def _fade_grid(n: int) -> np.ndarray:
+    """Memoised endpoint fade for jitter over ``n`` samples (read-only)."""
+    fade = np.sin(np.pi * np.linspace(0.0, 1.0, n))
+    fade.flags.writeable = False
+    return fade
 
 
 def straight_line_path(
@@ -128,7 +190,8 @@ def naive_bezier_path(
     curve = BezierTrajectory(start, end, rng, params.control_offset_frac)
     n = max(2, int(round(duration_ms / params.sample_interval_ms)) + 1)
     dt = duration_ms / (n - 1)
-    return [(i * dt, curve.at(i / (n - 1))) for i in range(n)]
+    xs, ys = curve.at_array(np.arange(n) / (n - 1))
+    return _timed_points(np.arange(n) * dt, xs, ys)
 
 
 def hlisa_path(
@@ -143,7 +206,9 @@ def hlisa_path(
 
     A Bézier curve traversed with a minimum-jerk speed profile (initial
     acceleration, final deceleration) and low-amplitude smoothed jitter
-    perpendicular to the path.
+    perpendicular to the path.  Evaluated array-at-once; the RNG draw
+    order (two control-point draws, then one jitter array) matches the
+    scalar golden reference byte-for-byte.
     """
     params = params or TrajectoryParams()
     distance = start.distance_to(end)
@@ -157,24 +222,20 @@ def hlisa_path(
     curve = BezierTrajectory(start, end, rng, params.control_offset_frac)
     n = max(3, int(round(duration_ms / params.sample_interval_ms)) + 1)
     dt = duration_ms / (n - 1)
-    eased = _ease_min_jerk(np.linspace(0.0, 1.0, n))
+    eased = _eased_grid(n)
 
     # Smoothed jitter, zeroed at the endpoints so the cursor lands exactly.
     jitter = rng.normal(0.0, params.jitter_px, size=n)
     if n > 5:
         kernel = np.ones(3) / 3.0
         jitter = np.convolve(jitter, kernel, mode="same")
-    fade = np.sin(np.pi * np.linspace(0.0, 1.0, n))
-    jitter = jitter * fade
+    jitter = jitter * _fade_grid(n)
 
-    points: List[TimedPoint] = []
-    for i in range(n):
-        base = curve.at(float(eased[i]))
-        # Perpendicular direction approximated from the chord.
-        chord = max(distance, 1e-9)
-        px = -(end.y - start.y) / chord
-        py = (end.x - start.x) / chord
-        points.append(
-            (i * dt, Point(base.x + jitter[i] * px, base.y + jitter[i] * py))
-        )
-    return points
+    # Perpendicular direction approximated from the chord.
+    chord = max(distance, 1e-9)
+    px = -(end.y - start.y) / chord
+    py = (end.x - start.x) / chord
+    base_x, base_y = curve.at_array(eased)
+    return _timed_points(
+        np.arange(n) * dt, base_x + jitter * px, base_y + jitter * py
+    )

@@ -15,6 +15,7 @@ layout -- and keep it consistent with the rest of the fingerprint (a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, FrozenSet, Optional
 
 #: Modifier requirement of a character on a layout.
@@ -33,8 +34,14 @@ class KeyboardLayout:
     #: Characters requiring AltGr.
     altgr: FrozenSet[str] = frozenset()
 
+    @lru_cache(maxsize=1024)
     def modifier_for(self, char: str) -> str:
-        """The modifier a human must hold to type ``char``."""
+        """The modifier a human must hold to type ``char``.
+
+        Memoised per ``(layout, char)``: typing planners look the same
+        characters up over and over, and layouts are immutable module
+        singletons, so the cache never goes stale.
+        """
         if len(char) != 1:
             return PLAIN
         if char in self.altgr:

@@ -93,3 +93,22 @@ class LognormalTypingRhythm(TypingRhythm):
         if mean <= 0:
             return floor
         return float(max(lognormal_ms(self.rng, mean, max(sd, 1e-6)), floor))
+
+    def _draw_batch(self, means, sds, floors):
+        # Batched counterpart of :meth:`_normal` for the vectorised plan
+        # path: moment-matched lognormal draws realised in one generator
+        # call.  Non-positive means take the floor *without* consuming a
+        # draw, exactly as the scalar guard does, so the stream position
+        # stays identical to the per-value sequence.
+        out = np.asarray(floors, dtype=float).copy()
+        mask = means > 0
+        if mask.any():
+            m = means[mask]
+            s = np.maximum(sds[mask], 1e-6)
+            variance_ratio = (s / m) ** 2
+            sigma2 = np.log1p(variance_ratio)
+            mu = np.log(m) - sigma2 / 2.0
+            out[mask] = np.maximum(
+                self.rng.lognormal(mu, np.sqrt(sigma2)), floors[mask]
+            )
+        return out

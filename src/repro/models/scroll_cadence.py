@@ -8,6 +8,12 @@ function that simulates mouse-wheel scrolling:
 - a normal distribution of short breaks between ticks;
 - a slightly longer break "to account for moving one's finger to continue
   scrolling the mouse wheel".
+
+Cadence generation is batched per wheel sweep: the tick pauses inside a
+sweep share one distribution, so one array draw realises the whole sweep
+while consuming the generator stream exactly as the per-tick scalar loop
+did (sweep length, then tick pauses, then finger pause, in order) --
+same-seed plans are byte-identical to the scalar golden reference.
 """
 
 from __future__ import annotations
@@ -36,6 +42,22 @@ class ScrollParams:
     finger_pause_sd_ms: float = 120.0
 
 
+def count_wheel_ticks(distance_px: float, tick_px: float) -> int:
+    """Ticks needed to cover ``distance_px``, by repeated subtraction.
+
+    Deliberately NOT ``ceil(distance / tick)``: the scalar loop decrements
+    a float accumulator, and division can disagree with accumulated
+    subtraction in the last ulp right at tick boundaries.  Replicating the
+    decrement keeps the batched planners tick-count-identical.
+    """
+    ticks = 0
+    remaining = distance_px
+    while remaining > 0:
+        remaining -= tick_px
+        ticks += 1
+    return ticks
+
+
 class ScrollCadence:
     """Generates HLISA wheel-tick plans."""
 
@@ -49,27 +71,36 @@ class ScrollCadence:
         if distance_px == 0:
             return []
         direction = 1.0 if distance_px > 0 else -1.0
-        remaining = abs(distance_px)
-        ticks: List[ScrollTick] = []
-        in_sweep = 0
+        delta = direction * p.wheel_tick_px
+        total = count_wheel_ticks(abs(distance_px), p.wheel_tick_px)
+        pauses: List[float] = []
         sweep = self._sweep_length()
-        while remaining > 0:
-            if not ticks:
-                pause = 0.0
-            elif in_sweep >= sweep:
-                pause = float(
+        # First sweep opens with a free tick; later sweeps open with the
+        # finger-repositioning pause.  Within a sweep, all tick pauses
+        # come from one batched draw.
+        group = min(sweep, total)
+        pauses.append(0.0)
+        pauses.extend(self._tick_pauses(group - 1))
+        emitted = group
+        while emitted < total:
+            pauses.append(
+                float(
                     max(self.rng.normal(p.finger_pause_mean_ms, p.finger_pause_sd_ms), 100.0)
                 )
-                in_sweep = 0
-                sweep = self._sweep_length()
-            else:
-                pause = float(
-                    max(self.rng.normal(p.tick_pause_mean_ms, p.tick_pause_sd_ms), 12.0)
-                )
-            ticks.append((pause, direction * p.wheel_tick_px))
-            remaining -= p.wheel_tick_px
-            in_sweep += 1
-        return ticks
+            )
+            sweep = self._sweep_length()
+            group = min(sweep, total - emitted)
+            pauses.extend(self._tick_pauses(group - 1))
+            emitted += group
+        return [(pause, delta) for pause in pauses]
+
+    def _tick_pauses(self, count: int) -> List[float]:
+        """``count`` inter-tick pauses as one stream-preserving batch."""
+        if count <= 0:
+            return []
+        p = self.params
+        draws = self.rng.normal(p.tick_pause_mean_ms, p.tick_pause_sd_ms, size=count)
+        return np.maximum(draws, 12.0).tolist()
 
     def _sweep_length(self) -> int:
         mean = self.params.ticks_per_sweep_mean

@@ -14,6 +14,15 @@ The model intentionally sticks to normal distributions -- the paper's
 Appendix F concedes this simplification (human timing is not normal),
 which is what separates HLISA from the generative human model in
 :mod:`repro.humans.typing` at the distribution level.
+
+Plan generation is vectorised: the (deterministic) scan of the text
+builds a *draw schedule* -- the exact ``(mean, sd, floor)`` sequence the
+scalar model would request one draw at a time -- and a single batched
+generator call realises all of them.  numpy's ``Generator.normal`` with
+array parameters consumes the bit stream value-for-value like the
+equivalent sequence of scalar draws, so same-seed plans are
+byte-identical to the scalar golden reference
+(:class:`repro.models.scalar_reference.ScalarTypingRhythm`).
 """
 
 from __future__ import annotations
@@ -68,39 +77,94 @@ class TypingRhythm:
         self.layout = layout
 
     def _normal(self, mean: float, sd: float, floor: float) -> float:
+        """One scalar draw -- kept for subclass/compat; the batched plan
+        path goes through :meth:`_draw_batch` instead."""
         return float(max(self.rng.normal(mean, sd), floor))
 
-    def _contextual_pause(self, previous: str, current: str) -> float:
+    def _draw_batch(self, means: np.ndarray, sds: np.ndarray, floors: np.ndarray) -> np.ndarray:
+        """Realise a whole draw schedule with one generator call.
+
+        Subclasses that change the distribution family (e.g. the
+        lognormal counter-refinement) override this; the contract is that
+        the batch must consume the generator stream exactly as the same
+        sequence of per-value draws would.
+        """
+        if means.size == 0:
+            return means
+        return np.maximum(self.rng.normal(means, sds), floors)
+
+    def _schedule_pauses(self, schedule: list, previous: str, current: str) -> int:
+        """Append this transition's contextual-pause draws; return count."""
         p = self.params
-        extra = 0.0
+        count = 0
         if previous == " ":
-            extra += self._normal(p.pause_new_word_ms, p.pause_new_word_ms * p.pause_sd_frac, 0.0)
+            schedule.append((p.pause_new_word_ms, p.pause_new_word_ms * p.pause_sd_frac, 0.0))
+            count += 1
         if previous == ",":
-            extra += self._normal(p.pause_comma_ms, p.pause_comma_ms * p.pause_sd_frac, 0.0)
+            schedule.append((p.pause_comma_ms, p.pause_comma_ms * p.pause_sd_frac, 0.0))
+            count += 1
         if previous in ".!?":
-            extra += self._normal(p.pause_sentence_ms, p.pause_sentence_ms * p.pause_sd_frac, 0.0)
+            schedule.append((p.pause_sentence_ms, p.pause_sentence_ms * p.pause_sd_frac, 0.0))
+            count += 1
         if current.isupper() and previous in ".!? ":
-            extra += self._normal(
-                p.pause_open_sentence_ms, p.pause_open_sentence_ms * p.pause_sd_frac, 0.0
+            schedule.append(
+                (p.pause_open_sentence_ms, p.pause_open_sentence_ms * p.pause_sd_frac, 0.0)
             )
-        return extra
+            count += 1
+        return count
 
     def plan(self, text: str) -> List[KeyEvent]:
         """Key-event plan: dwell, flight, contextual pauses, Shift."""
         p = self.params
-        events: List[KeyEvent] = []
+        modifier_for = self.layout.modifier_for
+
+        # Pass 1 (no randomness): the draw schedule, in the exact order
+        # the scalar model consumes draws, plus per-char structure.
+        schedule: list = []  # (mean, sd, floor) triples
+        structure: list = []  # (char, modifier, has_flight, n_pauses)
         previous: Optional[str] = None
         for char in text:
+            has_flight = previous is not None
+            n_pauses = 0
+            if has_flight:
+                schedule.append((p.flight_mean_ms, p.flight_sd_ms, 12.0))
+                n_pauses = self._schedule_pauses(schedule, previous, char)
+            schedule.append((p.dwell_mean_ms, p.dwell_sd_ms, 15.0))
+            modifier = modifier_for(char)
+            if modifier is not PLAIN:
+                schedule.append((p.shift_lead_mean_ms, p.shift_lead_mean_ms * 0.3, 8.0))
+                schedule.append((p.shift_lag_mean_ms, p.shift_lag_mean_ms * 0.3, 5.0))
+            structure.append((char, modifier, has_flight, n_pauses))
+            previous = char
+
+        if not schedule:
+            return []
+        table = np.array(schedule)
+        draws = self._draw_batch(table[:, 0], table[:, 1], table[:, 2]).tolist()
+
+        # Pass 2: assemble events by walking the realised draws.
+        events: List[KeyEvent] = []
+        i = 0
+        for char, modifier, has_flight, n_pauses in structure:
             flight = 0.0
-            if previous is not None:
-                flight = self._normal(p.flight_mean_ms, p.flight_sd_ms, 12.0)
-                flight += self._contextual_pause(previous, char)
-            dwell = self._normal(p.dwell_mean_ms, p.dwell_sd_ms, 15.0)
-            modifier = self.layout.modifier_for(char)
+            if has_flight:
+                flight = draws[i]
+                i += 1
+                # Sum the pauses separately, then add once: float addition
+                # is non-associative, and the scalar reference accumulates
+                # pauses into `extra` before adding to the flight time.
+                extra = 0.0
+                for _ in range(n_pauses):
+                    extra += draws[i]
+                    i += 1
+                flight += extra
+            dwell = draws[i]
+            i += 1
             if modifier is not PLAIN:
                 modifier_key = "Shift" if modifier is SHIFT else "AltGraph"
-                lead = self._normal(p.shift_lead_mean_ms, p.shift_lead_mean_ms * 0.3, 8.0)
-                lag = self._normal(p.shift_lag_mean_ms, p.shift_lag_mean_ms * 0.3, 5.0)
+                lead = draws[i]
+                lag = draws[i + 1]
+                i += 2
                 events.append((max(flight - lead, 4.0), "down", modifier_key))
                 events.append((lead, "down", char))
                 events.append((dwell, "up", char))
@@ -108,5 +172,4 @@ class TypingRhythm:
             else:
                 events.append((flight, "down", char))
                 events.append((dwell, "up", char))
-            previous = char
         return events

@@ -161,10 +161,13 @@ class ActionExecutor:
             start = pipeline.pointer
             ticks = max(1, int(math.ceil(action.duration_ms / POINTER_MOVE_TICK_MS)))
             tick_ms = action.duration_ms / ticks
-            for i in range(1, ticks + 1):
-                clock.advance(tick_ms)
-                point = lerp_point(start, target, i / ticks)
-                pipeline.move_mouse_to(point.x, point.y, force_event=(i == ticks))
+            pipeline.dispatch_batch(
+                (
+                    (tick_ms, lerp_point(start, target, i / ticks))
+                    for i in range(1, ticks + 1)
+                ),
+                force_last=True,
+            )
         elif isinstance(action, PointerDown):
             pipeline.mouse_down(action.button)
         elif isinstance(action, PointerUp):
