@@ -43,6 +43,7 @@ from repro.models.scalar_reference import (
     scalar_hlisa_path,
 )
 from repro.models.typing_rhythm import TypingRhythm
+from repro.obs import append_history
 
 BENCH_PATH = Path("BENCH_hlisa.json")
 
@@ -58,6 +59,7 @@ def _merge_bench(update):
         data = json.loads(BENCH_PATH.read_text())
     data.update(update)
     BENCH_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    append_history(Path("BENCH_HISTORY.jsonl"), [BENCH_PATH], label='hlisa-events-per-sec')
 
 
 def _rate(fn, reps, warmup=20):

@@ -20,6 +20,7 @@ from repro.lint import (
     lint_project,
     run_lint,
 )
+from repro.obs import append_history
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 SRC = REPO_ROOT / "src" / "repro"
@@ -88,6 +89,7 @@ def test_whole_program_pass_within_budget():
     BENCH_PATH.write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n"
     )
+    append_history(Path("BENCH_HISTORY.jsonl"), [BENCH_PATH], label="lint-graph")
     print_table(
         "Whole-program lint pass vs per-module pass",
         [

@@ -37,6 +37,7 @@ from repro.crawl import (
     hostile_population,
     visit_coverage,
 )
+from repro.obs import append_history
 from repro.spoofing import SpoofingExtension
 
 INSTANCES = 8
@@ -173,4 +174,7 @@ def test_robustness_hostile_pages(benchmark):
         }
     )
     BENCH_PATH.write_text(json.dumps(bench, indent=2, sort_keys=True) + "\n")
+    append_history(
+        Path("BENCH_HISTORY.jsonl"), [BENCH_PATH], label="hostile-pages"
+    )
     print(f"\nwrote {BENCH_PATH}")

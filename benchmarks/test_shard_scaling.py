@@ -21,6 +21,7 @@ from conftest import print_table
 
 from repro.crawl import PopulationConfig, generate_population
 from repro.faults import FaultPlan
+from repro.obs import append_history
 from repro.shard import ShardRunSpec, build_supervisor, run_sharded_crawl
 
 BENCH_PATH = Path("BENCH_crawl.json")
@@ -44,6 +45,7 @@ def _merge_bench(update):
         data = json.loads(BENCH_PATH.read_text())
     data.update(update)
     BENCH_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    append_history(Path("BENCH_HISTORY.jsonl"), [BENCH_PATH], label='shard-scaling')
 
 
 def test_shard_scaling_is_byte_identical_and_recorded(tmp_path):

@@ -3,10 +3,14 @@
 Spans (a per-visit tree over the virtual clock), a metrics registry
 (counters + fixed-bucket histograms), byte-stable JSONL trace export,
 an aggregate crawl report, the probe ledger (detection-surface tracing
-in the JS object model), and diff/attribution tooling over the exports
--- all seed- and clock-deterministic, so traces and ledgers are
-byte-identical across identical runs and across interrupt/resume
-(docs/OBSERVABILITY.md).
+in the JS object model), diff/attribution tooling over the exports, a
+deterministic profiler (self/total time, per-visit percentiles,
+critical paths, speedscope/chrome-trace flame exports), and the
+benchmark-history regression gate (``BENCH_HISTORY.jsonl`` +
+``python -m repro.obs bench check``) -- all seed- and
+clock-deterministic, so traces, ledgers and canonical profiles are
+byte-identical across identical runs, across interrupt/resume, and
+across sharded execution (docs/OBSERVABILITY.md).
 
 The motivating literature: Krumnow et al. show unobserved crawler-side
 behaviour silently biases crawl statistics; this package makes every
@@ -18,6 +22,35 @@ from repro.obs.attribute import (
     AttributionReport,
     build_attribution,
     record_table1_ledger,
+)
+from repro.obs.bench import (
+    BenchCheckResult,
+    BenchError,
+    MetricCheck,
+    append_history,
+    baseline_values,
+    check_bench_files,
+    check_metrics,
+    flatten_bench,
+    load_bench_values,
+    metric_direction,
+    read_history,
+)
+from repro.obs.flame import (
+    chrome_trace_document,
+    speedscope_document,
+    write_chrome_trace,
+    write_speedscope,
+)
+from repro.obs.profile import (
+    build_profile,
+    hotspots,
+    nearest_rank,
+    profile_delta,
+    profile_to_json,
+    render_delta_text,
+    render_profile_text,
+    write_profile,
 )
 from repro.obs.diff import ExportDiff, diff_exports
 from repro.obs.merge import (
@@ -98,4 +131,27 @@ __all__ = [
     "AttributionReport",
     "build_attribution",
     "record_table1_ledger",
+    "build_profile",
+    "hotspots",
+    "nearest_rank",
+    "profile_delta",
+    "profile_to_json",
+    "render_delta_text",
+    "render_profile_text",
+    "write_profile",
+    "chrome_trace_document",
+    "speedscope_document",
+    "write_chrome_trace",
+    "write_speedscope",
+    "BenchCheckResult",
+    "BenchError",
+    "MetricCheck",
+    "append_history",
+    "baseline_values",
+    "check_bench_files",
+    "check_metrics",
+    "flatten_bench",
+    "load_bench_values",
+    "metric_direction",
+    "read_history",
 ]

@@ -4,18 +4,29 @@ Usage::
 
     python -m repro.obs report trace.jsonl            # text report
     python -m repro.obs report trace.jsonl --format json --top 10
+    python -m repro.obs profile traces/ --speedscope out.json
     python -m repro.obs diff a.jsonl b.jsonl          # exit 0 iff identical
+    python -m repro.obs diff a.jsonl b.jsonl --profile # + hotspot deltas
+    python -m repro.obs bench record --baseline
+    python -m repro.obs bench check --tolerance 0.15  # exit 1 on regression
     python -m repro.obs attribute table1.ledger.jsonl
     python -m repro.obs attribute spoofed.ledger.jsonl vanilla.ledger.jsonl
 
 ``report`` aggregates the JSONL trace written by
-``CrawlSupervisor.crawl(..., trace_path=...)``.  ``diff`` compares two
-exports of the same kind (traces or probe ledgers) record by record and
-uses ``diff(1)`` exit semantics: 0 identical, 1 different, 2 on error.
-Both accept a *directory* of per-shard exports (``repro.shard`` output):
-the shards are merged onto the serial timeline first, so ``report``
-summarises the whole sharded crawl and ``diff shard-dir serial.jsonl``
+``CrawlSupervisor.crawl(..., trace_path=...)``.  ``profile`` folds a
+trace into the deterministic profiler's accounting -- per-span-name
+self/total time, per-visit percentiles, the slowest visit's critical
+path -- and optionally exports speedscope / chrome-trace files for
+human inspection.  ``diff`` compares two exports of the same kind
+(traces or probe ledgers) record by record and uses ``diff(1)`` exit
+semantics: 0 identical, 1 different, 2 on error.  All three accept a
+*directory* of per-shard exports (``repro.shard`` output): the shards
+are merged onto the serial timeline first, so ``report``/``profile``
+summarise the whole sharded crawl and ``diff shard-dir serial.jsonl``
 asserts the sharded bytes equal the serial ones.
+``bench`` maintains the append-only ``BENCH_HISTORY.jsonl`` over the
+``BENCH_*.json`` benchmark outputs and gates regressions against the
+recorded baseline (``check`` exits 1 past tolerance).
 ``attribute`` reconstructs the paper's Table 1 -- method x side effect
 x culprit accesses -- from probe-ledger data alone; the optional second
 file supplies a vanilla baseline when the ledger has no in-file
@@ -25,15 +36,32 @@ file supplies a vanilla baseline when the ledger has no in-file
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional
 
 from repro.obs.attribute import build_attribution
+from repro.obs.bench import (
+    DEFAULT_BENCH_FILES,
+    DEFAULT_HISTORY,
+    DEFAULT_TOLERANCE,
+    BenchError,
+    append_history,
+    check_bench_files,
+)
 from repro.obs.diff import ExportKindError, diff_exports
 from repro.obs.export import read_trace
-from repro.obs.merge import MergeError, merge_trace_dir
+from repro.obs.flame import write_chrome_trace, write_speedscope
+from repro.obs.merge import MergeError, merge_spans, merge_trace_dir
 from repro.obs.probes import read_ledger
+from repro.obs.profile import (
+    build_profile,
+    profile_delta,
+    profile_to_json,
+    render_delta_text,
+    render_profile_text,
+)
 from repro.obs.report import build_report
 
 
@@ -74,10 +102,100 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         metavar="N",
-        help="also rank the N slowest sites and most frequent failure "
-        "reasons (default: off)",
+        help="also rank the N slowest sites, most frequent failure "
+        "reasons and hotspot span names (default: off)",
+    )
+    report.add_argument(
+        "--profile",
+        action="store_true",
+        help="append the full deterministic profile (per-visit "
+        "percentiles, critical path) to the report",
     )
     _add_output_arguments(report)
+
+    profile = subparsers.add_parser(
+        "profile",
+        help="fold a trace into the deterministic profiler's accounting",
+    )
+    profile.add_argument(
+        "trace",
+        help="JSONL trace file, or a directory of per-shard "
+        "*.trace.jsonl files (merged before profiling)",
+    )
+    profile.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="hotspot rows in text output (default: 10; 0 = all)",
+    )
+    profile.add_argument(
+        "--speedscope",
+        default=None,
+        metavar="PATH",
+        help="also write a speedscope file (open at speedscope.app)",
+    )
+    profile.add_argument(
+        "--chrome",
+        default=None,
+        metavar="PATH",
+        help="also write a chrome-trace file (chrome://tracing, Perfetto)",
+    )
+    profile.add_argument(
+        "--wall",
+        action="store_true",
+        help="include wall-time deltas from a dual-clock trace "
+        "(output is then NOT canonical / byte-comparable)",
+    )
+    _add_output_arguments(profile)
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="benchmark history (BENCH_HISTORY.jsonl) and regression gate",
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    for name, text in (
+        ("record", "append the current BENCH_*.json values to the history"),
+        ("check", "gate the current BENCH_*.json values against the "
+                  "recorded baseline; exit 1 past tolerance"),
+    ):
+        sub = bench_sub.add_parser(name, help=text)
+        sub.add_argument(
+            "bench_files",
+            nargs="*",
+            default=None,
+            metavar="BENCH.json",
+            help="bench files to read (default: the committed "
+            "BENCH_crawl/hlisa/lint.json that exist)",
+        )
+        sub.add_argument(
+            "--history",
+            default=DEFAULT_HISTORY,
+            metavar="PATH",
+            help=f"history file (default: {DEFAULT_HISTORY})",
+        )
+        if name == "record":
+            sub.add_argument(
+                "--baseline",
+                action="store_true",
+                help="record as the gate's baseline instead of a sample "
+                "(the last baseline per metric wins)",
+            )
+            sub.add_argument(
+                "--label",
+                default="",
+                help="free-form label stored on every appended record",
+            )
+        else:
+            sub.add_argument(
+                "--tolerance",
+                type=float,
+                default=DEFAULT_TOLERANCE,
+                metavar="FRAC",
+                help="relative regression tolerance "
+                f"(default: {DEFAULT_TOLERANCE})",
+            )
+            _add_output_arguments(sub)
 
     diff = subparsers.add_parser(
         "diff",
@@ -99,6 +217,12 @@ def _build_parser() -> argparse.ArgumentParser:
         default=20,
         metavar="N",
         help="cap per-section detail lines in text output (0 = no cap)",
+    )
+    diff.add_argument(
+        "--profile",
+        action="store_true",
+        help="also profile both traces and show per-span-name hotspot "
+        "deltas (traces only)",
     )
     _add_output_arguments(diff)
 
@@ -135,25 +259,120 @@ def _require(path_str: str, what: str) -> Optional[Path]:
     return path
 
 
+def _load_spans(trace_path: Path):
+    """Spans from a trace file or a directory of traces.
+
+    Directories prefer the sharded layout (``shard-*.trace.jsonl``,
+    merged byte-exactly onto the serial timeline); otherwise any
+    ``*.trace.jsonl`` files (e.g. ``examples/field_study.py`` output)
+    are spliced end to end in sorted-name order.
+    """
+    if not trace_path.is_dir():
+        return read_trace(trace_path)
+    try:
+        return merge_trace_dir(trace_path)
+    except MergeError:
+        files = sorted(trace_path.glob("*.trace.jsonl"))
+        if not files:
+            raise
+        return merge_spans([read_trace(path) for path in files])
+
+
 def _run_report(args: argparse.Namespace) -> int:
     trace_path = _require(args.trace, "trace")
     if trace_path is None:
         return 1
     try:
-        spans = (
-            merge_trace_dir(trace_path)
-            if trace_path.is_dir()
-            else read_trace(trace_path)
-        )
+        spans = _load_spans(trace_path)
     except (MergeError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
     report = build_report(spans, top=args.top)
+    if args.format == "json":
+        rendered = report.render_json()
+        if args.profile:
+            data = report.to_dict()
+            data["profile"] = build_profile(spans)
+            rendered = json.dumps(data, sort_keys=True, indent=2) + "\n"
+    else:
+        rendered = report.render_text()
+        if args.profile:
+            top = args.top if args.top > 0 else 10
+            rendered += "\n" + render_profile_text(
+                build_profile(spans), top=top
+            )
+    _emit(rendered, args.out)
+    return 0
+
+
+def _run_profile(args: argparse.Namespace) -> int:
+    trace_path = _require(args.trace, "trace")
+    if trace_path is None:
+        return 1
+    try:
+        spans = _load_spans(trace_path)
+    except (MergeError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    profile = build_profile(spans, include_wall=args.wall)
+    if args.speedscope is not None:
+        write_speedscope(args.speedscope, spans)
+    if args.chrome is not None:
+        write_chrome_trace(args.chrome, spans)
     rendered = (
-        report.render_json() if args.format == "json" else report.render_text()
+        profile_to_json(profile, include_wall=args.wall)
+        if args.format == "json"
+        else render_profile_text(profile, top=args.top)
     )
     _emit(rendered, args.out)
     return 0
+
+
+def _default_bench_files(args: argparse.Namespace) -> List[Path]:
+    if args.bench_files:
+        return [Path(p) for p in args.bench_files]
+    return [Path(name) for name in DEFAULT_BENCH_FILES if Path(name).exists()]
+
+
+def _run_bench(args: argparse.Namespace) -> int:
+    bench_files = _default_bench_files(args)
+    if not bench_files:
+        print(
+            "error: no BENCH_*.json files found (pass them explicitly)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.bench_command == "record":
+        try:
+            records = append_history(
+                args.history,
+                bench_files,
+                kind="baseline" if args.baseline else "sample",
+                label=args.label,
+            )
+        except BenchError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        kind = "baseline" if args.baseline else "sample"
+        print(
+            f"recorded {len(records)} {kind} metric(s) from "
+            f"{len(bench_files)} file(s) to {args.history}"
+        )
+        return 0
+    try:
+        result = check_bench_files(
+            bench_files, history_path=args.history, tolerance=args.tolerance
+        )
+    except BenchError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    rendered = (
+        result.render_json()
+        if args.format == "json"
+        else result.render_text()
+    )
+    _emit(rendered, args.out)
+    return 0 if result.passed else 1
 
 
 def _run_diff(args: argparse.Namespace) -> int:
@@ -166,11 +385,29 @@ def _run_diff(args: argparse.Namespace) -> int:
     except (ExportKindError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    if args.profile and result.kind != "trace":
+        print("error: --profile only applies to trace diffs", file=sys.stderr)
+        return 2
     rendered = (
         result.render_json() + "\n"
         if args.format == "json"
         else result.render_text(limit=args.limit)
     )
+    if args.profile:
+        try:
+            deltas = profile_delta(
+                build_profile(_load_spans(path_a)),
+                build_profile(_load_spans(path_b)),
+            )
+        except (MergeError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        if args.format == "json":
+            data = result.to_dict()
+            data["profile_delta"] = deltas
+            rendered = json.dumps(data, sort_keys=True, indent=2) + "\n"
+        else:
+            rendered += "\n" + render_delta_text(deltas, top=args.limit)
     _emit(rendered, args.out)
     return 0 if result.identical else 1
 
@@ -199,6 +436,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "report":
         return _run_report(args)
+    if args.command == "profile":
+        return _run_profile(args)
+    if args.command == "bench":
+        return _run_bench(args)
     if args.command == "diff":
         return _run_diff(args)
     return _run_attribute(args)

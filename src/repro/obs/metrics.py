@@ -9,7 +9,6 @@ checkpoint.
 
 from __future__ import annotations
 
-import math
 from bisect import bisect_left
 from typing import Any, Dict, Optional, Sequence, Tuple
 
@@ -82,24 +81,34 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, q: float) -> float:
-        """The q-quantile as a bucket upper bound (conservative).
+        """The q-quantile, linearly interpolated within its bucket.
 
-        Returns the smallest bound whose cumulative count covers
-        ``ceil(q * count)`` observations.  Values in the overflow bucket
-        report the last bound -- a lower-bound estimate, which is the
-        best a fixed-bucket histogram can give.  Empty histograms report
-        ``0.0``.
+        The continuous rank ``q * count`` is located in the bucket whose
+        cumulative count covers it, and the estimate interpolates
+        between the bucket's lower and upper bound by the rank's
+        fractional position inside the bucket (the Prometheus
+        ``histogram_quantile`` rule).  Reading off the raw upper bound
+        made p50/p95 jump discontinuously whenever the quantile crossed
+        a bucket edge; interpolation keeps the read-out continuous in
+        ``q`` and in the observed values.  Values in the overflow bucket
+        still report the last bound -- a lower-bound estimate, which is
+        the best a fixed-bucket histogram can give.  Empty histograms
+        report ``0.0``.
         """
         if not 0.0 < q <= 1.0:
             raise ValueError("q must be in (0, 1]")
         if self.count == 0:
             return 0.0
-        target = math.ceil(q * self.count)
+        rank = q * self.count
         cumulative = 0
+        lower = 0.0
         for bound, bucket in zip(self.bounds, self.bucket_counts):
-            cumulative += bucket
-            if cumulative >= target:
-                return bound
+            if bucket:
+                if cumulative + bucket >= rank:
+                    fraction = (rank - cumulative) / bucket
+                    return lower + (bound - lower) * fraction
+                cumulative += bucket
+            lower = bound
         return self.bounds[-1] if self.bounds else 0.0
 
     def to_dict(self) -> Dict[str, Any]:

@@ -131,6 +131,11 @@ class CrawlReport:
     top_sites: List[Tuple[str, SpanAggregate]] = field(default_factory=list)
     #: ``build_report(top=N)``: the N most frequent failure reasons.
     top_failure_reasons: List[Tuple[str, int]] = field(default_factory=list)
+    #: ``build_report(top=N)``: the N span names costing the most *self*
+    #: time (time inside the span, outside its children) -- the
+    #: profiler's hotspot ranking, surfaced in the report so ``--top``
+    #: answers "where does the time go" without a second invocation.
+    hotspots: List[Dict[str, Any]] = field(default_factory=list)
 
     def histogram_summaries(self) -> Dict[str, Dict[str, float]]:
         """count/mean/p50/p95 per metrics histogram (empty without
@@ -185,6 +190,7 @@ class CrawlReport:
                 for domain, aggregate in self.top_sites
             ],
             "top_failure_reasons": [list(p) for p in self.top_failure_reasons],
+            "hotspots": [dict(spot) for spot in self.hotspots],
         }
 
     def render_json(self) -> str:
@@ -273,6 +279,15 @@ class CrawlReport:
             )
             for reason, count in self.top_failure_reasons:
                 lines.append(f"{'  ' + reason:28s} {count:12d}")
+        if self.hotspots:
+            lines.append("")
+            lines.append(f"hotspots by self time (top {len(self.hotspots)})")
+            for spot in self.hotspots:
+                lines.append(
+                    f"{'  ' + spot['name']:28s} {spot['count']:8d} x "
+                    f"{spot['self_ms']:12.1f} ms self  "
+                    f"{spot['total_ms']:12.1f} ms total"
+                )
         return "\n".join(lines) + "\n"
 
 
@@ -357,4 +372,30 @@ def build_report(
         report.top_failure_reasons = sorted(
             failure_counts.items(), key=lambda item: (-item[1], item[0])
         )[:top]
+        # Hotspots: per-name *self* time (duration minus the children's
+        # durations).  Same fold the profiler performs; kept inline so
+        # the report has no dependency on repro.obs.profile.
+        children_ms: Dict[int, float] = {}
+        for span in spans:
+            children_ms[span.parent_id] = (
+                children_ms.get(span.parent_id, 0.0) + span.duration_ms
+            )
+        self_totals: Dict[str, float] = {}
+        for span in spans:
+            self_totals[span.name] = (
+                self_totals.get(span.name, 0.0)
+                + span.duration_ms
+                - children_ms.get(span.span_id, 0.0)
+            )
+        report.hotspots = [
+            {
+                "name": name,
+                "self_ms": self_totals[name],
+                "total_ms": report.span_totals[name].total_ms,
+                "count": report.span_totals[name].count,
+            }
+            for name in sorted(
+                self_totals, key=lambda n: (-self_totals[n], n)
+            )[:top]
+        ]
     return report

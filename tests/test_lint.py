@@ -596,6 +596,92 @@ class TestCanonicalJsonExport:
         assert report.new_findings == [], render_text(report)
 
 
+class TestSpanEndDiscipline:
+    OBS_PATH = "src/repro/obs/snippet.py"
+
+    def test_assigned_span_without_finally_flagged(self):
+        source = """
+            def visit(tracer):
+                span = tracer.start("visit")
+                do_work()
+                tracer.end(span)
+            """
+        assert rule_ids(source, path=self.OBS_PATH) == ["OBS002"]
+
+    def test_discarded_span_flagged(self):
+        source = """
+            def visit(tracer):
+                tracer.start("visit")
+                do_work()
+            """
+        assert rule_ids(source, path=self.OBS_PATH) == ["OBS002"]
+
+    def test_finally_end_clean(self):
+        source = """
+            def visit(tracer):
+                span = tracer.start("visit")
+                try:
+                    do_work()
+                finally:
+                    tracer.end(span)
+            """
+        assert rule_ids(source, path=self.OBS_PATH) == []
+
+    def test_guarded_conditional_span_clean(self):
+        # the webdriver idiom: span only when tracing is on, end guarded
+        source = """
+            def get(self, tracer, url):
+                span = tracer.start("get", url=url) if tracer.enabled else None
+                try:
+                    do_work()
+                finally:
+                    if span is not None:
+                        tracer.end(span)
+            """
+        assert rule_ids(source, path=self.OBS_PATH) == []
+
+    def test_context_manager_clean(self):
+        source = """
+            def visit(tracer):
+                with tracer.span("visit"):
+                    do_work()
+            """
+        assert rule_ids(source, path=self.OBS_PATH) == []
+
+    def test_non_tracer_start_not_flagged(self):
+        source = """
+            def go(thread):
+                thread.start()
+            """
+        assert rule_ids(source, path=self.OBS_PATH) == []
+
+    def test_self_tracer_attribute_chain_recognised(self):
+        source = """
+            class Supervisor:
+                def run(self):
+                    root = self.tracer.start("crawl")
+                    try:
+                        do_work()
+                    finally:
+                        self.tracer.end(root)
+            """
+        assert rule_ids(source, path=self.OBS_PATH) == []
+
+    def test_inline_suppression(self):
+        source = """
+            def visit(tracer):
+                tracer.start("visit")  # repro-lint: disable=OBS002
+            """
+        assert rule_ids(source, path=self.OBS_PATH) == []
+
+    def test_rule_is_scoped_to_obs(self):
+        source = """
+            def visit(tracer):
+                tracer.start("visit")
+            """
+        assert rule_ids(source, path="src/repro/stats/snippet.py") == []
+
+
 # -- suppressions ----------------------------------------------------------
 
 

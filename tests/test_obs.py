@@ -502,9 +502,24 @@ class TestPercentiles:
         histogram = registry.histogram("latency")
         for value in [8.0] * 9 + [450.0]:
             histogram.observe(value)
-        assert histogram.percentile(0.50) == 10.0
-        assert histogram.percentile(0.95) == 500.0
+        # interpolated within the (5, 10] bucket: rank 5 of the 9
+        # observations there -> 5 + 5 * (5 / 9)
+        assert histogram.percentile(0.50) == 5.0 + 5.0 * (5.0 / 9.0)
+        # rank 9.5 lands half-way into the single-count (100, 500] bucket
+        assert histogram.percentile(0.95) == 300.0
         assert histogram.percentile(1.0) == 500.0
+
+    def test_histogram_percentile_interpolates_within_bucket(self):
+        # 4 observations in the (10, 50] bucket: quartile ranks split the
+        # bucket span linearly instead of all reporting the upper bound.
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency")
+        for value in [20.0, 30.0, 40.0, 50.0]:
+            histogram.observe(value)
+        assert histogram.percentile(0.25) == 20.0
+        assert histogram.percentile(0.50) == 30.0
+        assert histogram.percentile(0.75) == 40.0
+        assert histogram.percentile(1.00) == 50.0
 
     def test_histogram_percentile_overflow_reports_last_bound(self):
         registry = MetricsRegistry()
